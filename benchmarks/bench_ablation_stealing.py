@@ -1,0 +1,65 @@
+"""Ablation: work stealing (extension; the paper's future work cites X10's
+work-stealing schedulers [24, 25]).
+
+On a skewed DAG (the LPS triangle under column splicing gives later places
+several times the work of earlier ones), stealing should flatten the
+per-place execution counts without changing the answer.
+"""
+
+import os
+
+import pytest
+
+from repro.apps.lps import solve_lps
+from repro.apps.serial import lps_matrix
+from repro.bench import format_series, write_series
+from repro.core.config import DPX10Config
+from repro.util.rng import seeded_rng
+
+
+def test_stealing_balances_skewed_load(benchmark, results_dir):
+    s = "".join(seeded_rng(3, "steal").choice(list("ABCD"), size=60))
+    expect = int(lps_matrix(s)[0, -1])
+
+    def sweep():
+        out = {}
+        for stealing in (False, True):
+            cfg = DPX10Config(nplaces=4, work_stealing=stealing)
+            app, rep = solve_lps(s, cfg)
+            counts = [rep.per_place_executed.get(p, 0) for p in range(4)]
+            out[stealing] = (app.length, counts, rep.wall_time)
+        return out
+
+    data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert data[False][0] == data[True][0] == expect
+
+    def imbalance(counts):
+        return max(counts) - min(counts)
+
+    assert imbalance(data[True][1]) < imbalance(data[False][1])
+    write_series(
+        os.path.join(results_dir, "ablation_stealing.txt"),
+        format_series(
+            "Ablation: work stealing on a skewed DAG (LPS 60, 4 places)",
+            "place",
+            [0, 1, 2, 3],
+            {
+                "no stealing": data[False][1],
+                "stealing": data[True][1],
+            },
+            unit="",
+            precision=0,
+        ),
+    )
+
+
+def test_stealing_threaded_correctness(benchmark):
+    s = "".join(seeded_rng(4, "steal").choice(list("ABCD"), size=50))
+    expect = int(lps_matrix(s)[0, -1])
+    cfg = DPX10Config(nplaces=4, engine="threaded", work_stealing=True)
+
+    def run():
+        app, _ = solve_lps(s, cfg)
+        return app.length
+
+    assert benchmark.pedantic(run, rounds=2, iterations=1) == expect

@@ -1,0 +1,65 @@
+"""Figure 10: execution time of SWLAG / MTP / LPS / 0-1KP vs node count.
+
+Paper claim: "Figure 10 (a) to Figure 10 (c) reveal a speedup of about 4
+for a 6 fold increase in nodes and Figure 10 (d) represents a speedup of
+about 3."
+
+Each test regenerates one sub-figure's series on the simulated Tianhe-1A
+cluster and asserts the speedup window; the rendered table lands in
+``results/fig10_scalability.txt``.
+"""
+
+import os
+
+import pytest
+
+from repro.bench import fig10_scalability, format_series, write_series
+from repro.bench.figures import FIG10_NODES
+
+# the paper's "about 4" / "about 3" with reproduction tolerance
+SPEEDUP_WINDOWS = {
+    "swlag": (3.4, 5.0),
+    "mtp": (3.4, 5.0),
+    "lps": (3.0, 4.6),
+    "knapsack": (2.3, 3.5),
+}
+
+
+@pytest.mark.parametrize("app", ["swlag", "mtp", "lps", "knapsack"])
+def test_fig10_speedup_window(benchmark, scale, results_dir, app):
+    series = benchmark.pedantic(
+        lambda: fig10_scalability(scale, apps=[app])[app],
+        rounds=1,
+        iterations=1,
+    )
+    times = [series[n] for n in FIG10_NODES]
+    assert all(t > 0 for t in times)
+    # time falls quickly at first, then plateaus
+    assert series[4] < series[2]
+    speedup = series[2] / series[12]
+    lo, hi = SPEEDUP_WINDOWS[app]
+    assert lo <= speedup <= hi, f"{app}: speedup {speedup:.2f} outside [{lo}, {hi}]"
+    write_series(
+        os.path.join(results_dir, f"fig10_{app}.txt"),
+        format_series(
+            f"Figure 10 ({app}): execution time, {scale} scale "
+            f"(speedup 2->12 nodes = {speedup:.2f})",
+            "nodes",
+            FIG10_NODES,
+            {app: times},
+        ),
+    )
+
+
+def test_fig10_stencils_beat_knapsack(benchmark, scale):
+    """The paper's headline contrast: (a)-(c) scale better than (d)."""
+    data = benchmark.pedantic(
+        lambda: fig10_scalability(scale), rounds=1, iterations=1
+    )
+
+    def speedup(app):
+        return data[app][2] / data[app][12]
+
+    assert speedup("swlag") > speedup("knapsack")
+    assert speedup("mtp") > speedup("knapsack")
+    assert speedup("lps") > speedup("knapsack")

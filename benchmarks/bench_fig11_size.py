@@ -1,0 +1,48 @@
+"""Figure 11: execution time on 10 nodes (120 cores) vs vertex count.
+
+Paper claims: "DPX10 provides linear scalability with the graph size" and
+"0/1KP takes a little longer since it needs more time to resolve the
+dependencies".
+"""
+
+import os
+
+import pytest
+
+from repro.bench import fig11_size_scaling, format_series, write_series
+
+
+def test_fig11_linear_in_size(benchmark, scale, results_dir):
+    data = benchmark.pedantic(
+        lambda: fig11_size_scaling(scale), rounds=1, iterations=1
+    )
+    sizes = sorted(next(iter(data.values())).keys())
+    for app, series in data.items():
+        times = [series[v] for v in sizes]
+        # strictly growing
+        assert all(b > a for a, b in zip(times, times[1:]))
+        # linear shape: time per vertex varies by < 2.5x across the sweep
+        per_vertex = [series[v] / v for v in sizes]
+        assert max(per_vertex) / min(per_vertex) < 2.5, (
+            f"{app}: nonlinear scaling {per_vertex}"
+        )
+    write_series(
+        os.path.join(results_dir, "fig11_size_scaling.txt"),
+        format_series(
+            f"Figure 11: execution time on 10 nodes, {scale} scale",
+            "V",
+            sizes,
+            {app: [series[v] for v in sizes] for app, series in data.items()},
+        ),
+    )
+
+
+def test_fig11_knapsack_slowest_per_vertex(benchmark, scale):
+    data = benchmark.pedantic(
+        lambda: fig11_size_scaling(scale), rounds=1, iterations=1
+    )
+    sizes = sorted(data["knapsack"].keys())
+    largest = sizes[-1]
+    kp = data["knapsack"][largest] / largest
+    mtp = data["mtp"][largest] / largest
+    assert kp > mtp, "0/1KP should pay extra dependency-resolution time"

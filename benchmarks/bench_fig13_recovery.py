@@ -1,0 +1,66 @@
+"""Figure 13: recovery cost and one-fault impact (SWLAG, 4 and 8 nodes).
+
+Paper claims (a): "The time increases from 13 to 65 seconds on 4 nodes and
+from 6 to 30 seconds on 8 nodes ... a good linear growth ... the time for
+recovering on 8 nodes is half of it on 4 nodes"; (b): "the impact of one
+failure reduces with the increase of the number of computing nodes".
+"""
+
+import os
+
+import pytest
+
+from repro.bench import fig13_recovery, format_series, write_series
+
+
+def test_fig13a_recovery_linear_and_halved(benchmark, scale, results_dir):
+    data = benchmark.pedantic(lambda: fig13_recovery(scale), rounds=1, iterations=1)
+    sizes = sorted(data[4].keys())
+    rec4 = [data[4][v][0] for v in sizes]
+    rec8 = [data[8][v][0] for v in sizes]
+    # linear growth: seconds per vertex constant across the sweep
+    per_v4 = [data[4][v][0] / v for v in sizes]
+    assert max(per_v4) / min(per_v4) < 1.05
+    # 8-node recovery ~ half of 4-node (paper: parallel over alive places;
+    # exactly 6/14 with 2 places per node)
+    for a, b in zip(rec4, rec8):
+        assert b == pytest.approx(a * 6 / 14, rel=0.02)
+    write_series(
+        os.path.join(results_dir, "fig13a_recovery_time.txt"),
+        format_series(
+            f"Figure 13(a): recovery seconds, {scale} scale",
+            "V",
+            sizes,
+            {"4 nodes": rec4, "8 nodes": rec8},
+        ),
+    )
+
+
+def test_fig13a_paper_scale_absolute_anchor(benchmark, scale):
+    """At paper scale the absolute recovery times match the paper's prose."""
+    if scale != "paper":
+        pytest.skip("absolute anchor only checked at REPRO_SCALE=paper")
+    data = benchmark.pedantic(lambda: fig13_recovery("paper"), rounds=1, iterations=1)
+    assert data[4][100_000_000][0] == pytest.approx(13.0, rel=0.05)
+    assert data[4][500_000_000][0] == pytest.approx(65.0, rel=0.05)
+    assert data[8][500_000_000][0] == pytest.approx(30.0, rel=0.10)
+
+
+def test_fig13b_impact_shrinks_with_nodes(benchmark, scale, results_dir):
+    data = benchmark.pedantic(lambda: fig13_recovery(scale), rounds=1, iterations=1)
+    sizes = sorted(data[4].keys())
+    norm4 = [data[4][v][1] for v in sizes]
+    norm8 = [data[8][v][1] for v in sizes]
+    for a, b in zip(norm4, norm8):
+        assert a > 1.0 and b > 1.0  # a fault always costs something
+        assert b < a  # more nodes -> smaller relative impact
+    write_series(
+        os.path.join(results_dir, "fig13b_normalized.txt"),
+        format_series(
+            f"Figure 13(b): normalized one-fault execution time, {scale} scale",
+            "V",
+            sizes,
+            {"4 nodes": norm4, "8 nodes": norm8},
+            unit="x",
+        ),
+    )

@@ -1,0 +1,107 @@
+"""Micro-benchmarks of the runtime's hot paths (pytest-benchmark timed).
+
+These are the components section VI identifies as the framework's
+overhead sources: DAG operations (pattern dispatch), worker management
+(ready list, indegree bookkeeping), the remote-vertex cache, and the
+distribution lookup. Plus end-to-end application throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.lcs import solve_lcs
+from repro.apps.knapsack import make_knapsack_instance, solve_knapsack
+from repro.core.cache import RemoteCache
+from repro.core.config import DPX10Config
+from repro.dist.dist import Dist
+from repro.dist.region import Region2D
+from repro.patterns import DiagonalDag
+from repro.util.rng import seeded_rng
+
+
+class TestComponentMicro:
+    def test_pattern_dependency_dispatch(self, benchmark):
+        dag = DiagonalDag(1000, 1000)
+
+        def probe():
+            s = 0
+            for k in range(500):
+                s += len(dag.get_dependency(k + 1, 500))
+            return s
+
+        assert benchmark(probe) == 1500
+
+    def test_cache_put_get(self, benchmark):
+        cache = RemoteCache(256)
+
+        def churn():
+            for k in range(1000):
+                cache.put((k % 400, k), k)
+                cache.get((k % 400, k))
+            return cache.hits
+
+        assert benchmark(churn) > 0
+
+    def test_dist_place_of(self, benchmark):
+        dist = Dist.block_cols(Region2D.of_shape(2000, 2000), list(range(8)))
+
+        def probe():
+            return sum(dist.place_of(i, i) for i in range(0, 2000, 7))
+
+        benchmark(probe)
+
+    def test_cyclic_dist_place_of(self, benchmark):
+        dist = Dist.cyclic_rows(Region2D.of_shape(2000, 2000), list(range(8)))
+        benchmark(lambda: sum(dist.place_of(i, 3) for i in range(0, 2000, 7)))
+
+
+class TestInitialization:
+    def test_vectorized_store_build(self, benchmark):
+        """Store construction uses the stencil fast path: closed-form
+        indegrees instead of per-cell dependency enumeration."""
+        from repro.apgas.place import PlaceGroup
+        from repro.core.vertex_store import build_stores
+        from repro.dist.dist import Dist
+
+        dag = DiagonalDag(400, 400)
+
+        def build():
+            group = PlaceGroup(2)
+            dist = Dist.block_cols(dag.region, [0, 1])
+            stores = build_stores(group, dag, dist, np.int64, lambda i, j: None)
+            return sum(s.active_count for s in stores.values())
+
+        assert benchmark(build) == 160_000
+
+
+class TestEndToEndThroughput:
+    def _dna(self, n, seed):
+        return "".join(seeded_rng(seed, "micro").choice(list("ACGT"), size=n))
+
+    def test_lcs_inline_throughput(self, benchmark):
+        x, y = self._dna(60, 1), self._dna(60, 2)
+
+        def run():
+            app, report = solve_lcs(x, y, DPX10Config(nplaces=2))
+            return report.completions
+
+        assert benchmark(run) == 61 * 61
+
+    def test_lcs_threaded_throughput(self, benchmark):
+        x, y = self._dna(60, 1), self._dna(60, 2)
+        cfg = DPX10Config(nplaces=2, engine="threaded")
+
+        def run():
+            _, report = solve_lcs(x, y, cfg)
+            return report.completions
+
+        assert benchmark.pedantic(run, rounds=3, iterations=1) == 61 * 61
+
+    def test_knapsack_custom_pattern_throughput(self, benchmark):
+        w, v = make_knapsack_instance(30, 80, seed=2)
+
+        def run():
+            app, _ = solve_knapsack(w, v, 80, DPX10Config(nplaces=3))
+            return app.best_value
+
+        assert benchmark.pedantic(run, rounds=3, iterations=1) > 0

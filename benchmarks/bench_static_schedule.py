@@ -1,0 +1,49 @@
+"""Extension benchmark: static vs dynamic scheduling.
+
+Quantifies what the per-vertex indegree bookkeeping and ready-list traffic
+cost — a concrete instance of the paper's overhead analysis (Figure 12
+attributes DPX10's overhead to "DAG operations, worker management ...").
+The static schedule skips all of it when the pattern's order is known.
+"""
+
+import os
+
+import pytest
+
+from repro.apps.lcs import solve_lcs
+from repro.apps.serial import lcs_matrix
+from repro.bench import format_series, write_series
+from repro.core.config import DPX10Config
+from repro.util.rng import seeded_rng
+from repro.util.timer import Timer
+
+
+def test_static_schedule_speedup(benchmark, results_dir):
+    rng = seeded_rng(5, "static-bench")
+    x = "".join(rng.choice(list("ACGT"), size=220))
+    y = "".join(rng.choice(list("ACGT"), size=200))
+    expect = int(lcs_matrix(x, y)[-1, -1])
+
+    def run(static):
+        cfg = DPX10Config(nplaces=3, static_schedule=static)
+        with Timer() as t:
+            app, _ = solve_lcs(x, y, cfg)
+        assert app.length == expect
+        return t.elapsed
+
+    def sweep():
+        return {"dynamic": run(False), "static": run(True)}
+
+    data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    speedup = data["dynamic"] / data["static"]
+    assert speedup > 1.15, f"static scheduling should win, got {speedup:.2f}x"
+    write_series(
+        os.path.join(results_dir, "ablation_static_schedule.txt"),
+        format_series(
+            f"Static vs dynamic scheduling (LCS 220x200, speedup {speedup:.2f}x)",
+            "mode",
+            ["dynamic", "static"],
+            {"wall s": [data["dynamic"], data["static"]]},
+            precision=3,
+        ),
+    )

@@ -1,0 +1,107 @@
+"""Extension benchmark: weak scaling and multi-fault behaviour.
+
+The paper reports strong scaling (fixed problem, more nodes) only; a
+downstream user's first follow-up questions are "what if I grow the
+problem with the cluster?" and "what does a second failure cost?". Both
+run on the simulated cluster.
+"""
+
+import math
+import os
+
+import pytest
+
+from repro.bench import format_series, write_series
+from repro.bench.figures import sim_dag_for
+from repro.sim import ClusterSpec, CostModel, simulate
+from repro.sim.engine import simulate_with_faults
+
+NODES = [2, 4, 8]
+CELLS_PER_NODE = 2_000_000
+
+
+def test_weak_scaling_swlag(benchmark, results_dir):
+    """Problem grows with the cluster: time should stay roughly flat
+    until wavefront and boundary costs bite."""
+    cost = CostModel.for_app("swlag")
+
+    def sweep():
+        out = {}
+        for nodes in NODES:
+            dag = sim_dag_for("swlag", CELLS_PER_NODE * nodes)
+            out[nodes] = simulate(
+                dag, ClusterSpec.tianhe1a(nodes), cost, tile_size=24
+            ).makespan
+        return out
+
+    data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    times = [data[n] for n in NODES]
+    # weak-scaling efficiency: time at 8 nodes within 2.5x of 2 nodes
+    # (perfect would be 1.0x; the wavefront makes that unreachable)
+    assert times[-1] / times[0] < 2.5
+    write_series(
+        os.path.join(results_dir, "weak_scaling.txt"),
+        format_series(
+            f"Weak scaling: {CELLS_PER_NODE:,} vertices per node (SWLAG)",
+            "nodes",
+            NODES,
+            {"time": times},
+        ),
+    )
+
+
+def test_second_fault_costs_less_than_double(benchmark, results_dir):
+    cost = CostModel.for_app("swlag")
+    dag = sim_dag_for("swlag", 4_000_000)
+    cluster = ClusterSpec.tianhe1a(6)
+
+    def sweep():
+        one = simulate_with_faults(dag, cluster, cost, [(5, 0.4)], tile_size=24)
+        two = simulate_with_faults(
+            dag, cluster, cost, [(5, 0.4), (4, 0.7)], tile_size=24
+        )
+        return one, two
+
+    one, two = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert two.total > one.total
+    # losing a second node is incremental, not catastrophic
+    overhead_one = one.total - one.no_fault_makespan
+    overhead_two = two.total - two.no_fault_makespan
+    assert overhead_two < 3 * overhead_one
+    write_series(
+        os.path.join(results_dir, "multi_fault.txt"),
+        format_series(
+            "Multi-fault: total time vs fault count (SWLAG, 6 nodes)",
+            "faults",
+            [0, 1, 2],
+            {"time": [one.no_fault_makespan, one.total, two.total]},
+        ),
+    )
+
+
+def test_tile_size_sensitivity(benchmark, results_dir):
+    """The simulator's one free parameter, characterized: the tile size is
+    the effective scheduling granularity, and in the wavefront-bound
+    regime a coarser granularity strictly lengthens the pipeline. The
+    paper-scale calibration (tile 96 at 10^8-10^9 vertices) sits where
+    this term reproduces Figure 10's saturation."""
+    cost = CostModel.for_app("swlag")
+    dag = sim_dag_for("swlag", 4_000_000)
+    cluster = ClusterSpec.tianhe1a(8)
+    sizes = [8, 16, 24, 48]
+
+    def sweep():
+        return {b: simulate(dag, cluster, cost, tile_size=b).makespan for b in sizes}
+
+    data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    times = [data[b] for b in sizes]
+    assert times == sorted(times), "coarser tiles must lengthen the wavefront"
+    write_series(
+        os.path.join(results_dir, "tile_sensitivity.txt"),
+        format_series(
+            "Tile-size sensitivity (SWLAG, 4M vertices, 8 nodes)",
+            "tile",
+            sizes,
+            {"time": times},
+        ),
+    )

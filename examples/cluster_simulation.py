@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Paper-scale what-if on the simulated Tianhe-1A cluster.
+
+Uses the discrete-event simulator to answer the questions the paper's
+evaluation asks — how does SWLAG scale from 2 to 12 nodes at 300M
+vertices, and what does one node failure cost — without needing 144
+cores. (The real runtime executes the same scheduler logic; the simulator
+swaps wall-clock for a calibrated cost model. See EXPERIMENTS.md.)
+
+Run:  python examples/cluster_simulation.py           (scaled-down, seconds)
+      REPRO_SCALE=paper python examples/cluster_simulation.py   (full size)
+"""
+
+import os
+
+from repro.bench import fig10_scalability, fig13_recovery, format_series
+from repro.bench.figures import FIG10_NODES, SCALES
+
+
+def main() -> None:
+    scale = os.environ.get("REPRO_SCALE", "small")
+    vertices = SCALES[scale]["fig10_vertices"]
+    print(f"scale={scale} ({vertices:,} vertices per run)\n")
+
+    data = fig10_scalability(scale)
+    print(format_series(
+        "Execution time vs nodes (Figure 10)",
+        "nodes",
+        FIG10_NODES,
+        {app: [series[n] for n in FIG10_NODES] for app, series in data.items()},
+    ))
+    print()
+    for app, series in data.items():
+        print(f"  {app:9s}: speedup 2->12 nodes = {series[2] / series[12]:.2f}x")
+
+    print("\nOne node failure at 50% progress (Figure 13):")
+    rec = fig13_recovery(scale)
+    for nodes, row in rec.items():
+        for v, (rec_s, norm) in row.items():
+            print(f"  {nodes:2d} nodes, {v:>13,} vertices: "
+                  f"recovery {rec_s:6.2f}s, total {norm:.2f}x the fault-free run")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""DPX10 reproduction: a DAG-pattern-driven distributed DP framework.
+
+Python reproduction of *DPX10: An Efficient X10 Framework for Dynamic
+Programming Applications* (Wang, Yu, Sun, Meng — ICPP 2015). A DP program
+is a :class:`~repro.core.api.DPX10App` (``compute()`` + ``app_finished()``)
+bound to a DAG pattern; the runtime handles distribution over places,
+per-place worker scheduling, cross-place communication with a FIFO cache,
+and transparent fault recovery.
+
+Quickstart (the paper's Figure 1 example)::
+
+    from repro import solve_lcs
+    app, report = solve_lcs("ABC", "DBC")
+    assert app.length == 2 and app.subsequence == "BC"
+
+See ``examples/`` for fuller scenarios, ``DESIGN.md`` for the system
+inventory, and ``EXPERIMENTS.md`` for the figure-by-figure reproduction.
+"""
+
+from repro.apgas.failure import FaultPlan
+from repro.apps.banded_alignment import BandedEditDistanceApp, solve_banded_edit_distance
+from repro.apps.common_substring import CommonSubstringApp, solve_common_substring
+from repro.apps.cyk import CNFGrammar, CYKApp, solve_cyk
+from repro.apps.edit_distance import EditDistanceApp, solve_edit_distance
+from repro.apps.egg_drop import EggDropApp, EggDropDag, solve_egg_drop
+from repro.apps.viterbi import ViterbiApp, make_hmm, solve_viterbi
+from repro.apps.knapsack import KnapsackApp, make_knapsack_instance, solve_knapsack
+from repro.apps.lcs import LCSApp, solve_lcs
+from repro.apps.lps import LPSApp, solve_lps
+from repro.apps.matrix_chain import MatrixChainApp, make_chain_dims, solve_matrix_chain
+from repro.apps.needleman_wunsch import NWApp, solve_nw
+from repro.apps.mtp import MTPApp, make_mtp_weights, solve_mtp
+from repro.apps.smith_waterman import SWApp, SWLAGApp, solve_sw, solve_swlag
+from repro.apps.unbounded_knapsack import (
+    UnboundedKnapsackApp,
+    UnboundedKnapsackDag,
+    solve_unbounded_knapsack,
+)
+from repro.core.api import DPX10App, Vertex, VertexId, dependency_map
+from repro.core.config import DPX10Config
+from repro.core.dag import Dag
+from repro.core.runtime import DPX10Runtime, RunReport
+from repro.errors import DeadPlaceException, DPX10Error
+from repro.patterns import PATTERNS, get_pattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FaultPlan",
+    "BandedEditDistanceApp",
+    "solve_banded_edit_distance",
+    "CommonSubstringApp",
+    "solve_common_substring",
+    "CNFGrammar",
+    "CYKApp",
+    "solve_cyk",
+    "EggDropApp",
+    "EggDropDag",
+    "solve_egg_drop",
+    "ViterbiApp",
+    "make_hmm",
+    "solve_viterbi",
+    "EditDistanceApp",
+    "solve_edit_distance",
+    "KnapsackApp",
+    "make_knapsack_instance",
+    "solve_knapsack",
+    "LCSApp",
+    "solve_lcs",
+    "LPSApp",
+    "solve_lps",
+    "MatrixChainApp",
+    "make_chain_dims",
+    "solve_matrix_chain",
+    "NWApp",
+    "solve_nw",
+    "MTPApp",
+    "make_mtp_weights",
+    "solve_mtp",
+    "SWApp",
+    "SWLAGApp",
+    "solve_sw",
+    "solve_swlag",
+    "UnboundedKnapsackApp",
+    "UnboundedKnapsackDag",
+    "solve_unbounded_knapsack",
+    "DPX10App",
+    "Vertex",
+    "VertexId",
+    "dependency_map",
+    "DPX10Config",
+    "Dag",
+    "DPX10Runtime",
+    "RunReport",
+    "DeadPlaceException",
+    "DPX10Error",
+    "PATTERNS",
+    "get_pattern",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Activity records: the unit of asynchronous work (X10's ``async S``)."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Tuple
+
+__all__ = ["Activity"]
+
+_activity_counter = itertools.count()
+
+
+@dataclass
+class Activity:
+    """A scheduled closure bound to a place.
+
+    ``fn`` runs "at" ``place_id``: the engine guarantees the target place is
+    alive when the activity starts (raising
+    :class:`~repro.errors.DeadPlaceException` otherwise) and accounts the
+    run against that place's statistics.
+    """
+
+    place_id: int
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    id: int = field(default_factory=lambda: next(_activity_counter))
+
+    def run(self) -> Any:
+        return self.fn(*self.args)

@@ -1,0 +1,153 @@
+"""Execution engines: how activities actually run.
+
+X10 launches one OS process per place, each with ``X10_NTHREADS`` worker
+threads. Inside one Python process we provide two faithful realizations of
+the same semantics, behind a common interface:
+
+* :class:`InlineEngine` — a deterministic FIFO activity queue drained by
+  the calling thread. Activities interleave in submission order, so every
+  run is bit-reproducible; this is the default for tests and examples.
+* :class:`ThreadedEngine` — a real thread pool per place
+  (``threads_per_place`` threads each), giving genuine concurrency and
+  exercising all the locking in the DPX10 core.
+
+Both check the target place is alive when an activity starts and account
+the run against that place.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional
+
+from repro.apgas.activity import Activity
+from repro.apgas.place import PlaceGroup
+from repro.errors import DeadPlaceException
+from repro.util.validation import require
+
+__all__ = ["ExecutionEngine", "InlineEngine", "ThreadedEngine"]
+
+
+class ExecutionEngine(ABC):
+    """Schedules activities onto places and waits for quiescence."""
+
+    name: str
+
+    def __init__(self, group: PlaceGroup) -> None:
+        self.group = group
+
+    @abstractmethod
+    def submit(self, activity: Activity) -> None:
+        """Enqueue an activity. May be called from inside an activity."""
+
+    @abstractmethod
+    def run_all(self) -> None:
+        """Block until every submitted activity (transitively) finished.
+
+        Re-raises the first activity exception, preferring
+        :class:`DeadPlaceException` so fault signals are not masked by
+        secondary errors.
+        """
+
+    def shutdown(self) -> None:
+        """Release engine resources. Idempotent."""
+
+    # -- shared helpers -------------------------------------------------------
+    def _start_activity(self, activity: Activity) -> None:
+        place = self.group[activity.place_id]
+        place.check_alive()
+        place.activities_run += 1
+
+    @staticmethod
+    def _pick_error(errors: List[BaseException]) -> Optional[BaseException]:
+        for err in errors:
+            if isinstance(err, DeadPlaceException):
+                return err
+        return errors[0] if errors else None
+
+
+class InlineEngine(ExecutionEngine):
+    """Deterministic single-threaded engine: FIFO queue, run-to-completion."""
+
+    name = "inline"
+
+    def __init__(self, group: PlaceGroup) -> None:
+        super().__init__(group)
+        self._queue: deque[Activity] = deque()
+
+    def submit(self, activity: Activity) -> None:
+        self._queue.append(activity)
+
+    def run_all(self) -> None:
+        errors: List[BaseException] = []
+        while self._queue:
+            activity = self._queue.popleft()
+            try:
+                self._start_activity(activity)
+                activity.run()
+            except BaseException as err:  # noqa: BLE001 - collected, re-raised
+                errors.append(err)
+        err = self._pick_error(errors)
+        if err is not None:
+            raise err
+
+
+class ThreadedEngine(ExecutionEngine):
+    """One thread pool per place, ``threads_per_place`` threads each."""
+
+    name = "threaded"
+
+    def __init__(self, group: PlaceGroup, threads_per_place: int = 2) -> None:
+        super().__init__(group)
+        require(threads_per_place >= 1, "threads_per_place must be >= 1")
+        self.threads_per_place = threads_per_place
+        self._pools = [
+            ThreadPoolExecutor(
+                max_workers=threads_per_place,
+                thread_name_prefix=f"place-{p.id}",
+            )
+            for p in group
+        ]
+        self._pending = 0
+        self._errors: List[BaseException] = []
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def submit(self, activity: Activity) -> None:
+        with self._cond:
+            require(not self._closed, "engine already shut down")
+            self._pending += 1
+        self._pools[activity.place_id].submit(self._run_one, activity)
+
+    def _run_one(self, activity: Activity) -> None:
+        try:
+            self._start_activity(activity)
+            activity.run()
+        except BaseException as err:  # noqa: BLE001 - collected, re-raised
+            with self._cond:
+                self._errors.append(err)
+        finally:
+            with self._cond:
+                self._pending -= 1
+                if self._pending == 0:
+                    self._cond.notify_all()
+
+    def run_all(self) -> None:
+        with self._cond:
+            while self._pending > 0:
+                self._cond.wait()
+            errors, self._errors = self._errors, []
+        err = self._pick_error(errors)
+        if err is not None:
+            raise err
+
+    def shutdown(self) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+        for pool in self._pools:
+            pool.shutdown(wait=True, cancel_futures=True)

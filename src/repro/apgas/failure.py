@@ -1,0 +1,110 @@
+"""Deterministic fault injection.
+
+The paper evaluates recovery by killing a node "manually in the middle of
+the execution". We reproduce that with a :class:`FaultPlan`: a declarative
+trigger (after *k* vertex completions, or at a fraction of total progress,
+or at a simulated-time instant) naming the place to kill. The
+:class:`FaultInjector` is polled by the runtime's completion path and fires
+each plan exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.util.validation import require
+
+__all__ = ["FaultPlan", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Kill ``place_id`` when a trigger condition is first met.
+
+    Exactly one of ``after_completions`` / ``at_fraction`` / ``at_time``
+    must be set:
+
+    * ``after_completions`` — fire once the global finished-vertex counter
+      reaches this value (real engines);
+    * ``at_fraction`` — same, expressed as a fraction of the total vertex
+      count (resolved when the injector is armed);
+    * ``at_time`` — fire at this virtual time (simulated engine only).
+    """
+
+    place_id: int
+    after_completions: Optional[int] = None
+    at_fraction: Optional[float] = None
+    at_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        set_triggers = sum(
+            x is not None
+            for x in (self.after_completions, self.at_fraction, self.at_time)
+        )
+        require(set_triggers == 1, "a FaultPlan needs exactly one trigger")
+        if self.at_fraction is not None:
+            require(
+                0.0 <= self.at_fraction <= 1.0,
+                f"at_fraction must be in [0, 1], got {self.at_fraction}",
+            )
+        if self.after_completions is not None:
+            require(
+                self.after_completions >= 0,
+                "after_completions must be >= 0",
+            )
+
+
+class FaultInjector:
+    """Arms a set of :class:`FaultPlan` and reports which fire.
+
+    Thread-safe; each plan fires at most once. Count-based plans are
+    resolved against ``total_work`` (the active vertex count) so that
+    ``at_fraction`` plans become ``after_completions`` thresholds.
+    """
+
+    def __init__(self, plans: Sequence[FaultPlan], total_work: int) -> None:
+        require(total_work >= 0, "total_work must be >= 0")
+        self._lock = threading.Lock()
+        self._count_plans: List[tuple[int, FaultPlan]] = []
+        self._time_plans: List[tuple[float, FaultPlan]] = []
+        for plan in plans:
+            if plan.at_time is not None:
+                self._time_plans.append((plan.at_time, plan))
+            elif plan.after_completions is not None:
+                self._count_plans.append((plan.after_completions, plan))
+            else:
+                assert plan.at_fraction is not None
+                threshold = int(plan.at_fraction * total_work)
+                self._count_plans.append((threshold, plan))
+        self._count_plans.sort(key=lambda t: t[0])
+        self._time_plans.sort(key=lambda t: t[0])
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._count_plans) + len(self._time_plans)
+
+    def poll_completions(self, completed: int) -> List[int]:
+        """Return place ids whose count trigger has been reached."""
+        fired: List[int] = []
+        with self._lock:
+            while self._count_plans and self._count_plans[0][0] <= completed:
+                _, plan = self._count_plans.pop(0)
+                fired.append(plan.place_id)
+        return fired
+
+    def poll_time(self, now: float) -> List[int]:
+        """Return place ids whose time trigger has been reached."""
+        fired: List[int] = []
+        with self._lock:
+            while self._time_plans and self._time_plans[0][0] <= now:
+                _, plan = self._time_plans.pop(0)
+                fired.append(plan.place_id)
+        return fired
+
+    def next_time_trigger(self) -> Optional[float]:
+        """Earliest pending time trigger, for event-queue integration."""
+        with self._lock:
+            return self._time_plans[0][0] if self._time_plans else None

@@ -1,0 +1,77 @@
+"""Inter-place network accounting.
+
+In real engines (inline/threaded) nothing actually crosses a wire — all
+places live in one address space — but DPX10's behaviour depends on *how
+much* data moves between places: the minimum-communication scheduler ranks
+candidate places by transfer volume, the FIFO cache exists to cut that
+volume, and the simulator converts volume into time. ``NetworkModel``
+centralizes both the cost function (latency ``alpha`` + ``bytes/beta``
+bandwidth term, the standard postal model) and the traffic statistics.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.util.validation import require
+
+__all__ = ["NetworkModel", "NetworkStats"]
+
+# InfiniBand QDR-era defaults, matching the Tianhe-1A interconnect class.
+DEFAULT_ALPHA_S = 2.0e-6  # per-message latency, seconds
+DEFAULT_BETA_BPS = 3.2e9  # bandwidth, bytes/second
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters, optionally per (src, dst) pair."""
+
+    messages: int = 0
+    bytes: int = 0
+    by_pair: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    def record(self, src: int, dst: int, nbytes: int) -> None:
+        self.messages += 1
+        self.bytes += nbytes
+        key = (src, dst)
+        self.by_pair[key] = self.by_pair.get(key, 0) + nbytes
+
+
+class NetworkModel:
+    """Postal-model network: ``cost(n bytes) = alpha + n / beta`` seconds.
+
+    Thread-safe: the threaded engine records transfers concurrently.
+    Transfers where ``src == dst`` are local and cost nothing.
+    """
+
+    def __init__(
+        self,
+        alpha: float = DEFAULT_ALPHA_S,
+        beta: float = DEFAULT_BETA_BPS,
+    ) -> None:
+        require(alpha >= 0, f"latency must be >= 0, got {alpha}")
+        require(beta > 0, f"bandwidth must be > 0, got {beta}")
+        self.alpha = alpha
+        self.beta = beta
+        self.stats = NetworkStats()
+        self._lock = threading.Lock()
+
+    def transfer_cost(self, nbytes: int, *, local: bool = False) -> float:
+        """Modelled seconds to move ``nbytes`` between two places."""
+        if local or nbytes == 0:
+            return 0.0
+        return self.alpha + nbytes / self.beta
+
+    def record(self, src: int, dst: int, nbytes: int) -> float:
+        """Record a transfer and return its modelled cost in seconds."""
+        if src == dst:
+            return 0.0
+        with self._lock:
+            self.stats.record(src, dst, nbytes)
+        return self.transfer_cost(nbytes)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.stats = NetworkStats()

@@ -1,0 +1,97 @@
+"""The APGAS global runtime: ``at`` / ``async_at`` / ``finish``.
+
+Exposes the three X10 constructs DPX10 is written against:
+
+* ``at(p) S`` — synchronous remote execution: :meth:`GlobalRuntime.at`;
+* ``async S`` at a place — :meth:`GlobalRuntime.async_at`;
+* ``finish { ... }`` — :meth:`GlobalRuntime.finish`, a context manager that
+  waits for quiescence of everything spawned inside it.
+
+An X10 launch sets ``X10_NPLACES``/``X10_NTHREADS``; here the equivalents
+are the ``nplaces`` and ``threads_per_place`` constructor arguments.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional
+
+from repro.apgas.activity import Activity
+from repro.apgas.engine import ExecutionEngine, InlineEngine, ThreadedEngine
+from repro.apgas.network import NetworkModel
+from repro.apgas.place import PlaceGroup
+from repro.util.validation import require
+
+__all__ = ["GlobalRuntime"]
+
+_ENGINE_NAMES = ("inline", "threaded")
+
+
+class GlobalRuntime:
+    """Places + an execution engine + a network model.
+
+    >>> rt = GlobalRuntime(nplaces=2)
+    >>> out = []
+    >>> with rt.finish():
+    ...     rt.async_at(1, out.append, 42)
+    >>> out
+    [42]
+    """
+
+    def __init__(
+        self,
+        nplaces: int,
+        engine: str = "inline",
+        threads_per_place: int = 2,
+        network: Optional[NetworkModel] = None,
+    ) -> None:
+        require(
+            engine in _ENGINE_NAMES,
+            f"engine must be one of {_ENGINE_NAMES}, got {engine!r}",
+        )
+        self.group = PlaceGroup(nplaces)
+        self.network = network if network is not None else NetworkModel()
+        self.engine: ExecutionEngine
+        if engine == "inline":
+            self.engine = InlineEngine(self.group)
+        else:
+            self.engine = ThreadedEngine(self.group, threads_per_place)
+
+    @property
+    def nplaces(self) -> int:
+        return self.group.size
+
+    # -- APGAS constructs -----------------------------------------------------
+    def at(self, place_id: int, fn: Callable[..., Any], *args: Any) -> Any:
+        """Run ``fn(*args)`` synchronously at ``place_id`` and return its value.
+
+        Raises :class:`~repro.errors.DeadPlaceException` if the target place
+        has failed.
+        """
+        place = self.group.check_alive(place_id)
+        place.activities_run += 1
+        return fn(*args)
+
+    def async_at(self, place_id: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Spawn ``fn(*args)`` as an asynchronous activity at ``place_id``."""
+        self.engine.submit(Activity(place_id, fn, args))
+
+    @contextmanager
+    def finish(self) -> Iterator[None]:
+        """Wait for all activities spawned in the block (and their children)."""
+        yield
+        self.engine.run_all()
+
+    # -- failure --------------------------------------------------------------
+    def kill_place(self, place_id: int) -> None:
+        """Simulate a node crash taking down ``place_id``."""
+        self.group.kill(place_id)
+
+    def shutdown(self) -> None:
+        self.engine.shutdown()
+
+    def __enter__(self) -> "GlobalRuntime":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()

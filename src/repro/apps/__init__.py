@@ -1,0 +1,71 @@
+"""DP applications from the paper, written against the DPX10 API.
+
+* :mod:`repro.apps.lcs` — longest common subsequence (Figure 1 demo);
+* :mod:`repro.apps.smith_waterman` — Smith-Waterman (Figure 7) and SWLAG,
+  the linear+affine-gap variant used throughout the evaluation;
+* :mod:`repro.apps.mtp` — Manhattan Tourist Problem;
+* :mod:`repro.apps.lps` — Longest Palindromic Subsequence;
+* :mod:`repro.apps.knapsack` — 0/1 Knapsack on the custom pattern;
+* :mod:`repro.apps.edit_distance` — Levenshtein distance (extra app
+  showing pattern reuse);
+* :mod:`repro.apps.serial` — plain serial implementations of each
+  recurrence, used as correctness oracles by the test suite.
+"""
+
+from repro.apps.banded_alignment import BandedEditDistanceApp, solve_banded_edit_distance
+from repro.apps.common_substring import CommonSubstringApp, solve_common_substring
+from repro.apps.cyk import CNFGrammar, CYKApp, solve_cyk
+from repro.apps.edit_distance import EditDistanceApp, solve_edit_distance
+from repro.apps.egg_drop import EggDropApp, EggDropDag, solve_egg_drop
+from repro.apps.viterbi import ViterbiApp, make_hmm, solve_viterbi
+from repro.apps.knapsack import KnapsackApp, solve_knapsack
+from repro.apps.lcs import LCSApp, solve_lcs
+from repro.apps.matrix_chain import MatrixChainApp, make_chain_dims, solve_matrix_chain
+from repro.apps.needleman_wunsch import NWApp, solve_nw
+from repro.apps.lps import LPSApp, solve_lps
+from repro.apps.mtp import MTPApp, make_mtp_weights, solve_mtp
+from repro.apps.smith_waterman import SWApp, SWLAGApp, solve_sw, solve_swlag
+from repro.apps.unbounded_knapsack import (
+    UnboundedKnapsackApp,
+    UnboundedKnapsackDag,
+    solve_unbounded_knapsack,
+)
+
+__all__ = [
+    "BandedEditDistanceApp",
+    "solve_banded_edit_distance",
+    "CommonSubstringApp",
+    "solve_common_substring",
+    "CNFGrammar",
+    "CYKApp",
+    "solve_cyk",
+    "EggDropApp",
+    "EggDropDag",
+    "solve_egg_drop",
+    "ViterbiApp",
+    "make_hmm",
+    "solve_viterbi",
+    "EditDistanceApp",
+    "solve_edit_distance",
+    "KnapsackApp",
+    "solve_knapsack",
+    "LCSApp",
+    "solve_lcs",
+    "MatrixChainApp",
+    "make_chain_dims",
+    "solve_matrix_chain",
+    "NWApp",
+    "solve_nw",
+    "LPSApp",
+    "solve_lps",
+    "MTPApp",
+    "make_mtp_weights",
+    "solve_mtp",
+    "SWApp",
+    "SWLAGApp",
+    "solve_sw",
+    "solve_swlag",
+    "UnboundedKnapsackApp",
+    "UnboundedKnapsackDag",
+    "solve_unbounded_knapsack",
+]

@@ -1,0 +1,88 @@
+"""Longest common *substring* on the ``diag_chain`` pattern.
+
+A terminology footnote to the paper: its Figure 1 is captioned "longest
+common substring (LCS)" but states the longest common *subsequence*
+recurrence. The two are different problems with different DAGs — the
+substring DP is
+
+.. code-block:: none
+
+    F[i,j] = F[i-1,j-1] + 1   if x_i == y_j
+           = 0                 otherwise
+
+whose only dependency is the diagonal predecessor. This module implements
+the actual substring problem; :mod:`repro.apps.lcs` implements the
+subsequence the paper's example computes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apgas.failure import FaultPlan
+from repro.core.api import DPX10App, Vertex, dependency_map
+from repro.core.config import DPX10Config
+from repro.core.dag import Dag
+from repro.core.runtime import DPX10Runtime, RunReport
+from repro.patterns.diag_chain import DiagChainDag
+
+__all__ = ["CommonSubstringApp", "common_substring_serial", "solve_common_substring"]
+
+
+def common_substring_serial(x: str, y: str) -> Tuple[int, str]:
+    """Serial oracle: (length, one longest common substring)."""
+    m, n = len(x), len(y)
+    f = np.zeros((m + 1, n + 1), dtype=np.int64)
+    best, end = 0, 0
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            if x[i - 1] == y[j - 1]:
+                f[i, j] = f[i - 1, j - 1] + 1
+                if f[i, j] > best:
+                    best, end = int(f[i, j]), i
+    return best, x[end - best : end]
+
+
+class CommonSubstringApp(DPX10App[int]):
+    """Cell (i, j): length of the common suffix of ``x[..i]`` / ``y[..j]``."""
+
+    value_dtype = np.int64
+
+    def __init__(self, x: str, y: str) -> None:
+        self.x = x
+        self.y = y
+        self.length: Optional[int] = None
+        self.substring: Optional[str] = None
+
+    def compute(self, i: int, j: int, vertices: Sequence[Vertex[int]]) -> int:
+        if i == 0 or j == 0:
+            return 0
+        if self.x[i - 1] != self.y[j - 1]:
+            return 0
+        dep = dependency_map(vertices)
+        return dep[(i - 1, j - 1)] + 1
+
+    def app_finished(self, dag: Dag[int]) -> None:
+        best, end = 0, 0
+        for i in range(1, dag.height):
+            for j in range(1, dag.width):
+                v = int(dag.get_vertex(i, j).get_result())
+                if v > best:
+                    best, end = v, i
+        self.length = best
+        self.substring = self.x[end - best : end]
+
+
+def solve_common_substring(
+    x: str,
+    y: str,
+    config: Optional[DPX10Config] = None,
+    fault_plans: Sequence[FaultPlan] = (),
+) -> Tuple[CommonSubstringApp, RunReport]:
+    """Run longest common substring under DPX10 (diag_chain pattern)."""
+    app = CommonSubstringApp(x, y)
+    dag = DiagChainDag(len(x) + 1, len(y) + 1)
+    report = DPX10Runtime(app, dag, config=config, fault_plans=fault_plans).run()
+    return app, report

@@ -1,0 +1,131 @@
+"""CYK parsing on the ``triangular`` pattern — set-valued vertices.
+
+Membership parsing for a context-free grammar in Chomsky normal form:
+cell ``(i, j)`` holds the set of nonterminals deriving the substring
+``s[i..j]`` (inclusive). The recurrence consults every split point,
+
+.. code-block:: none
+
+    N ∈ T[i,j]  iff  N -> A B  with  A ∈ T[i,k], B ∈ T[k+1,j]  for some k
+
+which is the same interval-split dependency shape as matrix chain —
+``TriangularDag`` serves unchanged. The vertex value is a ``frozenset``
+of nonterminal names, exercising the framework's object-valued store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+
+from repro.apgas.failure import FaultPlan
+from repro.core.api import DPX10App, Vertex, dependency_map
+from repro.core.config import DPX10Config
+from repro.core.dag import Dag
+from repro.core.runtime import DPX10Runtime, RunReport
+from repro.patterns.triangular import TriangularDag
+from repro.util.validation import require
+
+__all__ = ["CNFGrammar", "CYKApp", "cyk_serial", "solve_cyk"]
+
+
+class CNFGrammar:
+    """A Chomsky-normal-form grammar.
+
+    ``terminal_rules``: ``{terminal_char: {nonterminals}}``;
+    ``binary_rules``: list of ``(head, left, right)`` productions.
+    """
+
+    def __init__(
+        self,
+        start: str,
+        terminal_rules: Dict[str, Sequence[str]],
+        binary_rules: Sequence[Tuple[str, str, str]],
+    ) -> None:
+        require(bool(start), "grammar needs a start symbol")
+        self.start = start
+        self.terminal_rules = {t: frozenset(ns) for t, ns in terminal_rules.items()}
+        self.binary_rules = list(binary_rules)
+
+    def nonterminals_for_terminal(self, ch: str) -> FrozenSet[str]:
+        return self.terminal_rules.get(ch, frozenset())
+
+    def combine(self, left: FrozenSet[str], right: FrozenSet[str]) -> FrozenSet[str]:
+        """Heads derivable from adjacent spans with the given symbol sets."""
+        return frozenset(
+            head
+            for head, a, b in self.binary_rules
+            if a in left and b in right
+        )
+
+    @classmethod
+    def balanced_parentheses(cls) -> "CNFGrammar":
+        """S -> ( ) | ( S ) | S S, in CNF — the classic smoke grammar."""
+        return cls(
+            start="S",
+            terminal_rules={"(": ["L"], ")": ["R"]},
+            binary_rules=[
+                ("S", "L", "R"),  # ()
+                ("S", "L", "X"),  # ( S )
+                ("X", "S", "R"),
+                ("S", "S", "S"),  # concatenation
+            ],
+        )
+
+
+def cyk_serial(grammar: CNFGrammar, s: str) -> bool:
+    """Serial oracle: does the grammar derive ``s``?"""
+    n = len(s)
+    if n == 0:
+        return False
+    table: Dict[Tuple[int, int], FrozenSet[str]] = {}
+    for i, ch in enumerate(s):
+        table[(i, i)] = grammar.nonterminals_for_terminal(ch)
+    for length in range(2, n + 1):
+        for i in range(0, n - length + 1):
+            j = i + length - 1
+            acc: set = set()
+            for k in range(i, j):
+                acc |= grammar.combine(table[(i, k)], table[(k + 1, j)])
+            table[(i, j)] = frozenset(acc)
+    return grammar.start in table[(0, n - 1)]
+
+
+class CYKApp(DPX10App[FrozenSet[str]]):
+    """Cell (i, j): nonterminals deriving ``s[i..j]``."""
+
+    value_dtype = None  # frozensets: object-valued vertices
+
+    def __init__(self, grammar: CNFGrammar, s: str) -> None:
+        require(len(s) >= 1, "CYK needs a non-empty string")
+        self.grammar = grammar
+        self.s = s
+        self.derivable: Optional[bool] = None
+
+    def compute(
+        self, i: int, j: int, vertices: Sequence[Vertex[FrozenSet[str]]]
+    ) -> FrozenSet[str]:
+        if i == j:
+            return self.grammar.nonterminals_for_terminal(self.s[i])
+        dep = dependency_map(vertices)
+        acc: set = set()
+        for k in range(i, j):
+            acc |= self.grammar.combine(dep[(i, k)], dep[(k + 1, j)])
+        return frozenset(acc)
+
+    def app_finished(self, dag: Dag[FrozenSet[str]]) -> None:
+        top = dag.get_vertex(0, dag.width - 1).get_result()
+        self.derivable = self.grammar.start in top
+
+
+def solve_cyk(
+    grammar: CNFGrammar,
+    s: str,
+    config: Optional[DPX10Config] = None,
+    fault_plans: Sequence[FaultPlan] = (),
+) -> Tuple[CYKApp, RunReport]:
+    """Run CYK membership parsing under DPX10 (triangular pattern)."""
+    app = CYKApp(grammar, s)
+    n = len(s)
+    dag = TriangularDag(n, n)
+    report = DPX10Runtime(app, dag, config=config, fault_plans=fault_plans).run()
+    return app, report

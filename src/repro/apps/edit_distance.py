@@ -1,0 +1,64 @@
+"""Levenshtein edit distance — an extra app demonstrating pattern reuse.
+
+Not part of the paper's evaluation, but exactly the kind of "more demo
+applications" its future-work section plans: the same ``diagonal`` pattern
+as LCS/Smith-Waterman with a different ``compute()``, showing that a new
+2D/0D DP costs only a recurrence, not a new DAG.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apgas.failure import FaultPlan
+from repro.core.api import DPX10App, Vertex, dependency_map
+from repro.core.config import DPX10Config
+from repro.core.dag import Dag
+from repro.core.runtime import DPX10Runtime, RunReport
+from repro.patterns.diagonal import DiagonalDag
+
+__all__ = ["EditDistanceApp", "solve_edit_distance"]
+
+
+class EditDistanceApp(DPX10App[int]):
+    """Minimum insert/delete/substitute operations between two strings."""
+
+    value_dtype = np.int64
+
+    def __init__(self, x: str, y: str) -> None:
+        self.x = x
+        self.y = y
+        self.distance: Optional[int] = None
+
+    def compute(self, i: int, j: int, vertices: Sequence[Vertex[int]]) -> int:
+        if i == 0:
+            return j
+        if j == 0:
+            return i
+        dep = dependency_map(vertices)
+        cost = 0 if self.x[i - 1] == self.y[j - 1] else 1
+        return min(
+            dep[(i - 1, j)] + 1,
+            dep[(i, j - 1)] + 1,
+            dep[(i - 1, j - 1)] + cost,
+        )
+
+    def app_finished(self, dag: Dag[int]) -> None:
+        self.distance = int(
+            dag.get_vertex(dag.height - 1, dag.width - 1).get_result()
+        )
+
+
+def solve_edit_distance(
+    x: str,
+    y: str,
+    config: Optional[DPX10Config] = None,
+    fault_plans: Sequence[FaultPlan] = (),
+) -> Tuple[EditDistanceApp, RunReport]:
+    """Run Levenshtein distance under DPX10."""
+    app = EditDistanceApp(x, y)
+    dag = DiagonalDag(len(x) + 1, len(y) + 1)
+    report = DPX10Runtime(app, dag, config=config, fault_plans=fault_plans).run()
+    return app, report

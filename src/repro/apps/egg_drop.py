@@ -1,0 +1,110 @@
+"""The egg-drop puzzle — a second custom DAG pattern.
+
+Worst-case minimal trials to find the critical floor with ``e`` eggs and
+``f`` floors:
+
+.. code-block:: none
+
+    D[1][f] = f
+    D[e][0] = 0
+    D[e][f] = 1 + min_{1<=k<=f} max( D[e-1][k-1],   # egg breaks
+                                     D[e][f-k] )    # egg survives
+
+Cell ``(e, f)`` consults the whole prefix of its own row *and* the prefix
+of the row above — a dependency shape no stencil covers, so like Knapsack
+in the paper's section VII-B it gets a custom ``Dag`` subclass. Row 0
+(zero eggs) is inactive.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apgas.failure import FaultPlan
+from repro.core.api import DPX10App, Vertex, VertexId, dependency_map
+from repro.core.config import DPX10Config
+from repro.core.dag import Dag
+from repro.core.runtime import DPX10Runtime, RunReport
+from repro.util.validation import require
+
+__all__ = ["EggDropDag", "EggDropApp", "egg_drop_serial", "solve_egg_drop"]
+
+
+def egg_drop_serial(eggs: int, floors: int) -> np.ndarray:
+    """Serial oracle: the full ``(eggs+1) x (floors+1)`` trial matrix."""
+    d = np.zeros((eggs + 1, floors + 1), dtype=np.int64)
+    d[1, :] = np.arange(floors + 1)
+    for e in range(2, eggs + 1):
+        for f in range(1, floors + 1):
+            d[e, f] = 1 + min(
+                max(d[e - 1, k - 1], d[e, f - k]) for k in range(1, f + 1)
+            )
+    return d
+
+
+class EggDropDag(Dag):
+    """Custom pattern: row-prefix + previous-row-prefix dependencies."""
+
+    def __init__(self, eggs: int, floors: int) -> None:
+        require(eggs >= 1, f"need at least one egg, got {eggs}")
+        require(floors >= 0, f"floors must be >= 0, got {floors}")
+        self.eggs = eggs
+        self.floors = floors
+        super().__init__(height=eggs + 1, width=floors + 1)
+
+    def is_active(self, i: int, j: int) -> bool:
+        return i >= 1  # row 0 = zero eggs: undefined
+
+    def get_dependency(self, i: int, j: int) -> List[VertexId]:
+        if i <= 1 or j == 0:
+            return []  # one-egg row and zero-floor column are closed form
+        prev_row = [VertexId(i - 1, k) for k in range(j)]
+        own_row = [VertexId(i, k) for k in range(j)]
+        return prev_row + own_row
+
+    def get_anti_dependency(self, i: int, j: int) -> List[VertexId]:
+        out: List[VertexId] = []
+        if i >= 2:
+            out.extend(VertexId(i, k) for k in range(j + 1, self.width))
+        if i + 1 < self.height:
+            out.extend(VertexId(i + 1, k) for k in range(j + 1, self.width))
+        return out
+
+
+class EggDropApp(DPX10App[int]):
+    """Worst-case optimal trial count; the answer is cell (eggs, floors)."""
+
+    value_dtype = np.int64
+
+    def __init__(self, eggs: int, floors: int) -> None:
+        self.eggs = eggs
+        self.floors = floors
+        self.trials: Optional[int] = None
+
+    def compute(self, e: int, f: int, vertices: Sequence[Vertex[int]]) -> int:
+        if f == 0:
+            return 0
+        if e == 1:
+            return f
+        dep = dependency_map(vertices)
+        return 1 + min(
+            max(dep[(e - 1, k - 1)], dep[(e, f - k)]) for k in range(1, f + 1)
+        )
+
+    def app_finished(self, dag: Dag[int]) -> None:
+        self.trials = int(dag.get_vertex(self.eggs, self.floors).get_result())
+
+
+def solve_egg_drop(
+    eggs: int,
+    floors: int,
+    config: Optional[DPX10Config] = None,
+    fault_plans: Sequence[FaultPlan] = (),
+) -> Tuple[EggDropApp, RunReport]:
+    """Run the egg-drop DP under DPX10 with its custom pattern."""
+    app = EggDropApp(eggs, floors)
+    dag = EggDropDag(eggs, floors)
+    report = DPX10Runtime(app, dag, config=config, fault_plans=fault_plans).run()
+    return app, report

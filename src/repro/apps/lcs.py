@@ -1,0 +1,76 @@
+"""Longest common subsequence — the paper's Figure 1 walk-through.
+
+Uses the ``diagonal`` pattern (Figure 5(b)) over a
+``(len(x)+1) x (len(y)+1)`` matrix whose row/column 0 are boundary cells
+computed as zero, exactly like the Smith-Waterman listing in Figure 7. The
+final length sits in the bottom-right vertex; ``app_finished`` backtracks
+the subsequence itself ("the result can be processed using backtracking
+method", section IV).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apgas.failure import FaultPlan
+from repro.core.api import DPX10App, Vertex, dependency_map
+from repro.core.config import DPX10Config
+from repro.core.dag import Dag
+from repro.core.runtime import DPX10Runtime, RunReport
+from repro.patterns.diagonal import DiagonalDag
+
+__all__ = ["LCSApp", "solve_lcs"]
+
+
+class LCSApp(DPX10App[int]):
+    """LCS length via the classic two-string recurrence."""
+
+    value_dtype = np.int64
+
+    def __init__(self, x: str, y: str) -> None:
+        self.x = x
+        self.y = y
+        self.length: Optional[int] = None
+        self.subsequence: Optional[str] = None
+
+    def compute(self, i: int, j: int, vertices: Sequence[Vertex[int]]) -> int:
+        if i == 0 or j == 0:
+            return 0
+        dep = dependency_map(vertices)
+        if self.x[i - 1] == self.y[j - 1]:
+            return dep[(i - 1, j - 1)] + 1
+        return max(dep[(i - 1, j)], dep[(i, j - 1)])
+
+    def app_finished(self, dag: Dag[int]) -> None:
+        m, n = len(self.x), len(self.y)
+        self.length = int(dag.get_vertex(m, n).get_result())
+        # standard backtrack from the bottom-right corner
+        out = []
+        i, j = m, n
+        while i > 0 and j > 0:
+            if self.x[i - 1] == self.y[j - 1]:
+                out.append(self.x[i - 1])
+                i -= 1
+                j -= 1
+            elif dag.get_vertex(i - 1, j).get_result() >= dag.get_vertex(
+                i, j - 1
+            ).get_result():
+                i -= 1
+            else:
+                j -= 1
+        self.subsequence = "".join(reversed(out))
+
+
+def solve_lcs(
+    x: str,
+    y: str,
+    config: Optional[DPX10Config] = None,
+    fault_plans: Sequence[FaultPlan] = (),
+) -> Tuple[LCSApp, RunReport]:
+    """Run LCS under DPX10 and return the finished app and run report."""
+    app = LCSApp(x, y)
+    dag = DiagonalDag(len(x) + 1, len(y) + 1)
+    report = DPX10Runtime(app, dag, config=config, fault_plans=fault_plans).run()
+    return app, report

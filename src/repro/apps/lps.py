@@ -1,0 +1,65 @@
+"""Longest Palindromic Subsequence on the ``interval`` pattern (Figure 5(d)).
+
+The paper's recurrence:
+
+.. code-block:: none
+
+    D(i,i) = 1
+    D(i,j) = 2                          if x_i = x_j and j = i+1
+           = D(i+1,j-1) + 2             if x_i = x_j
+           = max(D(i+1,j), D(i,j-1))    if x_i != x_j
+
+Only ``i <= j`` cells are active; the ``j = i+1`` case falls out of the
+pattern dropping the inactive ``(i+1, j-1)`` dependency (an empty inner
+substring contributes 0).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apgas.failure import FaultPlan
+from repro.core.api import DPX10App, Vertex, dependency_map
+from repro.core.config import DPX10Config
+from repro.core.dag import Dag
+from repro.core.runtime import DPX10Runtime, RunReport
+from repro.patterns.interval import IntervalDag
+from repro.util.validation import require
+
+__all__ = ["LPSApp", "solve_lps"]
+
+
+class LPSApp(DPX10App[int]):
+    """LPS length of every substring; the answer is ``D(0, n-1)``."""
+
+    value_dtype = np.int64
+
+    def __init__(self, s: str) -> None:
+        require(len(s) >= 1, "LPS needs a non-empty string")
+        self.s = s
+        self.length: Optional[int] = None
+
+    def compute(self, i: int, j: int, vertices: Sequence[Vertex[int]]) -> int:
+        if i == j:
+            return 1
+        dep = dependency_map(vertices)
+        if self.s[i] == self.s[j]:
+            return dep.get((i + 1, j - 1), 0) + 2
+        return max(dep[(i + 1, j)], dep[(i, j - 1)])
+
+    def app_finished(self, dag: Dag[int]) -> None:
+        self.length = int(dag.get_vertex(0, dag.width - 1).get_result())
+
+
+def solve_lps(
+    s: str,
+    config: Optional[DPX10Config] = None,
+    fault_plans: Sequence[FaultPlan] = (),
+) -> Tuple[LPSApp, RunReport]:
+    """Run Longest Palindromic Subsequence under DPX10."""
+    app = LPSApp(s)
+    dag = IntervalDag(len(s), len(s))
+    report = DPX10Runtime(app, dag, config=config, fault_plans=fault_plans).run()
+    return app, report

@@ -1,0 +1,87 @@
+"""The Manhattan Tourist Problem on the ``grid`` pattern (Figure 5(a)).
+
+.. code-block:: none
+
+    D(i,j) = max( D(i-1,j) + w(i-1,j, i,j),
+                  D(i,j-1) + w(i,j-1, i,j) )
+
+where ``w`` weighs the street segments of the Manhattan grid. Edge
+weights are supplied as two arrays (downward and rightward segments);
+:func:`make_mtp_weights` generates a seeded random instance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apgas.failure import FaultPlan
+from repro.core.api import DPX10App, Vertex, dependency_map
+from repro.core.config import DPX10Config
+from repro.core.dag import Dag
+from repro.core.runtime import DPX10Runtime, RunReport
+from repro.patterns.grid import GridDag
+from repro.util.rng import seeded_rng
+from repro.util.validation import require
+
+__all__ = ["MTPApp", "make_mtp_weights", "solve_mtp"]
+
+
+def make_mtp_weights(
+    height: int, width: int, seed: int = 0, max_weight: int = 9
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Random street weights for a ``height x width`` intersection grid.
+
+    Returns ``(w_down, w_right)`` with shapes ``(height-1, width)`` and
+    ``(height, width-1)``.
+    """
+    rng = seeded_rng(seed, "mtp")
+    w_down = rng.integers(0, max_weight + 1, size=(height - 1, width), dtype=np.int64)
+    w_right = rng.integers(0, max_weight + 1, size=(height, width - 1), dtype=np.int64)
+    return w_down, w_right
+
+
+class MTPApp(DPX10App[int]):
+    """Longest weighted monotone path from (0, 0) to the far corner."""
+
+    value_dtype = np.int64
+
+    def __init__(self, w_down: np.ndarray, w_right: np.ndarray) -> None:
+        require(
+            w_down.shape[0] + 1 == w_right.shape[0]
+            and w_down.shape[1] == w_right.shape[1] + 1,
+            f"inconsistent weight shapes {w_down.shape} / {w_right.shape}",
+        )
+        self.w_down = w_down
+        self.w_right = w_right
+        self.best_path_weight: Optional[int] = None
+
+    def compute(self, i: int, j: int, vertices: Sequence[Vertex[int]]) -> int:
+        if i == 0 and j == 0:
+            return 0
+        dep = dependency_map(vertices)
+        candidates = []
+        if i > 0:
+            candidates.append(dep[(i - 1, j)] + int(self.w_down[i - 1, j]))
+        if j > 0:
+            candidates.append(dep[(i, j - 1)] + int(self.w_right[i, j - 1]))
+        return max(candidates)
+
+    def app_finished(self, dag: Dag[int]) -> None:
+        self.best_path_weight = int(
+            dag.get_vertex(dag.height - 1, dag.width - 1).get_result()
+        )
+
+
+def solve_mtp(
+    w_down: np.ndarray,
+    w_right: np.ndarray,
+    config: Optional[DPX10Config] = None,
+    fault_plans: Sequence[FaultPlan] = (),
+) -> Tuple[MTPApp, RunReport]:
+    """Run the Manhattan Tourist Problem under DPX10."""
+    app = MTPApp(w_down, w_right)
+    dag = GridDag(w_right.shape[0], w_down.shape[1])
+    report = DPX10Runtime(app, dag, config=config, fault_plans=fault_plans).run()
+    return app, report

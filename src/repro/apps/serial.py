@@ -1,0 +1,218 @@
+"""Serial reference implementations of every application recurrence.
+
+These are the correctness oracles: the integration and property tests
+assert that the distributed framework produces cell-for-cell identical
+matrices across engines, schedulers, distributions, cache sizes and fault
+plans. They are deliberately straightforward loop implementations —
+independent of all framework code — so a bug cannot cancel out.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "lcs_matrix",
+    "sw_matrix",
+    "swlag_matrices",
+    "mtp_matrix",
+    "lps_matrix",
+    "knapsack_matrix",
+    "edit_distance_matrix",
+    "nw_matrix",
+    "matrix_chain_matrix",
+]
+
+NEG_INF = -(10**15)  # effectively -infinity for integer gap recurrences
+
+
+def lcs_matrix(x: str, y: str) -> np.ndarray:
+    """``(len(x)+1) x (len(y)+1)`` LCS-length matrix; answer at [-1, -1]."""
+    m, n = len(x), len(y)
+    f = np.zeros((m + 1, n + 1), dtype=np.int64)
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            if x[i - 1] == y[j - 1]:
+                f[i, j] = f[i - 1, j - 1] + 1
+            else:
+                f[i, j] = max(f[i - 1, j], f[i, j - 1])
+    return f
+
+
+def sw_matrix(
+    x: str,
+    y: str,
+    match: int = 2,
+    mismatch: int = -1,
+    gap: int = -1,
+) -> np.ndarray:
+    """Smith-Waterman similarity matrix with linear gap penalty.
+
+    The paper's Figure 7 scoring: +2 match, -1 mismatch, -1 gap.
+    """
+    m, n = len(x), len(y)
+    h = np.zeros((m + 1, n + 1), dtype=np.int64)
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            s = match if x[i - 1] == y[j - 1] else mismatch
+            h[i, j] = max(
+                0,
+                h[i - 1, j - 1] + s,
+                h[i - 1, j] + gap,
+                h[i, j - 1] + gap,
+            )
+    return h
+
+
+def swlag_matrices(
+    x: str,
+    y: str,
+    match: int = 2,
+    mismatch: int = -1,
+    gap_open: int = -2,
+    gap_extend: int = -1,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Smith-Waterman with linear *and* affine gap penalty (SWLAG).
+
+    The Gotoh formulation: ``E`` tracks gaps in ``y`` (horizontal), ``F``
+    gaps in ``x`` (vertical), ``H`` the local similarity. Opening a gap
+    costs ``gap_open``, extending one ``gap_extend``. Returns
+    ``(H, E, F)``.
+    """
+    m, n = len(x), len(y)
+    h = np.zeros((m + 1, n + 1), dtype=np.int64)
+    e = np.full((m + 1, n + 1), NEG_INF, dtype=np.int64)
+    f = np.full((m + 1, n + 1), NEG_INF, dtype=np.int64)
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            s = match if x[i - 1] == y[j - 1] else mismatch
+            e[i, j] = max(h[i, j - 1] + gap_open, e[i, j - 1] + gap_extend)
+            f[i, j] = max(h[i - 1, j] + gap_open, f[i - 1, j] + gap_extend)
+            h[i, j] = max(0, h[i - 1, j - 1] + s, e[i, j], f[i, j])
+    return h, e, f
+
+
+def mtp_matrix(w_down: np.ndarray, w_right: np.ndarray) -> np.ndarray:
+    """Manhattan Tourist: longest weighted path from (0,0) to (h-1, w-1).
+
+    ``w_down[i, j]`` weighs the edge (i, j) -> (i+1, j) — shape
+    ``(h-1, w)``; ``w_right[i, j]`` weighs (i, j) -> (i, j+1) — shape
+    ``(h, w-1)``.
+    """
+    hh = w_down.shape[0] + 1
+    ww = w_right.shape[1] + 1
+    assert w_down.shape == (hh - 1, ww) and w_right.shape == (hh, ww - 1)
+    d = np.zeros((hh, ww), dtype=np.int64)
+    for j in range(1, ww):
+        d[0, j] = d[0, j - 1] + w_right[0, j - 1]
+    for i in range(1, hh):
+        d[i, 0] = d[i - 1, 0] + w_down[i - 1, 0]
+        for j in range(1, ww):
+            d[i, j] = max(
+                d[i - 1, j] + w_down[i - 1, j],
+                d[i, j - 1] + w_right[i, j - 1],
+            )
+    return d
+
+
+def lps_matrix(s: str) -> np.ndarray:
+    """Longest Palindromic Subsequence lengths for every substring.
+
+    ``d[i, j]`` (``i <= j``) is the LPS length of ``s[i..j]``; the answer
+    is ``d[0, n-1]``. The lower triangle is left zero.
+    """
+    n = len(s)
+    d = np.zeros((n, n), dtype=np.int64)
+    for i in range(n):
+        d[i, i] = 1
+    for length in range(2, n + 1):
+        for i in range(0, n - length + 1):
+            j = i + length - 1
+            if s[i] == s[j]:
+                inner = d[i + 1, j - 1] if i + 1 <= j - 1 else 0
+                d[i, j] = inner + 2
+            else:
+                d[i, j] = max(d[i + 1, j], d[i, j - 1])
+    return d
+
+
+def knapsack_matrix(
+    weights: Sequence[int],
+    values: Sequence[int],
+    capacity: int,
+) -> np.ndarray:
+    """0/1 Knapsack: ``m[i, j]`` = best value using items 1..i at weight j."""
+    n = len(weights)
+    assert len(values) == n
+    m = np.zeros((n + 1, capacity + 1), dtype=np.int64)
+    for i in range(1, n + 1):
+        w, v = weights[i - 1], values[i - 1]
+        for j in range(capacity + 1):
+            if w > j:
+                m[i, j] = m[i - 1, j]
+            else:
+                m[i, j] = max(m[i - 1, j], m[i - 1, j - w] + v)
+    return m
+
+
+def nw_matrix(
+    x: str,
+    y: str,
+    match: int = 1,
+    mismatch: int = -1,
+    gap: int = -2,
+) -> np.ndarray:
+    """Needleman-Wunsch global alignment scores; answer at [-1, -1]."""
+    m, n = len(x), len(y)
+    d = np.zeros((m + 1, n + 1), dtype=np.int64)
+    d[:, 0] = gap * np.arange(m + 1)
+    d[0, :] = gap * np.arange(n + 1)
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            s = match if x[i - 1] == y[j - 1] else mismatch
+            d[i, j] = max(
+                d[i - 1, j - 1] + s,
+                d[i - 1, j] + gap,
+                d[i, j - 1] + gap,
+            )
+    return d
+
+
+def matrix_chain_matrix(dims: Sequence[int]) -> np.ndarray:
+    """Matrix-chain multiplication: minimal multiplications for A_i..A_j.
+
+    ``dims`` has length n+1 for a chain of n matrices (A_k is
+    ``dims[k] x dims[k+1]``); ``m[i, j]`` is the cost of the product
+    A_i..A_j (0-based, ``i <= j``); the answer is ``m[0, n-1]``. The
+    classic 2D/1D recurrence (paper Algorithm 3.2).
+    """
+    n = len(dims) - 1
+    assert n >= 1
+    m = np.zeros((n, n), dtype=np.int64)
+    for length in range(2, n + 1):
+        for i in range(0, n - length + 1):
+            j = i + length - 1
+            m[i, j] = min(
+                m[i, k] + m[k + 1, j] + dims[i] * dims[k + 1] * dims[j + 1]
+                for k in range(i, j)
+            )
+    return m
+
+
+def edit_distance_matrix(x: str, y: str) -> np.ndarray:
+    """Levenshtein distance matrix; answer at [-1, -1]."""
+    m, n = len(x), len(y)
+    d = np.zeros((m + 1, n + 1), dtype=np.int64)
+    d[:, 0] = np.arange(m + 1)
+    d[0, :] = np.arange(n + 1)
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            cost = 0 if x[i - 1] == y[j - 1] else 1
+            d[i, j] = min(
+                d[i - 1, j] + 1,
+                d[i, j - 1] + 1,
+                d[i - 1, j - 1] + cost,
+            )
+    return d

@@ -1,0 +1,183 @@
+"""Smith-Waterman local alignment: the paper's Figure 7 app, plus SWLAG.
+
+:class:`SWApp` is a line-for-line port of Figure 7 (linear gap penalty,
++2 match / -1 mismatch / -1 gap). :class:`SWLAGApp` is "Smith-Waterman
+algorithm with linear and affine gap penalty" — the application the
+evaluation section uses for the overhead (Figure 12) and recovery
+(Figure 13) experiments — implemented with the Gotoh three-matrix
+recurrence; each vertex carries the ``(H, E, F)`` triple, exercising the
+framework's object-valued vertex path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apgas.failure import FaultPlan
+from repro.apps.serial import NEG_INF
+from repro.core.api import DPX10App, Vertex, dependency_map
+from repro.core.config import DPX10Config
+from repro.core.dag import Dag
+from repro.core.runtime import DPX10Runtime, RunReport
+from repro.patterns.diagonal import DiagonalDag
+
+__all__ = ["SWApp", "SWLAGApp", "solve_sw", "solve_swlag"]
+
+
+class SWApp(DPX10App[int]):
+    """Smith-Waterman with linear gap penalty (paper Figure 7)."""
+
+    value_dtype = np.int64
+
+    MATCH_SCORE = 2
+    DISMATCH_SCORE = -1
+    GAP_PENALTY = -1
+
+    def __init__(self, str1: str, str2: str) -> None:
+        self.str1 = str1
+        self.str2 = str2
+        self.best_score: Optional[int] = None
+        #: aligned substrings, gaps as '-' (the "best match" the paper's
+        #: omitted result-processing backtrack would print)
+        self.alignment: Optional[Tuple[str, str]] = None
+
+    def compute(self, i: int, j: int, vertices: Sequence[Vertex[int]]) -> int:
+        if i == 0 or j == 0:
+            return 0
+        lefttop = left = top = 0
+        # coordinate-scan over the dependency list, as in Figure 7
+        for vertex in vertices:
+            if vertex.i == i - 1 and vertex.j == j - 1:
+                lefttop = vertex.get_result()
+                lefttop += (
+                    self.MATCH_SCORE
+                    if self.str1[i - 1] == self.str2[j - 1]
+                    else self.DISMATCH_SCORE
+                )
+            if vertex.i == i - 1 and vertex.j == j:
+                top = vertex.get_result() + self.GAP_PENALTY
+            if vertex.i == i and vertex.j == j - 1:
+                left = vertex.get_result() + self.GAP_PENALTY
+        return max(0, lefttop, left, top)
+
+    def app_finished(self, dag: Dag[int]) -> None:
+        best, bi, bj = 0, 0, 0
+        for i in range(dag.height):
+            for j in range(dag.width):
+                v = int(dag.get_vertex(i, j).get_result())
+                if v > best:
+                    best, bi, bj = v, i, j
+        self.best_score = best
+        self.alignment = self._traceback(dag, bi, bj)
+
+    def _traceback(self, dag: Dag[int], i: int, j: int) -> Tuple[str, str]:
+        """Walk back from the best cell while scores stay positive.
+
+        At each step pick a predecessor whose score explains this cell
+        under the Figure 7 recurrence (diagonal = match/mismatch, up/left
+        = gap); stop at a zero cell — the local alignment's start.
+        """
+
+        def h(a: int, b: int) -> int:
+            if a < 0 or b < 0:
+                return 0
+            return int(dag.get_vertex(a, b).get_result())
+
+        top: list = []
+        bottom: list = []
+        while i > 0 and j > 0 and h(i, j) > 0:
+            score = h(i, j)
+            s = (
+                self.MATCH_SCORE
+                if self.str1[i - 1] == self.str2[j - 1]
+                else self.DISMATCH_SCORE
+            )
+            if score == h(i - 1, j - 1) + s:
+                top.append(self.str1[i - 1])
+                bottom.append(self.str2[j - 1])
+                i, j = i - 1, j - 1
+            elif score == h(i - 1, j) + self.GAP_PENALTY:
+                top.append(self.str1[i - 1])
+                bottom.append("-")
+                i -= 1
+            else:
+                top.append("-")
+                bottom.append(self.str2[j - 1])
+                j -= 1
+        return "".join(reversed(top)), "".join(reversed(bottom))
+
+
+class SWLAGApp(DPX10App[tuple]):
+    """SWLAG: Smith-Waterman with linear and affine gap penalty (Gotoh).
+
+    Vertex value is the triple ``(H, E, F)``: local similarity, best score
+    ending in a horizontal gap, best score ending in a vertical gap.
+    """
+
+    value_dtype = None  # tuples: object-valued vertices
+
+    def __init__(
+        self,
+        str1: str,
+        str2: str,
+        match: int = 2,
+        mismatch: int = -1,
+        gap_open: int = -2,
+        gap_extend: int = -1,
+    ) -> None:
+        self.str1 = str1
+        self.str2 = str2
+        self.match = match
+        self.mismatch = mismatch
+        self.gap_open = gap_open
+        self.gap_extend = gap_extend
+        self.best_score: Optional[int] = None
+
+    def compute(self, i: int, j: int, vertices: Sequence[Vertex[tuple]]) -> tuple:
+        if i == 0 or j == 0:
+            return (0, NEG_INF, NEG_INF)
+        dep = dependency_map(vertices)
+        h_diag, _, _ = dep[(i - 1, j - 1)]
+        h_left, e_left, _ = dep[(i, j - 1)]
+        h_top, _, f_top = dep[(i - 1, j)]
+        s = self.match if self.str1[i - 1] == self.str2[j - 1] else self.mismatch
+        e = max(h_left + self.gap_open, e_left + self.gap_extend)
+        f = max(h_top + self.gap_open, f_top + self.gap_extend)
+        h = max(0, h_diag + s, e, f)
+        return (h, e, f)
+
+    def app_finished(self, dag: Dag[tuple]) -> None:
+        self.best_score = max(
+            dag.get_vertex(i, j).get_result()[0]
+            for i in range(dag.height)
+            for j in range(dag.width)
+        )
+
+
+def solve_sw(
+    str1: str,
+    str2: str,
+    config: Optional[DPX10Config] = None,
+    fault_plans: Sequence[FaultPlan] = (),
+) -> Tuple[SWApp, RunReport]:
+    """Run linear-gap Smith-Waterman under DPX10."""
+    app = SWApp(str1, str2)
+    dag = DiagonalDag(len(str1) + 1, len(str2) + 1)
+    report = DPX10Runtime(app, dag, config=config, fault_plans=fault_plans).run()
+    return app, report
+
+
+def solve_swlag(
+    str1: str,
+    str2: str,
+    config: Optional[DPX10Config] = None,
+    fault_plans: Sequence[FaultPlan] = (),
+    **scoring,
+) -> Tuple[SWLAGApp, RunReport]:
+    """Run affine-gap Smith-Waterman (SWLAG) under DPX10."""
+    app = SWLAGApp(str1, str2, **scoring)
+    dag = DiagonalDag(len(str1) + 1, len(str2) + 1)
+    report = DPX10Runtime(app, dag, config=config, fault_plans=fault_plans).run()
+    return app, report

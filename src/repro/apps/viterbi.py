@@ -1,0 +1,112 @@
+"""Viterbi decoding on the ``full_row`` pattern.
+
+The most-likely HMM state path: a trellis where every timestep consults
+all states of the previous step,
+
+.. code-block:: none
+
+    D[t][s] = log_emit[s][obs_t] + max_s' ( D[t-1][s'] + log_trans[s'][s] )
+
+which is precisely the ``full_row`` 2D/1D built-in. State counts are small
+in practice, so this is the regime where full-row dependencies are cheap —
+the counterpoint to the matrix-chain app's expensive 2D/1D.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apgas.failure import FaultPlan
+from repro.core.api import DPX10App, Vertex, dependency_map
+from repro.core.config import DPX10Config
+from repro.core.dag import Dag
+from repro.core.runtime import DPX10Runtime, RunReport
+from repro.patterns.full_row import FullRowDag
+from repro.util.rng import seeded_rng
+from repro.util.validation import require
+
+__all__ = ["ViterbiApp", "make_hmm", "solve_viterbi", "viterbi_serial"]
+
+
+def make_hmm(
+    n_states: int, n_symbols: int, length: int, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """A random HMM instance: (log_init, log_trans, log_emit, observations)."""
+    require(n_states >= 1 and n_symbols >= 1 and length >= 1, "bad HMM shape")
+    rng = seeded_rng(seed, "hmm")
+
+    def log_rows(shape):
+        p = rng.random(shape) + 0.05
+        p /= p.sum(axis=-1, keepdims=True)
+        return np.log(p)
+
+    log_init = log_rows(n_states)
+    log_trans = log_rows((n_states, n_states))
+    log_emit = log_rows((n_states, n_symbols))
+    obs = rng.integers(0, n_symbols, size=length)
+    return log_init, log_trans, log_emit, obs
+
+
+def viterbi_serial(
+    log_init: np.ndarray,
+    log_trans: np.ndarray,
+    log_emit: np.ndarray,
+    obs: np.ndarray,
+) -> float:
+    """Serial oracle: the log-probability of the best state path."""
+    d = log_init + log_emit[:, obs[0]]
+    for t in range(1, len(obs)):
+        d = log_emit[:, obs[t]] + (d[:, None] + log_trans).max(axis=0)
+    return float(d.max())
+
+
+class ViterbiApp(DPX10App[float]):
+    """Trellis cell (t, s): best log-prob of any path ending in state s."""
+
+    value_dtype = np.float64
+
+    def __init__(
+        self,
+        log_init: np.ndarray,
+        log_trans: np.ndarray,
+        log_emit: np.ndarray,
+        obs: np.ndarray,
+    ) -> None:
+        self.log_init = log_init
+        self.log_trans = log_trans
+        self.log_emit = log_emit
+        self.obs = obs
+        self.best_log_prob: Optional[float] = None
+
+    def compute(self, t: int, s: int, vertices: Sequence[Vertex[float]]) -> float:
+        emit = float(self.log_emit[s, self.obs[t]])
+        if t == 0:
+            return float(self.log_init[s]) + emit
+        dep = dependency_map(vertices)
+        return emit + max(
+            dep[(t - 1, sp)] + float(self.log_trans[sp, s])
+            for sp in range(self.log_trans.shape[0])
+        )
+
+    def app_finished(self, dag: Dag[float]) -> None:
+        last = dag.height - 1
+        self.best_log_prob = max(
+            float(dag.get_vertex(last, s).get_result()) for s in range(dag.width)
+        )
+
+
+def solve_viterbi(
+    log_init: np.ndarray,
+    log_trans: np.ndarray,
+    log_emit: np.ndarray,
+    obs: np.ndarray,
+    config: Optional[DPX10Config] = None,
+    fault_plans: Sequence[FaultPlan] = (),
+) -> Tuple[ViterbiApp, RunReport]:
+    """Run Viterbi decoding under DPX10 (full_row trellis pattern)."""
+    app = ViterbiApp(log_init, log_trans, log_emit, obs)
+    dag = FullRowDag(len(obs), log_trans.shape[0])
+    report = DPX10Runtime(app, dag, config=config, fault_plans=fault_plans).run()
+    return app, report

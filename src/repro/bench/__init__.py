@@ -1,0 +1,31 @@
+"""Shared harness code for the figure-reproduction benchmarks.
+
+:mod:`repro.bench.figures` has one entry point per evaluation figure
+(Figures 10-13); :mod:`repro.bench.formatting` renders the series the way
+the paper plots them. The ``benchmarks/`` directory wires these into
+pytest-benchmark targets.
+"""
+
+from repro.bench.figures import (
+    SCALES,
+    fig10_scalability,
+    fig11_size_scaling,
+    fig12_overhead,
+    fig13_recovery,
+    sim_dag_for,
+)
+from repro.bench.formatting import format_series, write_series
+from repro.bench.sweep import Sweep, to_csv
+
+__all__ = [
+    "Sweep",
+    "to_csv",
+    "SCALES",
+    "fig10_scalability",
+    "fig11_size_scaling",
+    "fig12_overhead",
+    "fig13_recovery",
+    "sim_dag_for",
+    "format_series",
+    "write_series",
+]

@@ -1,0 +1,42 @@
+"""Rendering figure series as aligned text tables."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+__all__ = ["format_series", "write_series"]
+
+
+def format_series(
+    title: str,
+    col_header: str,
+    columns: Sequence[object],
+    rows: Dict[str, Sequence[float]],
+    unit: str = "s",
+    precision: int = 2,
+) -> str:
+    """One labelled row per series, one column per sweep point.
+
+    >>> out = format_series("demo", "nodes", [2, 4], {"app": [1.0, 0.5]})
+    >>> "nodes=2" in out and "1.00 s" in out and "0.50 s" in out
+    True
+    """
+    width = max(10, precision + 8)
+    lines: List[str] = [title, ""]
+    header = f"{'series':<15s} | " + " | ".join(
+        f"{col_header}={c!s:<{width - len(col_header) - 1}}" for c in columns
+    )
+    lines.append(header.rstrip())
+    lines.append("-" * 16 + "+" + "+".join(["-" * (width + 2)] * len(columns)))
+    for name, values in rows.items():
+        cells = " | ".join(f"{v:.{precision}f} {unit:<{width - precision - 4}}" for v in values)
+        lines.append(f"{name:<15s} | {cells}".rstrip())
+    return "\n".join(lines)
+
+
+def write_series(path: str, content: str) -> None:
+    """Write a rendered table to ``path``, creating parent directories."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(content.rstrip() + "\n")

@@ -1,0 +1,86 @@
+"""Structured parameter sweeps with CSV output.
+
+The figure harnesses hard-code the paper's sweeps; this utility is for
+the follow-up experiments a user runs next ("what if I vary cache size
+*and* scheduler?"). A :class:`Sweep` takes named parameter axes, runs a
+callable over the cartesian grid, collects per-point metrics, and renders
+CSV for external plotting.
+
+>>> sweep = Sweep(axes={"n": [2, 4]}, run=lambda n: {"t": 1.0 / n})
+>>> rows = sweep.execute()
+>>> rows[0]["t"]
+0.5
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Sequence
+
+from repro.util.validation import require
+
+__all__ = ["Sweep", "to_csv"]
+
+
+@dataclass
+class Sweep:
+    """A cartesian parameter grid over a run callable.
+
+    ``run`` is invoked once per grid point with the axis values as keyword
+    arguments and must return a mapping of metric name -> value. Each
+    result row contains the parameters plus the metrics.
+    """
+
+    axes: Mapping[str, Sequence[Any]]
+    run: Callable[..., Mapping[str, Any]]
+    results: List[Dict[str, Any]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        require(len(self.axes) >= 1, "a sweep needs at least one axis")
+        for name, values in self.axes.items():
+            require(len(list(values)) >= 1, f"axis {name!r} is empty")
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for values in self.axes.values():
+            n *= len(list(values))
+        return n
+
+    def points(self) -> List[Dict[str, Any]]:
+        """The grid points in axis-declaration order."""
+        names = list(self.axes)
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(self.axes[n] for n in names))
+        ]
+
+    def execute(self) -> List[Dict[str, Any]]:
+        """Run every grid point; returns (and stores) the result rows."""
+        self.results = []
+        for point in self.points():
+            metrics = self.run(**point)
+            row = dict(point)
+            overlap = set(row) & set(metrics)
+            require(not overlap, f"metric names collide with axes: {overlap}")
+            row.update(metrics)
+            self.results.append(row)
+        return self.results
+
+
+def to_csv(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Render result rows as CSV (stable column order from the first row)."""
+    require(len(rows) >= 1, "no rows to render")
+    columns = list(rows[0])
+    lines = [",".join(columns)]
+    for row in rows:
+        lines.append(",".join(_csv_cell(row.get(c, "")) for c in columns))
+    return "\n".join(lines) + "\n"
+
+
+def _csv_cell(value: Any) -> str:
+    text = f"{value:.6g}" if isinstance(value, float) else str(value)
+    if any(ch in text for ch in ',"\n'):
+        text = '"' + text.replace('"', '""') + '"'
+    return text

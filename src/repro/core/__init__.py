@@ -1,0 +1,39 @@
+"""The DPX10 framework core: the paper's primary contribution.
+
+A DPX10 program is a :class:`~repro.core.api.DPX10App` (a ``compute()``
+method plus an ``app_finished()`` callback) bound to a
+:class:`~repro.core.dag.Dag` (a DAG pattern). The
+:class:`~repro.core.runtime.DPX10Runtime` handles everything else —
+distribution, per-place worker scheduling, dependency resolution, remote
+caching and fault recovery — mirroring the execution flow of the paper's
+Figure 4.
+"""
+
+from repro.core.api import DPX10App, Vertex, VertexId
+from repro.core.cache import RemoteCache
+from repro.core.config import DPX10Config
+from repro.core.dag import Dag
+from repro.core.runtime import DPX10Runtime, RunReport
+from repro.core.scheduler import (
+    LocalScheduling,
+    MinCommScheduling,
+    RandomScheduling,
+    SchedulingStrategy,
+    make_strategy,
+)
+
+__all__ = [
+    "DPX10App",
+    "Vertex",
+    "VertexId",
+    "RemoteCache",
+    "DPX10Config",
+    "Dag",
+    "DPX10Runtime",
+    "RunReport",
+    "LocalScheduling",
+    "MinCommScheduling",
+    "RandomScheduling",
+    "SchedulingStrategy",
+    "make_strategy",
+]

@@ -1,0 +1,116 @@
+"""The user-facing DPX10 API: ``DPX10App``, ``Vertex``, ``VertexId``.
+
+Mirrors the paper's Figure 2:
+
+.. code-block:: none
+
+    public interface DPX10App[T] {
+        def compute(i: Int, j: Int, vertices: Rail[Vertex[T]]): T;
+        def appFinished(dag: Dag[T]): void;
+    }
+    public class Vertex[T] {
+        val i: Int, j: Int;
+        def getResult(): T;
+    }
+
+"Limiting the graph state managed by the framework to a single value per
+vertex simplifies the main computation, distribution and fault tolerance"
+— hence a vertex carries exactly one result of the app's value type.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any, Generic, NamedTuple, Optional, Sequence, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.dag import Dag
+
+__all__ = ["VertexId", "Vertex", "DPX10App", "dependency_map"]
+
+T = TypeVar("T")
+
+
+class VertexId(NamedTuple):
+    """The unique 2-D identifier of a vertex (a cell of the DP matrix)."""
+
+    i: int
+    j: int
+
+
+class Vertex(Generic[T]):
+    """A computed vertex handed to ``compute()`` as a dependency.
+
+    Users inspect the coordinate via ``.i`` / ``.j`` and the value via
+    :meth:`get_result`, exactly like the paper's ``Vertex[T]``.
+    """
+
+    __slots__ = ("i", "j", "_value")
+
+    def __init__(self, i: int, j: int, value: T) -> None:
+        self.i = i
+        self.j = j
+        self._value = value
+
+    def get_result(self) -> T:
+        return self._value
+
+    @property
+    def id(self) -> VertexId:
+        return VertexId(self.i, self.j)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Vertex({self.i}, {self.j}, {self._value!r})"
+
+
+def dependency_map(vertices: Sequence["Vertex[T]"]) -> dict[tuple[int, int], T]:
+    """Index a ``compute()`` dependency list by coordinate.
+
+    The paper's Figure 7 scans ``vertices`` with coordinate comparisons;
+    this helper is the dictionary form of the same lookup:
+
+    >>> lookup = dependency_map(vertices)
+    >>> top = lookup.get((i - 1, j), 0)
+    """
+    return {(v.i, v.j): v.get_result() for v in vertices}
+
+
+class DPX10App(ABC, Generic[T]):
+    """Base class every DPX10 application implements.
+
+    Subclasses must provide :meth:`compute`; :meth:`app_finished` and the
+    initialization hooks are optional. Set the class attribute
+    ``value_dtype`` to a numpy dtype (e.g. ``numpy.int64``) to store vertex
+    results in a typed array instead of a Python object array — a large
+    memory and speed win for numeric DP recurrences.
+    """
+
+    #: numpy dtype for the per-vertex result array; ``None`` means a Python
+    #: object array (any value type).
+    value_dtype: Optional[Any] = None
+
+    @abstractmethod
+    def compute(self, i: int, j: int, vertices: Sequence[Vertex[T]]) -> T:
+        """The DP recurrence for vertex ``(i, j)``.
+
+        ``vertices`` holds this vertex's dependencies (already computed),
+        in the order the DAG pattern's ``get_dependency`` returned them.
+        Dependency resolution and any cross-place communication happened
+        before this call; the implementation is pure application logic.
+        """
+
+    def app_finished(self, dag: "Dag[T]") -> None:
+        """Called once when every vertex completed (paper Figure 2).
+
+        ``dag`` is bound to the results: ``dag.get_vertex(i, j)`` retrieves
+        any vertex, e.g. for backtracking the final answer.
+        """
+
+    def init_value(self, i: int, j: int) -> Optional[T]:
+        """Initial value for vertices marked inactive by the pattern.
+
+        The Refinements section lets initialization "set the unneeded
+        vertices as finished"; those vertices never run ``compute()`` and
+        instead carry this value. Default ``None``.
+        """
+        return None

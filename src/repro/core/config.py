@@ -1,0 +1,156 @@
+"""Runtime configuration, covering every knob in the paper's Refinements list.
+
+* **Distribution of DAG** — ``distribution`` (kind name) or ``custom_dist``;
+* **Initialization of DAG** — the pattern's ``is_active`` plus the app's
+  ``init_value`` (see :mod:`repro.core.api`);
+* **Scheduling strategy** — ``scheduler``: local / random / mincomm;
+* **Cache size** — ``cache_size`` (0 disables the remote-vertex cache);
+* **Restore manner** — ``restore_manner``: "discard" (default; recompute
+  remote results after a failure) or "copy" (transfer them, for apps whose
+  compute is dearer than communication).
+
+``nplaces`` mirrors ``X10_NPLACES`` and ``threads_per_place`` mirrors
+``X10_NTHREADS`` from the paper's experimental setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.dist.dist import Dist
+from repro.dist.region import Region2D
+from repro.util.validation import require
+
+__all__ = ["DPX10Config"]
+
+_ENGINES = ("inline", "threaded", "mp")
+_SCHEDULERS = ("local", "random", "mincomm")
+_DIST_KINDS = (
+    "block_rows",
+    "block_cols",
+    "block_flat",
+    "cyclic_rows",
+    "cyclic_cols",
+    "block_cyclic",
+)
+_RESTORE = ("discard", "copy")
+
+
+@dataclass
+class DPX10Config:
+    """All runtime knobs with paper-faithful defaults."""
+
+    #: number of places (X10_NPLACES)
+    nplaces: int = 4
+    #: execution engine: deterministic "inline", concurrent "threaded", or
+    #: "mp" — real place processes with level-synchronous execution (see
+    #: repro.core.mp_engine)
+    engine: str = "inline"
+    #: worker threads per place (X10_NTHREADS); threaded engine only
+    threads_per_place: int = 2
+    #: distribution kind; the paper's default splices by column
+    distribution: str = "block_cols"
+    #: block shape for the block_cyclic distribution
+    dist_block: tuple[int, int] = (1, 1)
+    #: optional custom distribution factory: (region, alive_place_ids) -> Dist
+    custom_dist: Optional[Callable[[Region2D, Sequence[int]], Dist]] = None
+    #: scheduling strategy: local (default), random, or mincomm
+    scheduler: str = "local"
+    #: remote-vertex FIFO cache capacity per place; 0 disables
+    cache_size: int = 64
+    #: bytes per vertex value, used for communication accounting
+    value_nbytes: int = 8
+    #: recovery behaviour for finished vertices homed on remote places
+    restore_manner: str = "discard"
+    #: fault-tolerance mechanism: "recovery" is the paper's new method;
+    #: "snapshot" is the Resilient-X10 periodic-snapshot baseline the
+    #: paper argues against (provided for comparison)
+    ft_mode: str = "recovery"
+    #: completions between periodic snapshots (ft_mode="snapshot");
+    #: 0 means only the initial (empty) snapshot is ever taken
+    snapshot_interval: int = 0
+    #: RNG seed (random scheduler, workloads)
+    seed: int = 0
+    #: run Dag.validate() before executing (recommended for custom patterns)
+    validate: bool = False
+    #: record a per-vertex execution timeline (see repro.core.trace);
+    #: adds measurable per-vertex overhead, keep off when benchmarking
+    trace: bool = False
+    #: called as ``on_progress(completions, total_active)`` every
+    #: ``progress_interval`` completions (0 disables). Completions are
+    #: monotone across recoveries, so they can exceed the total under
+    #: faults.
+    on_progress: Optional[Callable[[int, int], None]] = None
+    progress_interval: int = 0
+    #: spill vertex values to disk-backed arrays in this directory (the
+    #: paper's future work: "spilling some data to local disk to enable
+    #: computations on large scale of DP problems"). Requires a typed
+    #: ``value_dtype``; object-valued apps silently stay in RAM.
+    spill_dir: Optional[str] = None
+    #: inline engine only: execute the pattern's precomputed topological
+    #: order directly, skipping indegree bookkeeping and ready lists. An
+    #: optimization extension; requires the pattern to provide
+    #: ``static_order()`` (all stencils, knapsack, full_row, triangular do)
+    static_schedule: bool = False
+    #: let idle workers steal ready vertices from other places' lists.
+    #: An extension beyond the paper (its future work cites X10
+    #: work-stealing schedulers [24, 25]); results are unchanged, load
+    #: balance and communication shift.
+    work_stealing: bool = False
+
+    def __post_init__(self) -> None:
+        require(self.nplaces >= 1, f"nplaces must be >= 1, got {self.nplaces}")
+        require(
+            self.engine in _ENGINES,
+            f"engine must be one of {_ENGINES}, got {self.engine!r}",
+        )
+        require(
+            self.threads_per_place >= 1,
+            f"threads_per_place must be >= 1, got {self.threads_per_place}",
+        )
+        require(
+            self.custom_dist is not None or self.distribution in _DIST_KINDS,
+            f"distribution must be one of {_DIST_KINDS}, got {self.distribution!r}",
+        )
+        require(
+            self.scheduler in _SCHEDULERS,
+            f"scheduler must be one of {_SCHEDULERS}, got {self.scheduler!r}",
+        )
+        require(self.cache_size >= 0, f"cache_size must be >= 0, got {self.cache_size}")
+        require(
+            self.value_nbytes >= 1,
+            f"value_nbytes must be >= 1, got {self.value_nbytes}",
+        )
+        require(
+            self.restore_manner in _RESTORE,
+            f"restore_manner must be one of {_RESTORE}, got {self.restore_manner!r}",
+        )
+        require(
+            self.ft_mode in ("recovery", "snapshot"),
+            f"ft_mode must be 'recovery' or 'snapshot', got {self.ft_mode!r}",
+        )
+        require(
+            self.snapshot_interval >= 0,
+            f"snapshot_interval must be >= 0, got {self.snapshot_interval}",
+        )
+        require(
+            self.progress_interval >= 0,
+            f"progress_interval must be >= 0, got {self.progress_interval}",
+        )
+        require(
+            not (self.static_schedule and self.engine != "inline"),
+            "static_schedule requires the inline engine",
+        )
+
+    def make_dist(self, region: Region2D, alive_place_ids: Sequence[int]) -> Dist:
+        """Build the configured distribution over the given alive places."""
+        if self.custom_dist is not None:
+            return self.custom_dist(region, alive_place_ids)
+        return Dist.make(
+            self.distribution,
+            region,
+            alive_place_ids,
+            block_h=self.dist_block[0],
+            block_w=self.dist_block[1],
+        )

@@ -1,0 +1,281 @@
+"""The ``Dag`` base class (paper Figure 3).
+
+A DAG pattern subclasses :class:`Dag` and implements ``get_dependency`` /
+``get_anti_dependency``: the first lists the vertices that must complete
+before ``(i, j)``; the second lists the vertices whose indegree drops when
+``(i, j)`` finishes. The two must be exact inverses of each other over the
+active cells — :meth:`Dag.validate` checks this (and acyclicity) for small
+DAGs, which is how custom patterns are debugged.
+
+Vertices can be *inactive* (``is_active`` returns ``False``): the
+Refinements section allows initialization to "set the unneeded vertices as
+finished", which is how triangular DP matrices (LPS, matrix chain) skip
+their unused half.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.core.api import Vertex, VertexId
+from repro.dist.region import Region2D
+from repro.errors import DPX10Error, PatternError
+from repro.util.validation import require
+
+__all__ = ["Dag", "ResultView"]
+
+T = TypeVar("T")
+
+
+class ResultView(Generic[T]):
+    """Read access to computed vertex values, bound to a Dag after a run."""
+
+    def __init__(self, getter, finished_checker) -> None:
+        self._get = getter
+        self._finished = finished_checker
+
+    def get(self, i: int, j: int) -> T:
+        return self._get(i, j)
+
+    def is_finished(self, i: int, j: int) -> bool:
+        return self._finished(i, j)
+
+
+class Dag(Generic[T]):
+    """Abstract DAG over a ``height x width`` vertex matrix."""
+
+    def __init__(self, height: int, width: int) -> None:
+        require(height >= 1 and width >= 1, f"DAG must be at least 1x1, got {height}x{width}")
+        self.height = height
+        self.width = width
+        self._results: Optional[ResultView[T]] = None
+
+    # -- to implement in subclasses -------------------------------------------
+    def get_dependency(self, i: int, j: int) -> List[VertexId]:
+        """Vertices that must complete before ``(i, j)`` can run."""
+        raise NotImplementedError
+
+    def get_anti_dependency(self, i: int, j: int) -> List[VertexId]:
+        """Vertices whose indegree is decremented when ``(i, j)`` finishes."""
+        raise NotImplementedError
+
+    def is_active(self, i: int, j: int) -> bool:
+        """Whether ``(i, j)`` participates in the computation (default yes)."""
+        return True
+
+    # -- geometry ---------------------------------------------------------------
+    @property
+    def region(self) -> Region2D:
+        return Region2D.of_shape(self.height, self.width)
+
+    @property
+    def size(self) -> int:
+        return self.height * self.width
+
+    def contains(self, i: int, j: int) -> bool:
+        return 0 <= i < self.height and 0 <= j < self.width
+
+    def active_cells(self) -> Sequence[Tuple[int, int]]:
+        return [(i, j) for i, j in self.region if self.is_active(i, j)]
+
+    def active_cells_in_rect(self, r0: int, r1: int, c0: int, c1: int) -> int:
+        """Active cells inside ``[r0, r1) x [c0, c1)``.
+
+        The default (dense pattern) is the rectangle's area. Shaped
+        patterns override with a closed form so the cluster simulator can
+        size tiles without walking cells.
+        """
+        return max(0, r1 - r0) * max(0, c1 - c0)
+
+    def is_active_array(self, rows, cols):
+        """Vectorized ``is_active`` over coordinate arrays, or ``None``.
+
+        Returning ``None`` (the default) tells callers to fall back to the
+        scalar method; shaped patterns override with a numpy expression so
+        bulk initialization never loops per cell.
+        """
+        return None
+
+    def bulk_indegrees(self, rows, cols):
+        """Vectorized initial indegrees for the given cells, or ``None``.
+
+        ``None`` (the default) means "compute per cell via
+        ``get_dependency``". Stencil patterns override with closed-form
+        numpy arithmetic — the difference between O(cells) numpy ops and
+        O(cells x deps) Python calls at store-build time.
+        """
+        return None
+
+    def static_order(self) -> Optional[List[Tuple[int, int]]]:
+        """A precomputed topological order of the active cells, or ``None``.
+
+        When a pattern can name a valid execution order up front, the
+        inline engine's static-schedule mode executes cells in that order
+        directly, skipping all indegree bookkeeping and ready-list traffic
+        (``DPX10Config(static_schedule=True)``). ``None`` (the default)
+        means "only dynamic scheduling knows the order".
+        """
+        return None
+
+    # -- results (bound by the runtime after execution) ---------------------------
+    def bind_results(self, view: ResultView[T]) -> None:
+        self._results = view
+
+    def get_vertex(self, i: int, j: int) -> Vertex[T]:
+        """The computed vertex ``(i, j)`` — valid once the run finished."""
+        if self._results is None:
+            raise DPX10Error(
+                "dag is not bound to results yet; call DPX10Runtime.run() first"
+            )
+        return Vertex(i, j, self._results.get(i, j))
+
+    def to_array(self, fill: object = 0, dtype: object = None) -> "object":
+        """The full result matrix as a numpy array (after a run).
+
+        Inactive cells take ``fill``. Handy for whole-matrix comparison
+        against serial oracles and for post-processing.
+        """
+        import numpy as np
+
+        out = np.full((self.height, self.width), fill, dtype=dtype or object)
+        for i in range(self.height):
+            for j in range(self.width):
+                if self.is_active(i, j):
+                    out[i, j] = self.get_vertex(i, j).get_result()
+        return out
+
+    def render_stencil(self, i: Optional[int] = None, j: Optional[int] = None) -> str:
+        """ASCII picture of a cell's dependencies (docs / CLI aid).
+
+        Draws the neighbourhood of cell ``(i, j)`` (the matrix centre by
+        default): ``@`` the cell itself, ``o`` its dependencies, ``.``
+        other active cells, a blank for inactive ones.
+        """
+        ci = self.height // 2 if i is None else i
+        cj = self.width // 2 if j is None else j
+        if i is None and j is None and not self.get_dependency(ci, cj):
+            # the centre is a seed (e.g. an interval diagonal): show a more
+            # illustrative nearby cell instead
+            for cand_i, cand_j in ((ci - 1, cj + 1), (ci + 1, cj + 1), (ci, cj + 1)):
+                if (
+                    self.contains(cand_i, cand_j)
+                    and self.is_active(cand_i, cand_j)
+                    and self.get_dependency(cand_i, cand_j)
+                ):
+                    ci, cj = cand_i, cand_j
+                    break
+        deps = {(d.i, d.j) for d in self.get_dependency(ci, cj)}
+        radius = 3
+        lines = []
+        for r in range(max(0, ci - radius), min(self.height, ci + radius + 1)):
+            row = []
+            for c in range(max(0, cj - radius), min(self.width, cj + radius + 1)):
+                if (r, c) == (ci, cj):
+                    row.append("@")
+                elif (r, c) in deps:
+                    row.append("o")
+                elif self.is_active(r, c):
+                    row.append(".")
+                else:
+                    row.append(" ")
+            lines.append(" ".join(row))
+        return "\n".join(lines)
+
+    # -- structural validation -----------------------------------------------------
+    def validate(self) -> None:
+        """Check pattern invariants exhaustively (small DAGs only).
+
+        Verifies that for every active cell (a) all dependencies are
+        in-bounds, active, distinct and not self-referential, (b)
+        ``get_anti_dependency`` is the exact inverse of ``get_dependency``,
+        and (c) the graph is acyclic and fully schedulable (Kahn's
+        algorithm consumes every active cell).
+        """
+        active = set()
+        for i, j in self.region:
+            if self.is_active(i, j):
+                active.add((i, j))
+
+        deps = {}
+        for i, j in active:
+            dep_list = self.get_dependency(i, j)
+            seen = set()
+            for d in dep_list:
+                require(
+                    self.contains(d.i, d.j),
+                    f"dependency {tuple(d)} of ({i}, {j}) is out of bounds",
+                    PatternError,
+                )
+                require(
+                    (d.i, d.j) != (i, j),
+                    f"({i}, {j}) depends on itself",
+                    PatternError,
+                )
+                require(
+                    (d.i, d.j) in active,
+                    f"({i}, {j}) depends on inactive cell {tuple(d)}",
+                    PatternError,
+                )
+                require(
+                    (d.i, d.j) not in seen,
+                    f"({i}, {j}) lists dependency {tuple(d)} twice",
+                    PatternError,
+                )
+                seen.add((d.i, d.j))
+            deps[(i, j)] = seen
+
+        # anti-dependency must be the exact inverse relation
+        anti = {}
+        for i, j in active:
+            a_list = self.get_anti_dependency(i, j)
+            a_set = set()
+            for a in a_list:
+                require(
+                    self.contains(a.i, a.j) and (a.i, a.j) in active,
+                    f"anti-dependency {tuple(a)} of ({i}, {j}) is invalid",
+                    PatternError,
+                )
+                require(
+                    (a.i, a.j) not in a_set,
+                    f"({i}, {j}) lists anti-dependency {tuple(a)} twice",
+                    PatternError,
+                )
+                a_set.add((a.i, a.j))
+            anti[(i, j)] = a_set
+        for v in active:
+            for d in deps[v]:
+                require(
+                    v in anti[d],
+                    f"{d} -> {v} edge missing from get_anti_dependency({d[0]}, {d[1]})",
+                    PatternError,
+                )
+        for v in active:
+            for a in anti[v]:
+                require(
+                    v in deps[a],
+                    f"get_anti_dependency({v[0]}, {v[1]}) lists {a}, but {a} "
+                    f"does not depend on {v}",
+                    PatternError,
+                )
+
+        # acyclicity / schedulability via Kahn's algorithm
+        indegree = {v: len(deps[v]) for v in active}
+        ready = [v for v, d in indegree.items() if d == 0]
+        require(
+            bool(ready) or not active,
+            "no zero-indegree vertex: the pattern has a cycle",
+            PatternError,
+        )
+        done = 0
+        while ready:
+            v = ready.pop()
+            done += 1
+            for a in anti[v]:
+                indegree[a] -= 1
+                if indegree[a] == 0:
+                    ready.append(a)
+        require(
+            done == len(active),
+            f"only {done} of {len(active)} vertices schedulable: cycle detected",
+            PatternError,
+        )

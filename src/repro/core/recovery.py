@@ -1,0 +1,210 @@
+"""The paper's new recovery method for distributed DAGs (section VI-D).
+
+"Once a *DeadPlaceException* raises, the program will be paused and enter
+the recovery mode. DPX10 will create a new distributed array among the
+remaining places and restore the result of the finished vertices from the
+alive places. By default the result of remote vertices will be discarded
+since it may take less time to recompute them rather than copy them across
+the network. The user can change this behavior if the computation is more
+time-consuming than the communication. All unfinished vertices in the new
+array will be initialized (reset the indegree)."
+
+Concretely:
+
+1. refuse if place 0 died (the Resilient X10 limitation the paper notes);
+2. build a new :class:`~repro.dist.dist.Dist` of the same kind over the
+   surviving places;
+3. for every finished vertex still held by a surviving place: keep it in
+   place if its new home is the same place; otherwise copy it (restore
+   manner "copy", costed against the network model) or discard it for
+   recomputation (default "discard");
+4. reset the indegree of every unfinished vertex to its count of
+   *unfinished* dependencies and rebuild the ready lists.
+
+Everything a dead place held is gone and will be recomputed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Deque, Dict, Tuple
+
+from collections import deque
+
+from repro.core.vertex_store import VertexStore, build_stores
+from repro.core.worker import ExecutionState
+from repro.dist.dist import Dist
+from repro.errors import PlaceZeroDeadError
+from repro.util.timer import Timer
+
+__all__ = ["RecoveryStats", "recover", "recover_from_snapshot"]
+
+Coord = Tuple[int, int]
+
+
+@dataclass
+class RecoveryStats:
+    """What one recovery pass did (feeds tests, reports and the sim model)."""
+
+    dead_places: tuple
+    alive_places: tuple
+    #: which mechanism ran: "recovery" (the paper's) or "snapshot"
+    mechanism: str = "recovery"
+    preserved_in_place: int = 0
+    copied: int = 0
+    discarded: int = 0
+    restored_from_snapshot: int = 0
+    lost_on_dead: int = 0
+    to_recompute: int = 0
+    wall_time: float = 0.0
+
+
+def recover(state: ExecutionState) -> RecoveryStats:
+    """Rebuild ``state`` (dist, stores, ready lists) over surviving places.
+
+    Mutates ``state`` in place and returns the pass statistics.
+    """
+    group = state.group
+    group.require_any_alive()
+    if not group.is_alive(0):
+        raise PlaceZeroDeadError()
+
+    old_dist = state.dist
+    old_stores = state.stores
+    dead = tuple(pid for pid in old_dist.place_ids if not group.is_alive(pid))
+    alive = group.alive_ids()
+    stats = RecoveryStats(dead_places=dead, alive_places=tuple(alive))
+
+    with Timer() as timer:
+        dag = state.dag
+        config = state.config
+        new_dist = config.make_dist(dag.region, alive)
+
+        # salvage finished results still reachable on surviving places
+        preserved: Dict[Coord, Tuple[object, int]] = {}
+        for pid in old_dist.place_ids:
+            if not group.is_alive(pid):
+                continue
+            for coord, value in old_stores[pid].finished_items():
+                preserved[coord] = (value, pid)
+
+        new_stores: Dict[int, VertexStore] = build_stores(
+            group,
+            dag,
+            new_dist,
+            state.app.value_dtype,
+            state.app.init_value,
+            spill_dir=config.spill_dir,
+        )
+
+        for coord, (value, old_home) in preserved.items():
+            new_home = new_dist.place_of(*coord)
+            if new_home == old_home:
+                new_stores[new_home].set_result(*coord, value)
+                new_stores[new_home].mark_finished(*coord)
+                stats.preserved_in_place += 1
+            elif config.restore_manner == "copy":
+                state.network.record(old_home, new_home, config.value_nbytes)
+                new_stores[new_home].set_result(*coord, value)
+                new_stores[new_home].mark_finished(*coord)
+                stats.copied += 1
+            else:
+                stats.discarded += 1
+
+        stats.to_recompute = _install(state, new_dist, new_stores)
+        stats.lost_on_dead = max(
+            0, state.completions - (stats.preserved_in_place + stats.copied + stats.discarded)
+        )
+
+    stats.wall_time = timer.elapsed
+    return stats
+
+
+def recover_from_snapshot(state: ExecutionState) -> RecoveryStats:
+    """The Resilient-X10 baseline: roll back to the last periodic snapshot.
+
+    Everything computed since the last ``snapshot()`` is lost — including
+    results still sitting on perfectly healthy places — which is exactly
+    the trade-off the paper's new method avoids. Restores are costed as
+    transfers from stable storage (modelled at place 0).
+    """
+    group = state.group
+    group.require_any_alive()
+    if not group.is_alive(0):
+        raise PlaceZeroDeadError()
+
+    old_dist = state.dist
+    dead = tuple(pid for pid in old_dist.place_ids if not group.is_alive(pid))
+    alive = group.alive_ids()
+    stats = RecoveryStats(
+        dead_places=dead, alive_places=tuple(alive), mechanism="snapshot"
+    )
+
+    with Timer() as timer:
+        config = state.config
+        new_dist = config.make_dist(state.dag.region, alive)
+        new_stores: Dict[int, VertexStore] = build_stores(
+            group,
+            state.dag,
+            new_dist,
+            state.app.value_dtype,
+            state.app.init_value,
+            spill_dir=config.spill_dir,
+        )
+        cells = state.snapshots.load() if state.snapshots is not None else {}
+        for (i, j), value in cells.items():
+            home = new_dist.place_of(i, j)
+            state.network.record(0, home, config.value_nbytes)
+            new_stores[home].set_result(i, j, value)
+            new_stores[home].mark_finished(i, j)
+        stats.restored_from_snapshot = len(cells)
+        stats.to_recompute = _install(state, new_dist, new_stores)
+        stats.lost_on_dead = max(0, state.completions - len(cells))
+
+    stats.wall_time = timer.elapsed
+    return stats
+
+
+def _install(state: ExecutionState, new_dist: Dist, new_stores: Dict[int, VertexStore]) -> int:
+    """Reset indegrees, rebuild ready lists, swap the state in.
+
+    Returns the number of active vertices left to (re)compute.
+    """
+
+    def finished_now(i: int, j: int) -> bool:
+        return new_stores[new_dist.place_of(i, j)].is_finished(i, j)
+
+    dag = state.dag
+    alive = list(new_dist.place_ids)
+    new_ready: Dict[int, Deque[Coord]] = {pid: deque() for pid in alive}
+    total_active = 0
+    finished_active = 0
+    for pid in alive:
+        store = new_stores[pid]
+        for k, (i, j) in enumerate(store.coords):
+            if not store.active[k]:
+                continue
+            total_active += 1
+            if store.finished[k]:
+                finished_active += 1
+                continue
+            indegree = 0
+            for d in dag.get_dependency(i, j):
+                if dag.is_active(d.i, d.j) and not finished_now(d.i, d.j):
+                    indegree += 1
+            store.indegree[k] = indegree
+            if indegree == 0:
+                new_ready[pid].append((i, j))
+
+    state.dist = new_dist
+    state.stores = new_stores
+    state.ready = new_ready
+    # leave recovery mode: clear the abort latch so the next execution
+    # round starts clean
+    state.abort_event.clear()
+    state._abort_exc = None
+    # placement RNGs and conditions for places that were not in the old
+    # dist (cannot happen today — recovery only shrinks — but keep the
+    # invariant that every dist place has both)
+    state.__post_init__()
+    return total_active - finished_active

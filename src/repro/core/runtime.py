@@ -1,0 +1,350 @@
+"""``DPX10Runtime``: the execution flow of the paper's Figure 4.
+
+In the absence of faults a run has three stages:
+
+1. **distribute & initialize** — build the distribution over the alive
+   places, create the per-place vertex stores, seed each place's ready
+   list with its zero-indegree vertices;
+2. **execute** — start one worker per place; workers schedule local
+   vertices and run the user's ``compute()`` until every local vertex is
+   finished;
+3. **finish** — bind results to the DAG and invoke ``app_finished()``.
+
+On a ``DeadPlaceException`` the runtime pauses, runs
+:func:`repro.core.recovery.recover`, and re-enters the execute stage on
+the surviving places — repeatedly, if multiple faults are injected.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.apgas.failure import FaultInjector, FaultPlan
+from repro.apgas.network import NetworkModel
+from repro.apgas.runtime import GlobalRuntime
+from repro.core.api import DPX10App
+from repro.core.cache import RemoteCache
+from repro.core.config import DPX10Config
+from repro.core.dag import Dag, ResultView
+from repro.core.recovery import RecoveryStats, recover, recover_from_snapshot
+from repro.core.trace import ExecutionTrace
+from repro.core.scheduler import make_strategy
+from repro.core.vertex_store import build_stores
+from repro.core.worker import ExecutionState, run_inline, run_static, run_threaded
+from repro.errors import ConfigurationError, DeadPlaceException, PlaceZeroDeadError
+from repro.util.logging import get_logger
+from repro.util.timer import Timer
+
+logger = get_logger("core.runtime")
+
+__all__ = ["DPX10Runtime", "RunReport"]
+
+Coord = Tuple[int, int]
+
+
+@dataclass
+class RunReport:
+    """Outcome and accounting of one :meth:`DPX10Runtime.run`."""
+
+    wall_time: float
+    #: total ``compute()`` invocations, including post-fault recomputation
+    completions: int
+    #: active vertices in the DAG (the useful work)
+    active_vertices: int
+    #: number of recovery passes taken
+    recoveries: int
+    recovery_stats: List[RecoveryStats] = field(default_factory=list)
+    network_messages: int = 0
+    network_bytes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    per_place_activities: Dict[int, int] = field(default_factory=dict)
+    #: compute() executions by execution place (moves under non-local
+    #: scheduling and work stealing)
+    per_place_executed: Dict[int, int] = field(default_factory=dict)
+    final_alive_places: int = 0
+    #: periodic-snapshot FT accounting (ft_mode="snapshot" only)
+    snapshots_taken: int = 0
+    snapshot_cells_copied: int = 0
+    #: per-vertex timeline (config.trace=True only)
+    trace: Optional["ExecutionTrace"] = None
+
+    @property
+    def recomputed(self) -> int:
+        """Compute invocations beyond the useful work (fault overhead)."""
+        return max(0, self.completions - self.active_vertices)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def summary(self) -> str:
+        """A human-readable multi-line digest of the run."""
+        lines = [
+            f"vertices: {self.active_vertices} active, "
+            f"{self.completions} compute() calls"
+            + (f" ({self.recomputed} recomputed)" if self.recomputed else ""),
+            f"places: {self.final_alive_places} alive at finish, "
+            f"{self.recoveries} recovery pass(es)",
+            f"network: {self.network_messages} messages, "
+            f"{self.network_bytes} bytes",
+            f"cache: {self.cache_hits} hits / {self.cache_misses} misses "
+            f"({self.cache_hit_rate:.1%})",
+            f"wall time: {self.wall_time:.3f}s",
+        ]
+        if self.snapshots_taken:
+            lines.append(
+                f"snapshots: {self.snapshots_taken} taken, "
+                f"{self.snapshot_cells_copied} cells checkpointed"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable flat summary (for run artifacts / CI logs)."""
+        return {
+            "wall_time": self.wall_time,
+            "completions": self.completions,
+            "active_vertices": self.active_vertices,
+            "recomputed": self.recomputed,
+            "recoveries": self.recoveries,
+            "network_messages": self.network_messages,
+            "network_bytes": self.network_bytes,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "per_place_executed": {
+                str(k): v for k, v in self.per_place_executed.items()
+            },
+            "final_alive_places": self.final_alive_places,
+            "snapshots_taken": self.snapshots_taken,
+            "snapshot_cells_copied": self.snapshot_cells_copied,
+        }
+
+
+class DPX10Runtime:
+    """Coordinates one DPX10 application run.
+
+    >>> from repro.apps.lcs import LCSApp
+    >>> from repro.patterns.diagonal import DiagonalDag
+    >>> app = LCSApp("ABC", "DBC")
+    >>> dag = DiagonalDag(4, 4)
+    >>> report = DPX10Runtime(app, dag).run()
+    >>> int(dag.get_vertex(3, 3).get_result())
+    2
+    """
+
+    def __init__(
+        self,
+        app: DPX10App,
+        dag: Dag,
+        config: Optional[DPX10Config] = None,
+        fault_plans: Sequence[FaultPlan] = (),
+        network: Optional[NetworkModel] = None,
+    ) -> None:
+        self.app = app
+        self.dag = dag
+        self.config = config if config is not None else DPX10Config()
+        self.fault_plans = list(fault_plans)
+        self.network = network if network is not None else NetworkModel()
+        self._report: Optional[RunReport] = None
+
+    @property
+    def report(self) -> Optional[RunReport]:
+        """The report of the last ``run()``, if any."""
+        return self._report
+
+    def run(self) -> RunReport:
+        """Execute the application to completion and return the report."""
+        cfg = self.config
+        if cfg.validate:
+            self.dag.validate()
+        if cfg.engine == "mp":
+            return self._run_mp()
+
+        rt = GlobalRuntime(
+            cfg.nplaces,
+            engine=cfg.engine,
+            threads_per_place=cfg.threads_per_place,
+            network=self.network,
+        )
+        recovery_stats: List[RecoveryStats] = []
+        try:
+            with Timer() as timer:
+                state = self._initialize(rt)
+                logger.debug(
+                    "initialized %s over %d places (%s, %s engine)",
+                    type(self.dag).__name__,
+                    rt.group.size,
+                    state.dist.kind,
+                    cfg.engine,
+                )
+                static_order = (
+                    self.dag.static_order() if cfg.static_schedule else None
+                )
+                if cfg.static_schedule and static_order is None:
+                    raise ConfigurationError(
+                        f"{type(self.dag).__name__} provides no static_order(); "
+                        "use dynamic scheduling"
+                    )
+                while True:
+                    try:
+                        if cfg.engine == "threaded":
+                            run_threaded(state)
+                        elif static_order is not None:
+                            run_static(state, static_order)
+                        else:
+                            run_inline(state)
+                        break
+                    except DeadPlaceException as exc:
+                        logger.warning(
+                            "place %d died after %d completions; entering "
+                            "recovery mode",
+                            exc.place_id,
+                            state.completions,
+                        )
+                        if not rt.group.is_alive(0):
+                            raise PlaceZeroDeadError()
+                        if cfg.ft_mode == "snapshot":
+                            stats = recover_from_snapshot(state)
+                        else:
+                            stats = recover(state)
+                        recovery_stats.append(stats)
+                        logger.info(
+                            "recovered onto places %s: %d preserved, %d copied, "
+                            "%d discarded, %d to recompute",
+                            stats.alive_places,
+                            stats.preserved_in_place,
+                            stats.copied,
+                            stats.discarded,
+                            stats.to_recompute,
+                        )
+                self._bind_results(state)
+                self.app.app_finished(self.dag)
+        finally:
+            rt.shutdown()
+
+        report = RunReport(
+            wall_time=timer.elapsed,
+            completions=state.completions,
+            active_vertices=sum(
+                s.active_count for s in state.stores.values()
+            ),
+            recoveries=len(recovery_stats),
+            recovery_stats=recovery_stats,
+            network_messages=self.network.stats.messages,
+            network_bytes=self.network.stats.bytes,
+            cache_hits=sum(c.hits for c in state.caches.values()),
+            cache_misses=sum(c.misses for c in state.caches.values()),
+            per_place_activities={p.id: p.activities_run for p in rt.group},
+            per_place_executed=dict(state.executed_by),
+            final_alive_places=rt.group.alive_count(),
+            snapshots_taken=(
+                state.snapshots.snapshots_taken if state.snapshots else 0
+            ),
+            snapshot_cells_copied=(
+                state.snapshots.cells_copied_total if state.snapshots else 0
+            ),
+            trace=state.trace,
+        )
+        self._report = report
+        return report
+
+    # -- the multiprocessing path ---------------------------------------------------
+    def _run_mp(self) -> RunReport:
+        """Real place processes, level-synchronous (repro.core.mp_engine)."""
+        from repro.core.mp_engine import run_mp
+
+        with Timer() as timer:
+            results, stats = run_mp(
+                self.app, self.dag, self.config, self.fault_plans
+            )
+            dag = self.dag
+
+            def getter(i: int, j: int):
+                return results[(i, j)]
+
+            def finished(i: int, j: int) -> bool:
+                return (i, j) in results
+
+            dag.bind_results(ResultView(getter, finished))
+            self.app.app_finished(dag)
+
+        report = RunReport(
+            wall_time=timer.elapsed,
+            completions=stats.completions,
+            active_vertices=len(results),
+            recoveries=stats.recoveries,
+            network_messages=stats.network_messages,
+            network_bytes=stats.network_bytes,
+            per_place_executed=dict(stats.per_place_executed),
+            final_alive_places=stats.final_alive_places,
+        )
+        self._report = report
+        return report
+
+    # -- stage 1: distribute & initialize -----------------------------------------
+    def _initialize(self, rt: GlobalRuntime) -> ExecutionState:
+        cfg = self.config
+        dist = cfg.make_dist(self.dag.region, rt.group.alive_ids())
+        stores = build_stores(
+            rt.group,
+            self.dag,
+            dist,
+            self.app.value_dtype,
+            self.app.init_value,
+            spill_dir=cfg.spill_dir,
+        )
+        ready: Dict[int, Deque[Coord]] = {
+            pid: deque(stores[pid].zero_indegree_unfinished())
+            for pid in dist.place_ids
+        }
+        caches = {
+            pid: RemoteCache(cfg.cache_size) for pid in range(rt.group.size)
+        }
+        total_active = sum(s.active_count for s in stores.values())
+        injector = (
+            FaultInjector(self.fault_plans, total_active)
+            if self.fault_plans
+            else None
+        )
+        state = ExecutionState(
+            app=self.app,
+            dag=self.dag,
+            config=cfg,
+            group=rt.group,
+            network=self.network,
+            strategy=make_strategy(cfg.scheduler),
+            dist=dist,
+            stores=stores,
+            ready=ready,
+            caches=caches,
+            injector=injector,
+            total_active=total_active,
+        )
+        if cfg.ft_mode == "snapshot":
+            from repro.dist.snapshot import SnapshotStore
+
+            state.snapshots = SnapshotStore()
+            state.take_snapshot()  # the initial (empty) checkpoint
+        if cfg.trace:
+            from repro.core.trace import ExecutionTrace
+
+            state.trace = ExecutionTrace()
+        state._engine = rt.engine
+        return state
+
+    # -- stage 3: bind results ------------------------------------------------------
+    def _bind_results(self, state: ExecutionState) -> None:
+        dist = state.dist
+        stores = state.stores
+
+        def getter(i: int, j: int):
+            return stores[dist.place_of(i, j)].get_result(i, j)
+
+        def finished(i: int, j: int) -> bool:
+            return stores[dist.place_of(i, j)].is_finished(i, j)
+
+        self.dag.bind_results(ResultView(getter, finished))

@@ -1,0 +1,116 @@
+"""Scheduling strategies (paper section VI-C).
+
+"The scheduling strategy can be specified by the user. By default, we use
+a local scheduling strategy which execute the vertex on the local place.
+We also provided another two methods: random scheduling and minimum
+communication scheduling. The latter one calculates the total cost of
+communication for executing them in each place and choose the minimum one."
+
+A strategy answers one question: *at which place should this ready vertex's
+``compute()`` run?* The vertex's result always lives at its home place; a
+non-home choice trades computation placement against the transfers of its
+dependency values (and the write-back of the result).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.api import VertexId
+from repro.errors import ConfigurationError, SchedulingError
+from repro.util.validation import require
+
+__all__ = [
+    "SchedulingStrategy",
+    "LocalScheduling",
+    "RandomScheduling",
+    "MinCommScheduling",
+    "make_strategy",
+]
+
+
+class SchedulingStrategy(ABC):
+    """Chooses the execution place for a ready vertex."""
+
+    name: str
+
+    @abstractmethod
+    def choose_place(
+        self,
+        vid: VertexId,
+        home: int,
+        dep_homes: Sequence[int],
+        alive_ids: Sequence[int],
+        rng: np.random.Generator,
+        value_nbytes: int,
+    ) -> int:
+        """Return the place id where the vertex should execute.
+
+        ``home`` is the vertex's home place (always alive when called);
+        ``dep_homes`` lists the home place of each dependency;
+        ``alive_ids`` are the currently alive places, in id order.
+        """
+
+
+class LocalScheduling(SchedulingStrategy):
+    """Execute at the vertex's home place (the paper's default)."""
+
+    name = "local"
+
+    def choose_place(self, vid, home, dep_homes, alive_ids, rng, value_nbytes):
+        return home
+
+
+class RandomScheduling(SchedulingStrategy):
+    """Execute at a uniformly random alive place."""
+
+    name = "random"
+
+    def choose_place(self, vid, home, dep_homes, alive_ids, rng, value_nbytes):
+        require(len(alive_ids) > 0, "no alive place to schedule onto", SchedulingError)
+        return int(alive_ids[int(rng.integers(0, len(alive_ids)))])
+
+class MinCommScheduling(SchedulingStrategy):
+    """Execute where the total communication volume is minimal.
+
+    The cost of running at candidate place *p* is the bytes of every
+    dependency homed elsewhere, plus the result write-back if *p* is not
+    the vertex's home. Ties break toward the home place, then the lowest
+    place id, so decisions are deterministic. "This strategy introduces
+    some extra overhead and should be used in appropriate scenarios"
+    (paper) — the candidate scan is that overhead.
+    """
+
+    name = "mincomm"
+
+    def choose_place(self, vid, home, dep_homes, alive_ids, rng, value_nbytes):
+        require(len(alive_ids) > 0, "no alive place to schedule onto", SchedulingError)
+        costs = []
+        for p in alive_ids:
+            cost = sum(value_nbytes for d in dep_homes if d != p)
+            if p != home:
+                cost += value_nbytes  # result written back to the home place
+            costs.append((cost, p))
+        best_cost = min(c for c, _ in costs)
+        candidates = [p for c, p in costs if c == best_cost]
+        return home if home in candidates else min(candidates)
+
+
+_STRATEGIES = {
+    "local": LocalScheduling,
+    "random": RandomScheduling,
+    "mincomm": MinCommScheduling,
+}
+
+
+def make_strategy(name: str) -> SchedulingStrategy:
+    """Instantiate a strategy by its config name."""
+    require(
+        name in _STRATEGIES,
+        f"unknown scheduler {name!r}; known: {sorted(_STRATEGIES)}",
+        ConfigurationError,
+    )
+    return _STRATEGIES[name]()

@@ -1,0 +1,126 @@
+"""Execution tracing: per-vertex timeline for profiling and visualization.
+
+Enable with ``DPX10Config(trace=True)``; the runtime then records one
+:class:`TraceEvent` per ``compute()`` invocation (coordinates, home and
+execution place, wall-clock start/end). :class:`ExecutionTrace` offers the
+analyses a performance engineer reaches for first: per-place utilization,
+a completion-rate profile (the wavefront breathing in and out), and an
+ASCII Gantt rendering.
+
+Tracing costs two ``perf_counter`` calls and one append per vertex — keep
+it off for benchmarking runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["TraceEvent", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One ``compute()`` invocation."""
+
+    i: int
+    j: int
+    home_place: int
+    exec_place: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class ExecutionTrace:
+    """Thread-safe event sink plus post-run analyses."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+        self._lock = threading.Lock()
+        self._t0 = time.perf_counter()
+
+    # -- recording ---------------------------------------------------------------
+    def now(self) -> float:
+        """Seconds since the trace began."""
+        return time.perf_counter() - self._t0
+
+    def record(self, event: TraceEvent) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    # -- access ------------------------------------------------------------------
+    @property
+    def events(self) -> List[TraceEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def span(self) -> float:
+        """Wall-clock from the first start to the last end."""
+        events = self.events
+        if not events:
+            return 0.0
+        return max(e.end for e in events) - min(e.start for e in events)
+
+    # -- analyses -----------------------------------------------------------------
+    def utilization(self) -> Dict[int, float]:
+        """Busy-time fraction per execution place over the trace span."""
+        events = self.events
+        span = self.span
+        if not events or span == 0:
+            return {}
+        busy: Dict[int, float] = {}
+        for e in events:
+            busy[e.exec_place] = busy.get(e.exec_place, 0.0) + e.duration
+        return {p: min(1.0, b / span) for p, b in sorted(busy.items())}
+
+    def completion_profile(self, buckets: int = 20) -> List[int]:
+        """Completions per equal time bucket — the wavefront's width over time."""
+        events = self.events
+        if not events or buckets < 1:
+            return [0] * max(buckets, 0)
+        start = min(e.start for e in events)
+        span = self.span or 1e-12
+        out = [0] * buckets
+        for e in events:
+            k = min(buckets - 1, int((e.end - start) / span * buckets))
+            out[k] += 1
+        return out
+
+    def executed_per_place(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for e in self.events:
+            counts[e.exec_place] = counts.get(e.exec_place, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def render_gantt(self, width: int = 60) -> str:
+        """ASCII activity chart: one row per place, '#' where busy."""
+        events = self.events
+        if not events:
+            return "(empty trace)"
+        t0 = min(e.start for e in events)
+        span = self.span or 1e-12
+        places = sorted({e.exec_place for e in events})
+        rows = []
+        for p in places:
+            cells = [" "] * width
+            for e in events:
+                if e.exec_place != p:
+                    continue
+                a = int((e.start - t0) / span * width)
+                b = int((e.end - t0) / span * width)
+                for k in range(max(0, a), min(width, b + 1)):
+                    cells[k] = "#"
+            rows.append(f"place {p:3d} |{''.join(cells)}|")
+        header = f"{'':9s} +{'-' * width}+  span={span * 1e3:.1f}ms"
+        return "\n".join([header] + rows)

@@ -1,0 +1,17 @@
+"""Distributed-array substrate (X10's ``DistArray`` / ``Dist`` equivalents).
+
+X10 programs describe *where* data lives with a ``Dist`` (a mapping from
+array indices to places) and store it in a ``DistArray``. DPX10 keeps all
+DAG vertices in a distributed array, spliced by column by default
+(paper section VI-B), and its fault-tolerance story is a new recovery
+protocol for distributed arrays (section VI-D) compared against X10's
+snapshot-based ``ResilientDistArray`` — both are provided here.
+"""
+
+from repro.dist.dist import Dist
+from repro.dist.dist_array import DistArray
+from repro.dist.region import Region2D
+from repro.dist.resilient import ResilientDistArray
+from repro.dist.snapshot import SnapshotStore
+
+__all__ = ["Dist", "DistArray", "Region2D", "ResilientDistArray", "SnapshotStore"]

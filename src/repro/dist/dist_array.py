@@ -1,0 +1,88 @@
+"""``DistArray``: a value per region cell, partitioned across places.
+
+This is the substrate DPX10 keeps its vertices in. The storage for each
+place physically lives in that place's partition
+(:class:`~repro.apgas.place.Place` storage), so killing a place makes its
+cells unreachable and any access raises
+:class:`~repro.errors.DeadPlaceException` — exactly the failure observable
+the recovery protocol consumes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Dict, Iterator, Tuple
+
+from repro.apgas.place import PlaceGroup
+from repro.dist.dist import Dist
+from repro.errors import DistributionError
+
+__all__ = ["DistArray"]
+
+_array_counter = itertools.count()
+
+
+class DistArray:
+    """A distributed map ``(i, j) -> value`` over a :class:`Dist`.
+
+    Cells start unset; :meth:`get` on an unset cell raises ``KeyError`` and
+    on a dead home place raises ``DeadPlaceException``.
+    """
+
+    def __init__(self, dist: Dist, group: PlaceGroup) -> None:
+        for pid in dist.place_ids:
+            if pid >= group.size:
+                raise DistributionError(
+                    f"dist maps onto place {pid} but group has {group.size}"
+                )
+        self.dist = dist
+        self.group = group
+        self._key = f"distarray:{next(_array_counter)}"
+        self._lock = threading.Lock()
+        for pid in dist.place_ids:
+            group.check_alive(pid).put(self._key, {})
+
+    # -- element access ---------------------------------------------------------
+    def _local_map(self, place_id: int) -> Dict[Tuple[int, int], Any]:
+        return self.group.check_alive(place_id).get(self._key)
+
+    def set(self, i: int, j: int, value: Any) -> None:
+        pid = self.dist.place_of(i, j)
+        local = self._local_map(pid)
+        with self._lock:
+            local[(i, j)] = value
+
+    def get(self, i: int, j: int) -> Any:
+        pid = self.dist.place_of(i, j)
+        local = self._local_map(pid)
+        with self._lock:
+            return local[(i, j)]
+
+    def contains(self, i: int, j: int) -> bool:
+        pid = self.dist.place_of(i, j)
+        local = self._local_map(pid)
+        with self._lock:
+            return (i, j) in local
+
+    def home_of(self, i: int, j: int) -> int:
+        return self.dist.place_of(i, j)
+
+    # -- bulk access --------------------------------------------------------------
+    def local_items(self, place_id: int) -> Iterator[Tuple[Tuple[int, int], Any]]:
+        """Snapshot of the cells currently set at ``place_id``."""
+        local = self._local_map(place_id)
+        with self._lock:
+            return iter(list(local.items()))
+
+    def local_size(self, place_id: int) -> int:
+        local = self._local_map(place_id)
+        with self._lock:
+            return len(local)
+
+    def total_set(self) -> int:
+        """Number of set cells across alive places."""
+        return sum(self.local_size(pid) for pid in self.alive_home_ids())
+
+    def alive_home_ids(self) -> list[int]:
+        return [pid for pid in self.dist.place_ids if self.group.is_alive(pid)]

@@ -1,0 +1,121 @@
+"""2-D index regions (half-open rectangles) and their algebra.
+
+Mirrors the rectangular case of X10's ``Region``: the DP matrices in the
+paper are all dense 2-D grids, so a rectangle with split/intersect/contains
+operations is the complete substrate the framework needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.util.validation import require
+
+__all__ = ["Region2D"]
+
+
+@dataclass(frozen=True)
+class Region2D:
+    """Half-open rectangle ``[row0, row1) x [col0, col1)``."""
+
+    row0: int
+    row1: int
+    col0: int
+    col1: int
+
+    def __post_init__(self) -> None:
+        require(self.row1 >= self.row0, f"row1 < row0 in {self!r}")
+        require(self.col1 >= self.col0, f"col1 < col0 in {self!r}")
+
+    @classmethod
+    def of_shape(cls, height: int, width: int) -> "Region2D":
+        """The region ``[0, height) x [0, width)``."""
+        return cls(0, height, 0, width)
+
+    # -- geometry -------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        return self.row1 - self.row0
+
+    @property
+    def width(self) -> int:
+        return self.col1 - self.col0
+
+    @property
+    def size(self) -> int:
+        return self.height * self.width
+
+    @property
+    def is_empty(self) -> bool:
+        return self.size == 0
+
+    def contains(self, i: int, j: int) -> bool:
+        return self.row0 <= i < self.row1 and self.col0 <= j < self.col1
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        """Row-major iteration over all (i, j) in the region."""
+        for i in range(self.row0, self.row1):
+            for j in range(self.col0, self.col1):
+                yield (i, j)
+
+    def intersect(self, other: "Region2D") -> Optional["Region2D"]:
+        """The overlapping rectangle, or ``None`` if disjoint/empty."""
+        r0 = max(self.row0, other.row0)
+        r1 = min(self.row1, other.row1)
+        c0 = max(self.col0, other.col0)
+        c1 = min(self.col1, other.col1)
+        if r0 >= r1 or c0 >= c1:
+            return None
+        return Region2D(r0, r1, c0, c1)
+
+    # -- splitting (used by block distributions) --------------------------------
+    def split_rows(self, parts: int) -> List["Region2D"]:
+        """Split into ``parts`` row bands of near-equal height.
+
+        The first ``height % parts`` bands get one extra row; empty bands
+        are returned as empty regions so the result always has ``parts``
+        entries (a place may legitimately own nothing).
+        """
+        require(parts >= 1, f"parts must be >= 1, got {parts}")
+        base, extra = divmod(self.height, parts)
+        out: List[Region2D] = []
+        r = self.row0
+        for k in range(parts):
+            h = base + (1 if k < extra else 0)
+            out.append(Region2D(r, r + h, self.col0, self.col1))
+            r += h
+        return out
+
+    def split_cols(self, parts: int) -> List["Region2D"]:
+        """Split into ``parts`` column bands of near-equal width."""
+        require(parts >= 1, f"parts must be >= 1, got {parts}")
+        base, extra = divmod(self.width, parts)
+        out: List[Region2D] = []
+        c = self.col0
+        for k in range(parts):
+            w = base + (1 if k < extra else 0)
+            out.append(Region2D(self.row0, self.row1, c, c + w))
+            c += w
+        return out
+
+    def tile(self, tile_h: int, tile_w: int) -> List[List["Region2D"]]:
+        """Cover the region with a grid of tiles of at most the given shape.
+
+        Returns tiles[ti][tj]; edge tiles are clipped to the region.
+        """
+        require(tile_h >= 1 and tile_w >= 1, "tile dims must be >= 1")
+        rows: List[List[Region2D]] = []
+        for r in range(self.row0, self.row1, tile_h):
+            row: List[Region2D] = []
+            for c in range(self.col0, self.col1, tile_w):
+                row.append(
+                    Region2D(
+                        r,
+                        min(r + tile_h, self.row1),
+                        c,
+                        min(c + tile_w, self.col1),
+                    )
+                )
+            rows.append(row)
+        return rows

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the DPX10 reproduction.
+
+The names mirror the X10 / DPX10 concepts from the paper:
+``DeadPlaceException`` is the Resilient-X10 signal that a place (an X10
+process, here a simulated place) has failed; everything else is framework
+level.
+"""
+
+from __future__ import annotations
+
+
+class DPX10Error(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(DPX10Error):
+    """An invalid :class:`~repro.core.config.DPX10Config` or argument."""
+
+
+class PatternError(DPX10Error):
+    """A DAG pattern violated a structural requirement (bounds, inverse)."""
+
+
+class DistributionError(DPX10Error):
+    """A :class:`~repro.dist.dist.Dist` does not tile its region correctly."""
+
+
+class SchedulingError(DPX10Error):
+    """A scheduler made an illegal placement decision."""
+
+
+class RecoveryError(DPX10Error):
+    """Fault recovery could not restore a consistent state."""
+
+
+class SimulationError(DPX10Error):
+    """The discrete-event cluster simulator hit an inconsistent state."""
+
+
+class DeadPlaceException(DPX10Error):
+    """Raised when code touches a place that has failed.
+
+    Mirrors Resilient X10's ``DeadPlaceException``: any attempt to run an
+    activity at, or read/write the partition of, a dead place raises this.
+    The DPX10 runtime catches it and enters recovery mode (paper section
+    VI-D).
+    """
+
+    def __init__(self, place_id: int, message: str | None = None) -> None:
+        self.place_id = place_id
+        super().__init__(message or f"place {place_id} is dead")
+
+
+class AllPlacesDeadError(RecoveryError):
+    """No alive place remains; recovery is impossible."""
+
+
+class PlaceZeroDeadError(RecoveryError):
+    """Place 0 died.
+
+    The paper notes a limitation of Resilient X10: execution aborts if
+    Place 0 is dead. We reproduce that behaviour faithfully by refusing to
+    recover from a Place-0 failure.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            "place 0 is dead; Resilient X10 (and hence DPX10) cannot recover"
+        )

@@ -1,0 +1,14 @@
+"""Hand-written baselines bypassing the DPX10 framework.
+
+Figure 12 compares DPX10's SWLAG against "the SWLAG algorithm implemented
+with native X10": same computation, no DAG objects, no pattern dispatch,
+no per-vertex scheduling, no cache — the cost of the framework's
+convenience. :mod:`repro.native.swlag_native` is that baseline for this
+reproduction: a direct array sweep used both for measured small-scale
+overhead ratios and (through ``CostModel.native()``) for the simulated
+paper-scale ratio.
+"""
+
+from repro.native.swlag_native import swlag_native, swlag_native_score
+
+__all__ = ["swlag_native", "swlag_native_score"]

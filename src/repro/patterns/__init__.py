@@ -1,0 +1,58 @@
+"""The DAG pattern library (paper section VI-B, Figure 5).
+
+"There are often some applications whose DAG diagrams are almost the same
+except for their sizes. In view of the reuse concept, we could make those
+frequently used DAGs as DAG patterns and establish a DAG pattern library."
+
+Eight built-in patterns ship with the library (the paper's Figure 5 is an
+image; prose identifies (a) = MTP's grid, (b) = LCS/SW's diagonal stencil
+and (d) = LPS's interval pattern — the remaining five are the standard DP
+dependency stencils that framing implies, documented per module):
+
+====================  ==========================================  =================
+name                  dependency of (i, j)                        classic use
+====================  ==========================================  =================
+``grid``          (a) (i-1, j), (i, j-1)                          Manhattan Tourist
+``diagonal``      (b) (i-1, j-1), (i-1, j), (i, j-1)              LCS, Smith-Waterman
+``row_chain``     (c) (i, j-1)                                    per-row scans
+``interval``      (d) (i+1, j), (i, j-1), (i+1, j-1); i <= j      LPS
+``column_chain``  (e) (i-1, j)                                    per-column scans
+``antidiag``      (f) (i-1, j-1), (i-1, j), (i-1, j+1)            banded alignment
+``full_row``      (g) all of row i-1                              2D/1D recurrences
+``triangular``    (h) (i, k) k<j and (k, j) k>i; i <= j           matrix chain
+====================  ==========================================  =================
+
+Custom patterns subclass :class:`~repro.core.dag.Dag` directly; the 0/1
+Knapsack pattern (paper Figures 8/9) is provided as the worked example.
+"""
+
+from repro.patterns.antidiag_band import AntiDiagonalDag
+from repro.patterns.banded import BandedDiagonalDag
+from repro.patterns.base import PATTERNS, StencilDag, get_pattern, register_pattern
+from repro.patterns.column_chain import ColumnChainDag
+from repro.patterns.diag_chain import DiagChainDag
+from repro.patterns.diagonal import DiagonalDag
+from repro.patterns.full_row import FullRowDag
+from repro.patterns.grid import GridDag
+from repro.patterns.interval import IntervalDag
+from repro.patterns.knapsack import KnapsackDag
+from repro.patterns.row_chain import RowChainDag
+from repro.patterns.triangular import TriangularDag
+
+__all__ = [
+    "AntiDiagonalDag",
+    "BandedDiagonalDag",
+    "PATTERNS",
+    "StencilDag",
+    "get_pattern",
+    "register_pattern",
+    "ColumnChainDag",
+    "DiagChainDag",
+    "DiagonalDag",
+    "FullRowDag",
+    "GridDag",
+    "IntervalDag",
+    "KnapsackDag",
+    "RowChainDag",
+    "TriangularDag",
+]

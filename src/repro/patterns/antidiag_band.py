@@ -1,0 +1,21 @@
+"""Pattern (f): the three-upper-neighbour band stencil.
+
+``(i, j)`` depends on ``(i-1, j-1)``, ``(i-1, j)`` and ``(i-1, j+1)`` —
+the whole previous row's local neighbourhood, as in banded sequence
+alignment, Viterbi-style trellises, and seam carving. Row 0 is the seed
+row; rows complete strictly in order while cells within a row are
+independent.
+"""
+
+from __future__ import annotations
+
+from repro.patterns.base import StencilDag, register_pattern
+
+__all__ = ["AntiDiagonalDag"]
+
+
+@register_pattern("antidiag")
+class AntiDiagonalDag(StencilDag):
+    """Trellis recurrence: ``D[i,j] = f(D[i-1, j-1..j+1])``."""
+
+    offsets = ((-1, -1), (-1, 0), (-1, 1))

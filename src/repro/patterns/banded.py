@@ -1,0 +1,80 @@
+"""Banded diagonal pattern: the alignment stencil restricted to a band.
+
+Demonstrates the Refinements' "Initialization of DAG" hook: cells with
+``|i - j| > bandwidth`` are marked inactive ("set the unneeded vertices as
+finished"), so a banded alignment computes O(n·w) vertices instead of
+O(n²) — the standard trick when the sequences are known to be similar.
+
+Not one of the paper's eight built-ins; registered separately as
+``banded``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import PatternError
+from repro.patterns.base import StencilDag, register_pattern
+from repro.util.validation import require
+
+__all__ = ["BandedDiagonalDag"]
+
+
+@register_pattern("banded")
+class BandedDiagonalDag(StencilDag):
+    """LCS/alignment stencil active only where ``|i - j| <= bandwidth``."""
+
+    offsets = ((-1, -1), (-1, 0), (0, -1))
+
+    def __init__(self, height: int, width: int, bandwidth: int) -> None:
+        require(bandwidth >= 0, f"bandwidth must be >= 0, got {bandwidth}", PatternError)
+        require(
+            abs(height - width) <= bandwidth,
+            f"band of width {bandwidth} cannot reach the corner of a "
+            f"{height}x{width} matrix",
+            PatternError,
+        )
+        self.bandwidth = bandwidth
+        super().__init__(height, width)
+
+    def is_active(self, i: int, j: int) -> bool:
+        return abs(i - j) <= self.bandwidth
+
+    def is_active_array(self, rows, cols):
+        import numpy as np
+
+        return np.abs(np.asarray(rows) - np.asarray(cols)) <= self.bandwidth
+
+    def active_cells_in_rect(self, r0: int, r1: int, c0: int, c1: int) -> int:
+        # per-row overlap of [i - w, i + w] with [c0, c1)
+        w = self.bandwidth
+        count = 0
+        for i in range(max(0, r0), r1):
+            lo = max(c0, i - w)
+            hi = min(c1, i + w + 1)
+            if hi > lo:
+                count += hi - lo
+        return count
+
+    def _rect_intersects_band(self, r0: int, r1: int, c0: int, c1: int) -> bool:
+        # minimal |i - j| over the (closed) rect corners
+        if r1 - 1 < c0:
+            dmin = c0 - (r1 - 1)
+        elif c1 - 1 < r0:
+            dmin = r0 - (c1 - 1)
+        else:
+            dmin = 0
+        return dmin <= self.bandwidth
+
+    def tile_deps(self, ti: int, tj: int, nti: int, ntj: int) -> List[Tuple[int, int]]:
+        tile_h = -(-self.height // nti)
+        tile_w = -(-self.width // ntj)
+
+        def in_band(t: Tuple[int, int]) -> bool:
+            r0 = t[0] * tile_h
+            c0 = t[1] * tile_w
+            return self._rect_intersects_band(
+                r0, min(r0 + tile_h, self.height), c0, min(c0 + tile_w, self.width)
+            )
+
+        return [t for t in super().tile_deps(ti, tj, nti, ntj) if in_band(t)]

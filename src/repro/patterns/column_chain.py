@@ -1,0 +1,19 @@
+"""Pattern (e): independent top-to-bottom column chains.
+
+``(i, j)`` depends only on ``(i-1, j)``. The column-wise mirror of
+``row_chain``; with the paper's default column splicing every chain is
+fully place-local, making this the zero-communication reference pattern.
+"""
+
+from __future__ import annotations
+
+from repro.patterns.base import StencilDag, register_pattern
+
+__all__ = ["ColumnChainDag"]
+
+
+@register_pattern("column_chain")
+class ColumnChainDag(StencilDag):
+    """Column-local recurrence: ``D[i,j] = f(D[i-1,j])``."""
+
+    offsets = ((-1, 0),)

@@ -1,0 +1,24 @@
+"""Diagonal-chain pattern: each cell depends only on ``(i-1, j-1)``.
+
+The matrix decomposes into independent diagonal chains — the dependency
+shape of the longest-common-*substring* recurrence (``F[i,j] =
+F[i-1,j-1]+1`` on match, else 0), suffix-match counting, and similar
+"consecutive run" DPs. Maximal parallelism among the stencils: the
+wavefront is a full anti-diagonal from step one.
+
+An extension pattern (registered as ``diag_chain``), not one of the
+paper's Figure 5 eight.
+"""
+
+from __future__ import annotations
+
+from repro.patterns.base import StencilDag, register_pattern
+
+__all__ = ["DiagChainDag"]
+
+
+@register_pattern("diag_chain")
+class DiagChainDag(StencilDag):
+    """Run-length recurrence: ``D[i,j] = f(D[i-1,j-1])``."""
+
+    offsets = ((-1, -1),)

@@ -1,0 +1,20 @@
+"""Pattern (b): the three-neighbour diagonal stencil — LCS, Smith-Waterman.
+
+``(i, j)`` depends on ``(i-1, j-1)``, ``(i-1, j)`` and ``(i, j-1)``. This
+is the paper's Figure 1 / Figure 5(b) pattern used by the LCS demo and the
+Smith-Waterman application (and by edit distance, Needleman-Wunsch, and
+most pairwise alignment recurrences).
+"""
+
+from __future__ import annotations
+
+from repro.patterns.base import StencilDag, register_pattern
+
+__all__ = ["DiagonalDag"]
+
+
+@register_pattern("diagonal")
+class DiagonalDag(StencilDag):
+    """2D/0D alignment recurrence with match/insert/delete predecessors."""
+
+    offsets = ((-1, -1), (-1, 0), (0, -1))

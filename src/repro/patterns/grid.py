@@ -1,0 +1,19 @@
+"""Pattern (a): the down-right grid — Manhattan Tourist Problem.
+
+``(i, j)`` depends on its upper neighbour ``(i-1, j)`` and left neighbour
+``(i, j-1)``; cell ``(0, 0)`` is the single seed. The wavefront sweeps
+along anti-diagonals from the top-left corner.
+"""
+
+from __future__ import annotations
+
+from repro.patterns.base import StencilDag, register_pattern
+
+__all__ = ["GridDag"]
+
+
+@register_pattern("grid")
+class GridDag(StencilDag):
+    """2D/0D grid recurrence: ``D[i,j] = f(D[i-1,j], D[i,j-1])``."""
+
+    offsets = ((-1, 0), (0, -1))

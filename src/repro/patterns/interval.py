@@ -1,0 +1,65 @@
+"""Pattern (d): the interval/palindrome pattern — Longest Palindromic
+Subsequence.
+
+Only the upper triangle ``i <= j`` is active; ``(i, j)`` depends on
+``(i+1, j)``, ``(i, j-1)`` and ``(i+1, j-1)``. The diagonal ``(i, i)`` is
+the seed and computation sweeps toward the top-right corner ``(0, n-1)``,
+which holds the final answer — matching the paper's LPS recurrence:
+
+.. code-block:: none
+
+    D(i,i) = 1
+    D(i,j) = D(i+1,j-1) + 2             if x_i == x_j
+           = max(D(i+1,j), D(i,j-1))    otherwise
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.patterns.base import StencilDag, register_pattern
+
+__all__ = ["IntervalDag", "_upper_triangle_count"]
+
+
+def _upper_triangle_count(r0: int, r1: int, c0: int, c1: int) -> int:
+    """Cells with ``i <= j`` in ``[r0, r1) x [c0, c1)``, closed form."""
+    if r1 <= r0 or c1 <= c0:
+        return 0
+    # rows with i <= c0 contribute the full width; rows with c0 < i < c1
+    # contribute c1 - i; rows with i >= c1 contribute nothing
+    full_hi = min(r1, c0 + 1)
+    count = max(0, full_hi - r0) * (c1 - c0)
+    lo = max(r0, c0 + 1)
+    hi = min(r1, c1)
+    if lo < hi:
+        n = hi - lo
+        count += n * c1 - (lo + hi - 1) * n // 2
+    return count
+
+
+@register_pattern("interval")
+class IntervalDag(StencilDag):
+    """Triangular interval recurrence over substrings ``x[i..j]``."""
+
+    offsets = ((1, 0), (0, -1), (1, -1))
+
+    def is_active(self, i: int, j: int) -> bool:
+        return i <= j
+
+    def active_cells_in_rect(self, r0: int, r1: int, c0: int, c1: int) -> int:
+        return _upper_triangle_count(r0, r1, c0, c1)
+
+    def is_active_array(self, rows, cols):
+        import numpy as np
+
+        return np.asarray(rows) <= np.asarray(cols)
+
+    def tile_deps(self, ti: int, tj: int, nti: int, ntj: int) -> List[Tuple[int, int]]:
+        # same sign stencil, restricted to the active (upper-triangular)
+        # tile region
+        return [
+            (ni, nj)
+            for ni, nj in super().tile_deps(ti, tj, nti, ntj)
+            if ni <= nj
+        ]

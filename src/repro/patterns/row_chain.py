@@ -1,0 +1,19 @@
+"""Pattern (c): independent left-to-right row chains.
+
+``(i, j)`` depends only on ``(i, j-1)``; every row computes independently,
+seeded at its first column. The embarrassingly parallel end of the DP
+spectrum — useful as a scaling baseline and for per-row scan recurrences.
+"""
+
+from __future__ import annotations
+
+from repro.patterns.base import StencilDag, register_pattern
+
+__all__ = ["RowChainDag"]
+
+
+@register_pattern("row_chain")
+class RowChainDag(StencilDag):
+    """Row-local recurrence: ``D[i,j] = f(D[i,j-1])``."""
+
+    offsets = ((0, -1),)

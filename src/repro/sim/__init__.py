@@ -1,0 +1,36 @@
+"""Discrete-event cluster simulator for paper-scale experiments.
+
+The paper evaluates DPX10 on Tianhe-1A (12-core nodes, InfiniBand QDR)
+with 10^8–10^9-vertex DAGs — far beyond what per-vertex Python execution
+can reach. This package runs the *same scheduling decisions* (DAG pattern,
+distribution, worker/core structure, fault recovery protocol) as an
+event-driven simulation over matrix tiles, with a cost model calibrated to
+the paper's hardware era. It reproduces the **shapes** of Figures 10–13:
+speedup saturation, linear size scaling, framework overhead ratio, and
+recovery cost; absolute seconds are model outputs, not measurements.
+
+Entry points:
+
+* :func:`repro.sim.engine.simulate` — fault-free makespan of one app run;
+* :func:`repro.sim.engine.simulate_with_fault` — mid-run node failure,
+  recovery, and resumed execution;
+* :class:`repro.sim.cluster.ClusterSpec` — node/core/network description
+  (``ClusterSpec.tianhe1a(nodes)`` gives the paper's setup);
+* :class:`repro.sim.costmodel.CostModel` — calibrated per-app constants.
+"""
+
+from repro.sim.cluster import ClusterSpec
+from repro.sim.costmodel import CostModel
+from repro.sim.engine import SimResult, simulate, simulate_with_fault
+from repro.sim.recovery_model import recovery_time
+from repro.sim.tiles import TileGrid
+
+__all__ = [
+    "ClusterSpec",
+    "CostModel",
+    "SimResult",
+    "simulate",
+    "simulate_with_fault",
+    "recovery_time",
+    "TileGrid",
+]

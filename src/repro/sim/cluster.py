@@ -1,0 +1,62 @@
+"""Cluster descriptions for the simulator.
+
+The paper's setup (section VIII): "Each computing node of Tianhe-1A ...
+has dual 2.93GHz Intel Xeon 5670 six-core processors (total 12 cores per
+node / 24 hardware threads) ... connected with InfiniBand QDR ...
+``X10_NTHREADS`` to 6 ... ``X10_NPLACES`` was twice the number of
+computing nodes" — i.e. 2 places per node, 6 worker threads per place,
+12 workers per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require
+
+__all__ = ["ClusterSpec"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster: nodes x (places x worker threads) + network."""
+
+    nodes: int
+    places_per_node: int = 2  # X10_NPLACES / nodes
+    threads_per_place: int = 6  # X10_NTHREADS
+    #: per-message network latency, seconds (InfiniBand QDR class)
+    alpha: float = 2.0e-6
+    #: network bandwidth, bytes/second
+    beta: float = 3.2e9
+
+    def __post_init__(self) -> None:
+        require(self.nodes >= 1, f"need >= 1 node, got {self.nodes}")
+        require(self.places_per_node >= 1, "places_per_node must be >= 1")
+        require(self.threads_per_place >= 1, "threads_per_place must be >= 1")
+        require(self.alpha >= 0 and self.beta > 0, "bad network parameters")
+
+    @property
+    def nplaces(self) -> int:
+        return self.nodes * self.places_per_node
+
+    @property
+    def workers(self) -> int:
+        """Total worker threads (equals hardware cores in the paper)."""
+        return self.nplaces * self.threads_per_place
+
+    @classmethod
+    def tianhe1a(cls, nodes: int) -> "ClusterSpec":
+        """The paper's Tianhe-1A configuration for ``nodes`` nodes."""
+        return cls(nodes=nodes)
+
+    def without_node(self, node: int) -> "ClusterSpec":
+        """The surviving cluster after one node fails."""
+        require(0 <= node < self.nodes, f"no node {node} in {self.nodes}-node cluster")
+        require(self.nodes >= 2, "cannot lose the only node")
+        return ClusterSpec(
+            nodes=self.nodes - 1,
+            places_per_node=self.places_per_node,
+            threads_per_place=self.threads_per_place,
+            alpha=self.alpha,
+            beta=self.beta,
+        )

@@ -1,0 +1,462 @@
+"""The discrete-event simulation engine.
+
+:func:`simulate` runs one application DAG to completion on a cluster:
+tiles become ready when their tile-dependencies finish, ready tiles are
+assigned to the earliest-free worker thread of their owning place, and the
+makespan is the last completion. This is classic list scheduling over the
+same DAG/distribution structure the real runtime uses.
+
+:func:`simulate_with_fault` reproduces the paper's recovery experiment
+(Figure 13): run until a node dies mid-execution, lose that node's tiles
+(and, under the default "discard" restore manner, any finished tile whose
+home moves when the bands are recomputed over the survivors), pay the
+recovery pass, then resume on the surviving cluster.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.core.dag import Dag
+from repro.errors import SimulationError
+from repro.sim.cluster import ClusterSpec
+from repro.sim.costmodel import CostModel
+from repro.sim.recovery_model import recovery_time
+from repro.sim.tiles import TileGrid, TileId
+from repro.util.validation import require
+
+__all__ = [
+    "SimResult",
+    "FaultSimResult",
+    "MultiFaultSimResult",
+    "SnapshotSimResult",
+    "simulate",
+    "simulate_with_fault",
+    "simulate_with_faults",
+    "simulate_with_fault_snapshot",
+]
+
+
+@dataclass
+class SimResult:
+    """Outcome of one fault-free simulated run."""
+
+    makespan: float
+    total_cells: int
+    ntiles: int
+    #: sum of per-tile execution times (the work the cluster performed)
+    work_seconds: float
+    #: portion of the work spent on remote dependency fetches
+    comm_seconds: float
+    nplaces: int
+    workers: int
+    #: completion log [(finish_time, tile)] in completion order
+    completions: List[Tuple[float, TileId]] = field(default_factory=list)
+    #: busy seconds per place
+    busy_by_place: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def parallel_efficiency(self) -> float:
+        if self.makespan == 0:
+            return 1.0
+        return self.work_seconds / (self.makespan * self.workers)
+
+    def place_utilization(self) -> Dict[int, float]:
+        """Busy fraction per place over the makespan."""
+        if self.makespan == 0:
+            return {}
+        per_place_capacity = self.makespan * (self.workers / max(1, self.nplaces))
+        return {
+            p: min(1.0, busy / per_place_capacity)
+            for p, busy in sorted(self.busy_by_place.items())
+        }
+
+    def completion_profile(self, buckets: int = 20) -> List[int]:
+        """Tile completions per virtual-time bucket — the wavefront width.
+
+        Same analysis as the real runtime's trace, over simulated time.
+        """
+        if not self.completions or buckets < 1:
+            return [0] * max(buckets, 0)
+        span = self.makespan or 1e-12
+        out = [0] * buckets
+        for finish, _ in self.completions:
+            k = min(buckets - 1, int(finish / span * buckets))
+            out[k] += 1
+        return out
+
+
+@dataclass
+class FaultSimResult:
+    """Outcome of a run with one mid-execution node failure."""
+
+    no_fault_makespan: float
+    fail_time: float
+    recovery_seconds: float
+    resume_makespan: float
+    tiles_preserved: int
+    tiles_lost: int
+
+    @property
+    def total(self) -> float:
+        return self.fail_time + self.recovery_seconds + self.resume_makespan
+
+    @property
+    def normalized(self) -> float:
+        """Execution time relative to the fault-free run (Figure 13b)."""
+        return self.total / self.no_fault_makespan if self.no_fault_makespan else 1.0
+
+
+@dataclass
+class MultiFaultSimResult:
+    """Outcome of a run with a sequence of node failures."""
+
+    no_fault_makespan: float
+    #: execution seconds of each segment (up to its fault, last to finish)
+    segments: List[float]
+    #: recovery seconds paid after each fault
+    recoveries: List[float]
+    surviving_nodes: int
+
+    @property
+    def total(self) -> float:
+        return sum(self.segments) + sum(self.recoveries)
+
+    @property
+    def normalized(self) -> float:
+        return self.total / self.no_fault_makespan if self.no_fault_makespan else 1.0
+
+
+def _run_schedule(
+    grid: TileGrid,
+    cluster: ClusterSpec,
+    cost: CostModel,
+    places: Sequence[int],
+    done: FrozenSet[TileId],
+) -> SimResult:
+    """List-schedule every not-yet-done tile over the given places."""
+    pending = [t for t in grid.tiles if t not in done]
+    indeg: Dict[TileId, int] = {}
+    dependents: Dict[TileId, List[TileId]] = defaultdict(list)
+    for t in pending:
+        deps = [d for d in grid.deps(t) if d not in done]
+        indeg[t] = len(deps)
+        for d in deps:
+            dependents[d].append(t)
+
+    core_free: Dict[int, List[float]] = {
+        pid: [0.0] * cluster.threads_per_place for pid in places
+    }
+    events: List[Tuple[float, TileId]] = []
+    work = comm = 0.0
+    busy: Dict[int, float] = {pid: 0.0 for pid in places}
+
+    def schedule(tile: TileId, ready_time: float) -> None:
+        nonlocal work, comm
+        pid = grid.place_of(tile, places)
+        heap = core_free[pid]
+        start = max(heapq.heappop(heap), ready_time)
+        fetch_s = grid.remote_fetches(tile, cost, places) * cost.t_msg
+        dur = grid.cells(tile) * cost.t_cell + fetch_s
+        finish = start + dur
+        heapq.heappush(heap, finish)
+        heapq.heappush(events, (finish, tile))
+        work += dur
+        comm += fetch_s
+        busy[pid] += dur
+
+    for t in pending:
+        if indeg[t] == 0:
+            schedule(t, 0.0)
+
+    completions: List[Tuple[float, TileId]] = []
+    while events:
+        finish, tile = heapq.heappop(events)
+        completions.append((finish, tile))
+        for u in dependents.get(tile, ()):  # may schedule new work
+            indeg[u] -= 1
+            if indeg[u] == 0:
+                schedule(u, finish)
+
+    if len(completions) != len(pending):
+        raise SimulationError(
+            f"simulated schedule stalled: {len(completions)}/{len(pending)} tiles ran"
+        )
+    makespan = completions[-1][0] if completions else 0.0
+    return SimResult(
+        makespan=makespan,
+        total_cells=grid.total_cells,
+        ntiles=len(grid.tiles),
+        work_seconds=work,
+        comm_seconds=comm,
+        nplaces=len(places),
+        workers=len(places) * cluster.threads_per_place,
+        completions=completions,
+        busy_by_place=busy,
+    )
+
+
+def simulate(
+    dag: Dag,
+    cluster: ClusterSpec,
+    cost: CostModel,
+    tile_size: int = 96,
+    dist: str = "block_cols",
+) -> SimResult:
+    """Fault-free simulated execution of ``dag`` on ``cluster``."""
+    grid = TileGrid(dag, tile_size, cluster.nplaces, dist)
+    return _run_schedule(
+        grid, cluster, cost, places=list(range(cluster.nplaces)), done=frozenset()
+    )
+
+
+def simulate_with_fault(
+    dag: Dag,
+    cluster: ClusterSpec,
+    cost: CostModel,
+    fail_node: int,
+    at_fraction: float = 0.5,
+    restore_manner: str = "discard",
+    tile_size: int = 96,
+    dist: str = "block_cols",
+) -> FaultSimResult:
+    """One node dies after ``at_fraction`` of the cells completed.
+
+    Follows the runtime's recovery protocol: everything on the dead node's
+    places is lost; finished tiles on survivors are preserved in place if
+    their band assignment is unchanged under the survivor distribution,
+    else copied ("copy") or discarded for recomputation ("discard").
+    """
+    require(0.0 <= at_fraction <= 1.0, "at_fraction must be in [0, 1]")
+    require(restore_manner in ("discard", "copy"), "bad restore_manner")
+    require(0 <= fail_node < cluster.nodes, "fail_node out of range")
+    require(cluster.nodes >= 2, "need a surviving node")
+
+    grid = TileGrid(dag, tile_size, cluster.nplaces, dist)
+    all_places = list(range(cluster.nplaces))
+    base = _run_schedule(grid, cluster, cost, all_places, frozenset())
+
+    # the failure instant: when at_fraction of cells have completed
+    target = at_fraction * grid.total_cells
+    fail_time = 0.0
+    finished_at_fail: List[TileId] = []
+    done_cells = 0
+    for finish, tile in base.completions:
+        if done_cells >= target:
+            break
+        done_cells += grid.cells(tile)
+        finished_at_fail.append(tile)
+        fail_time = finish
+
+    dead = set(
+        range(
+            fail_node * cluster.places_per_node,
+            (fail_node + 1) * cluster.places_per_node,
+        )
+    )
+    survivors = [p for p in all_places if p not in dead]
+
+    preserved = []
+    for tile in finished_at_fail:
+        old_home = grid.place_of(tile, all_places)
+        if old_home in dead:
+            continue  # lost with the node
+        if restore_manner == "copy" or grid.place_of(tile, survivors) == old_home:
+            preserved.append(tile)
+    lost = len(finished_at_fail) - len(preserved)
+
+    rec_s = recovery_time(grid.total_cells, len(survivors), cost)
+    resume = _run_schedule(grid, cluster, cost, survivors, frozenset(preserved))
+    return FaultSimResult(
+        no_fault_makespan=base.makespan,
+        fail_time=fail_time,
+        recovery_seconds=rec_s,
+        resume_makespan=resume.makespan,
+        tiles_preserved=len(preserved),
+        tiles_lost=lost,
+    )
+
+
+def simulate_with_faults(
+    dag: Dag,
+    cluster: ClusterSpec,
+    cost: CostModel,
+    failures: Sequence[Tuple[int, float]],
+    restore_manner: str = "discard",
+    tile_size: int = 96,
+    dist: str = "block_cols",
+) -> MultiFaultSimResult:
+    """A sequence of node failures: ``failures = [(node, at_fraction), ...]``.
+
+    Each entry kills ``node`` once the global finished-cell count reaches
+    ``at_fraction`` of the total. After every fault the recovery protocol
+    runs (survivor redistribution + preserved/discarded results) and
+    execution resumes, exactly like the runtime's multi-recovery loop.
+    """
+    require(restore_manner in ("discard", "copy"), "bad restore_manner")
+    ordered = sorted(failures, key=lambda nf: nf[1])
+    seen_nodes = [n for n, _ in ordered]
+    require(len(set(seen_nodes)) == len(seen_nodes), "a node can only die once")
+    require(
+        len(ordered) < cluster.nodes,
+        "at least one node must survive the fault sequence",
+    )
+    for node, frac in ordered:
+        require(0 <= node < cluster.nodes, f"no node {node}")
+        require(0.0 <= frac <= 1.0, "at_fraction must be in [0, 1]")
+
+    grid = TileGrid(dag, tile_size, cluster.nplaces, dist)
+    places = list(range(cluster.nplaces))
+    base = _run_schedule(grid, cluster, cost, places, frozenset())
+
+    done: frozenset = frozenset()
+    done_cells = 0
+    segments: List[float] = []
+    recoveries: List[float] = []
+    for node, frac in ordered:
+        segment = _run_schedule(grid, cluster, cost, places, done)
+        target = frac * grid.total_cells
+        t_fail = 0.0
+        newly_finished: List[TileId] = []
+        cells = done_cells
+        for finish, tile in segment.completions:
+            if cells >= target:
+                break
+            cells += grid.cells(tile)
+            newly_finished.append(tile)
+            t_fail = finish
+        dead = set(
+            range(
+                node * cluster.places_per_node,
+                (node + 1) * cluster.places_per_node,
+            )
+        )
+        survivors = [p for p in places if p not in dead]
+        finished_total = set(done) | set(newly_finished)
+        preserved = set()
+        for tile in finished_total:
+            old_home = grid.place_of(tile, places)
+            if old_home in dead:
+                continue
+            if restore_manner == "copy" or grid.place_of(tile, survivors) == old_home:
+                preserved.add(tile)
+        segments.append(t_fail)
+        recoveries.append(recovery_time(grid.total_cells, len(survivors), cost))
+        places = survivors
+        done = frozenset(preserved)
+        done_cells = sum(grid.cells(t) for t in done)
+
+    final = _run_schedule(grid, cluster, cost, places, done)
+    segments.append(final.makespan)
+    return MultiFaultSimResult(
+        no_fault_makespan=base.makespan,
+        segments=segments,
+        recoveries=recoveries,
+        surviving_nodes=len(places) // cluster.places_per_node,
+    )
+
+
+@dataclass
+class SnapshotSimResult:
+    """Outcome of a snapshot-FT run with one node failure (the baseline)."""
+
+    no_fault_makespan: float
+    #: checkpointing overhead paid before the fault
+    checkpoint_seconds: float
+    fail_time: float
+    restore_seconds: float
+    resume_makespan: float
+    snapshots_taken: int
+
+    @property
+    def total(self) -> float:
+        return (
+            self.fail_time
+            + self.checkpoint_seconds
+            + self.restore_seconds
+            + self.resume_makespan
+        )
+
+    @property
+    def normalized(self) -> float:
+        return self.total / self.no_fault_makespan if self.no_fault_makespan else 1.0
+
+
+def simulate_with_fault_snapshot(
+    dag: Dag,
+    cluster: ClusterSpec,
+    cost: CostModel,
+    fail_node: int,
+    at_fraction: float = 0.5,
+    checkpoint_every: float = 0.1,
+    tile_size: int = 96,
+    dist: str = "block_cols",
+) -> SnapshotSimResult:
+    """The periodic-snapshot baseline (section VI-D) at cluster scale.
+
+    Checkpoints fire every ``checkpoint_every`` fraction of progress and
+    copy every finished cell to stable storage (costed like the recovery
+    pass: parallel over places at ``t_recover`` per cell). On the fault,
+    the run rolls back to the last checkpoint — progress since it is lost
+    even on healthy places — restores from stable storage, and resumes on
+    the survivors.
+    """
+    require(0.0 <= at_fraction <= 1.0, "at_fraction must be in [0, 1]")
+    require(0.0 < checkpoint_every <= 1.0, "checkpoint_every must be in (0, 1]")
+    require(0 <= fail_node < cluster.nodes, "fail_node out of range")
+    require(cluster.nodes >= 2, "need a surviving node")
+
+    grid = TileGrid(dag, tile_size, cluster.nplaces, dist)
+    all_places = list(range(cluster.nplaces))
+    base = _run_schedule(grid, cluster, cost, all_places, frozenset())
+
+    target = at_fraction * grid.total_cells
+    fail_time = 0.0
+    done_cells = 0
+    finished_at_fail: List[TileId] = []
+    for finish, tile in base.completions:
+        if done_cells >= target:
+            break
+        done_cells += grid.cells(tile)
+        finished_at_fail.append(tile)
+        fail_time = finish
+
+    # checkpoints completed strictly before the fault
+    ckpt_step = checkpoint_every * grid.total_cells
+    n_ckpts = int(done_cells / ckpt_step)
+    # each checkpoint copies everything finished so far: model the k-th as
+    # k * ckpt_step cells, in parallel over all places
+    ckpt_cells = sum(k * ckpt_step for k in range(1, n_ckpts + 1))
+    checkpoint_seconds = ckpt_cells * cost.t_recover / cluster.nplaces
+
+    # roll back to the last checkpoint: keep only its tiles (oldest first)
+    keep_cells = n_ckpts * ckpt_step
+    preserved: List[TileId] = []
+    acc = 0.0
+    for tile in finished_at_fail:
+        if acc >= keep_cells:
+            break
+        acc += grid.cells(tile)
+        preserved.append(tile)
+
+    dead = set(
+        range(
+            fail_node * cluster.places_per_node,
+            (fail_node + 1) * cluster.places_per_node,
+        )
+    )
+    survivors = [p for p in all_places if p not in dead]
+    # restore = re-distribute the checkpointed cells over the survivors
+    restore_seconds = acc * cost.t_recover / len(survivors)
+    resume = _run_schedule(grid, cluster, cost, survivors, frozenset(preserved))
+    return SnapshotSimResult(
+        no_fault_makespan=base.makespan,
+        checkpoint_seconds=checkpoint_seconds,
+        fail_time=fail_time,
+        restore_seconds=restore_seconds,
+        resume_makespan=resume.makespan,
+        snapshots_taken=n_ckpts,
+    )

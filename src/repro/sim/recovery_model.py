@@ -1,0 +1,31 @@
+"""Recovery-time model (paper section VI-D / Figure 13a).
+
+One recovery pass touches every vertex: finished vertices still held by
+surviving places are restored into the new distributed array, and every
+unfinished vertex is re-initialized (indegree reset). The pass "is
+executed in parallel on all alive places", so
+
+.. code-block:: none
+
+    T_recover = total_vertices * t_recover / alive_places
+
+``t_recover`` is calibrated in :mod:`repro.sim.costmodel` from Figure
+13a's 4-node point (500 M vertices, 3 surviving nodes = 6 places, 65 s);
+the same constant then reproduces the figure's two properties: linear
+growth in the vertex count, and the 8-node curve sitting at roughly half
+the 4-node curve.
+"""
+
+from __future__ import annotations
+
+from repro.sim.costmodel import CostModel
+from repro.util.validation import require
+
+__all__ = ["recovery_time"]
+
+
+def recovery_time(total_cells: int, alive_places: int, cost: CostModel) -> float:
+    """Seconds to rebuild the distributed DAG over ``alive_places``."""
+    require(total_cells >= 0, "total_cells must be >= 0")
+    require(alive_places >= 1, "need at least one alive place")
+    return total_cells * cost.t_recover / alive_places

@@ -1,0 +1,195 @@
+"""Tile decomposition of a DP matrix for the cluster simulator.
+
+The simulator executes the DAG at tile granularity: a ``tile_size`` x
+``tile_size`` block of cells is one schedulable task whose dependencies
+come from the pattern's ``tile_deps``. Tiles are assigned to places in
+contiguous column bands (the paper's default column splicing) or row
+bands, and each tile's cost combines its active-cell compute time with an
+estimate of its remote dependency fetches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.dag import Dag
+from repro.patterns.base import StencilDag
+from repro.sim.costmodel import CostModel
+from repro.util.validation import require
+
+__all__ = ["TileGrid", "active_cells_in_rect"]
+
+TileId = Tuple[int, int]
+
+
+def active_cells_in_rect(dag: Dag, r0: int, r1: int, c0: int, c1: int) -> int:
+    """Active cells of ``dag`` inside ``[r0, r1) x [c0, c1)``.
+
+    Delegates to :meth:`repro.core.dag.Dag.active_cells_in_rect`, which
+    shaped patterns override with closed forms.
+    """
+    return dag.active_cells_in_rect(r0, r1, c0, c1)
+
+
+class TileGrid:
+    """A ``dag`` blocked into tiles, mapped onto places."""
+
+    def __init__(
+        self,
+        dag: Dag,
+        tile_size: int,
+        nplaces: int,
+        dist: str = "block_cols",
+    ) -> None:
+        require(tile_size >= 1, f"tile_size must be >= 1, got {tile_size}")
+        require(nplaces >= 1, f"nplaces must be >= 1, got {nplaces}")
+        require(
+            dist in ("block_cols", "block_rows"),
+            f"simulator supports block_cols/block_rows, got {dist!r}",
+        )
+        self.dag = dag
+        self.tile_size = tile_size
+        self.nplaces = nplaces
+        self.dist = dist
+        self.nti = -(-dag.height // tile_size)
+        self.ntj = -(-dag.width // tile_size)
+        self._cells: Dict[TileId, int] = {}
+        tiles: List[TileId] = []
+        for ti in range(self.nti):
+            r0, r1 = self._row_span(ti)
+            for tj in range(self.ntj):
+                c0, c1 = self._col_span(tj)
+                n = active_cells_in_rect(dag, r0, r1, c0, c1)
+                if n > 0:
+                    tiles.append((ti, tj))
+                    self._cells[(ti, tj)] = n
+        self.tiles = tiles
+        self.total_cells = sum(self._cells.values())
+
+    # -- geometry -------------------------------------------------------------
+    def _row_span(self, ti: int) -> Tuple[int, int]:
+        r0 = ti * self.tile_size
+        return r0, min(r0 + self.tile_size, self.dag.height)
+
+    def _col_span(self, tj: int) -> Tuple[int, int]:
+        c0 = tj * self.tile_size
+        return c0, min(c0 + self.tile_size, self.dag.width)
+
+    def cells(self, tile: TileId) -> int:
+        return self._cells[tile]
+
+    # -- placement ---------------------------------------------------------------
+    def place_of(self, tile: TileId, places: Optional[Sequence[int]] = None) -> int:
+        """The place owning ``tile`` under contiguous band splitting.
+
+        ``places`` defaults to ``range(nplaces)``; recovery passes the
+        surviving subset and the bands are recomputed over it, exactly as
+        the runtime builds a new Dist over the alive places.
+        """
+        ids = list(places) if places is not None else list(range(self.nplaces))
+        n = len(ids)
+        axis = self.ntj if self.dist == "block_cols" else self.nti
+        k = tile[1] if self.dist == "block_cols" else tile[0]
+        base, extra = divmod(axis, n)
+        # band b covers [offset(b), offset(b+1)) where the first `extra`
+        # bands are one wider
+        wide_span = (base + 1) * extra
+        if k < wide_span:
+            b = k // (base + 1)
+        else:
+            b = extra + (k - wide_span) // base if base > 0 else n - 1
+        return ids[min(b, n - 1)]
+
+    # -- dependencies ----------------------------------------------------------------
+    def deps(self, tile: TileId) -> List[TileId]:
+        return [
+            d
+            for d in self.dag.tile_deps(tile[0], tile[1], self.nti, self.ntj)
+            if d in self._cells
+        ]
+
+    # -- communication estimate ---------------------------------------------------------
+    def remote_fetches(
+        self,
+        tile: TileId,
+        cost: CostModel,
+        places: Optional[Sequence[int]] = None,
+    ) -> float:
+        """Estimated remote dependency fetches charged to ``tile``.
+
+        * stencil patterns: cells on the place-boundary edge of the tile
+          fetch across the band boundary (``fetches_per_boundary_cell``
+          folds in the cache's de-duplication);
+        * ``full_row`` / ``triangular``: every cell reads O(row) remote
+          data — modelled as all but the local band's share;
+        * ``knapsack``: the data-dependent jump ``(i-1, j - w)`` crosses
+          the column band with probability ~ ``E[w] * nplaces / width``.
+        """
+        ti, tj = tile
+        n_cells = self._cells[tile]
+        nplaces = len(places) if places is not None else self.nplaces
+        name = getattr(self.dag, "pattern_name", type(self.dag).__name__)
+
+        if name in ("full_row", "triangular"):
+            return n_cells * (nplaces - 1) / max(1, nplaces)
+
+        fetches = 0.0
+        if isinstance(self.dag, StencilDag):
+            offsets = self.dag.offsets
+            if self.dist == "block_cols" and any(dj < 0 for _, dj in offsets):
+                if tj > 0 and self.place_of((ti, tj - 1), places) != self.place_of(
+                    tile, places
+                ):
+                    r0, r1 = self._row_span(ti)
+                    c0, _ = self._col_span(tj)
+                    boundary = active_cells_in_rect(self.dag, r0, r1, c0, c0 + 1)
+                    fetches += boundary * cost.fetches_per_boundary_cell
+            if self.dist == "block_rows" and any(di < 0 for di, _ in offsets):
+                if ti > 0 and self.place_of((ti - 1, tj), places) != self.place_of(
+                    tile, places
+                ):
+                    r0, _ = self._row_span(ti)
+                    c0, c1 = self._col_span(tj)
+                    boundary = active_cells_in_rect(self.dag, r0, r0 + 1, c0, c1)
+                    fetches += boundary * cost.fetches_per_boundary_cell
+            # the interval pattern's (+1, dj) offsets read downward: under
+            # block_rows those cross the band below
+            if self.dist == "block_rows" and any(di > 0 for di, _ in offsets):
+                if ti + 1 < self.nti and self.place_of(
+                    (ti + 1, tj), places
+                ) != self.place_of(tile, places):
+                    _, r1 = self._row_span(ti)
+                    c0, c1 = self._col_span(tj)
+                    boundary = active_cells_in_rect(self.dag, r1 - 1, r1, c0, c1)
+                    fetches += boundary * cost.fetches_per_boundary_cell
+            return fetches
+
+        if name == "KnapsackDag" or type(self.dag).__name__ == "KnapsackDag":
+            if ti == 0:
+                return 0.0
+            if self.dist == "block_cols":
+                p_cross = min(1.0, cost.knapsack_weight_fraction * nplaces)
+                return n_cells * p_cross
+            # block_rows: both deps read the previous row band's boundary
+            if self.place_of((ti - 1, tj), places) != self.place_of(tile, places):
+                r0, _ = self._row_span(ti)
+                c0, c1 = self._col_span(tj)
+                return 2.0 * active_cells_in_rect(self.dag, r0, r0 + 1, c0, c1)
+            return 0.0
+
+        # unknown custom pattern: assume stencil-like left boundary
+        if tj > 0 and self.place_of((ti, tj - 1), places) != self.place_of(tile, places):
+            r0, r1 = self._row_span(ti)
+            return (r1 - r0) * cost.fetches_per_boundary_cell
+        return 0.0
+
+    def exec_time(
+        self,
+        tile: TileId,
+        cost: CostModel,
+        places: Optional[Sequence[int]] = None,
+    ) -> float:
+        """Modelled seconds to execute ``tile`` on one worker thread."""
+        return self._cells[tile] * cost.t_cell + self.remote_fetches(
+            tile, cost, places
+        ) * cost.t_msg

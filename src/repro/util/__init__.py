@@ -1,0 +1,7 @@
+"""Shared utilities: deterministic RNG, timing, validation helpers."""
+
+from repro.util.rng import derive_seed, seeded_rng
+from repro.util.timer import Timer
+from repro.util.validation import require
+
+__all__ = ["derive_seed", "seeded_rng", "Timer", "require"]

@@ -1,0 +1,38 @@
+"""Library logging: namespaced, silent by default.
+
+Every module logs under the ``repro`` namespace; applications opt in with
+``logging.basicConfig`` or :func:`enable_debug_logging`. The runtime logs
+phase transitions, fault events and recovery passes — the events an
+operator of a distributed run would want in a post-mortem.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "enable_debug_logging"]
+
+_ROOT = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the library namespace (``repro.<name>``)."""
+    if name.startswith(_ROOT):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def enable_debug_logging(level: int = logging.DEBUG) -> None:
+    """Attach a stderr handler to the library's root logger.
+
+    Convenience for examples and debugging sessions; library code never
+    calls this.
+    """
+    logger = logging.getLogger(_ROOT)
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)

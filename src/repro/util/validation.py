@@ -1,0 +1,24 @@
+"""Argument-validation helpers shared across modules."""
+
+from __future__ import annotations
+
+from typing import NoReturn, Type
+
+from repro.errors import ConfigurationError, DPX10Error
+
+__all__ = ["require", "fail"]
+
+
+def require(
+    condition: bool,
+    message: str,
+    exc: Type[DPX10Error] = ConfigurationError,
+) -> None:
+    """Raise ``exc(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise exc(message)
+
+
+def fail(message: str, exc: Type[DPX10Error] = ConfigurationError) -> NoReturn:
+    """Unconditionally raise ``exc(message)``."""
+    raise exc(message)

@@ -1,0 +1,136 @@
+"""Tests for the inline and threaded execution engines."""
+
+import threading
+
+import pytest
+
+from repro.apgas.activity import Activity
+from repro.apgas.engine import InlineEngine, ThreadedEngine
+from repro.apgas.place import PlaceGroup
+from repro.errors import DeadPlaceException
+
+
+def make_engines(nplaces=3):
+    g1 = PlaceGroup(nplaces)
+    g2 = PlaceGroup(nplaces)
+    return [InlineEngine(g1), ThreadedEngine(g2, threads_per_place=2)]
+
+
+class TestEnginesCommon:
+    @pytest.mark.parametrize("engine", make_engines(), ids=["inline", "threaded"])
+    def test_runs_submitted_activities(self, engine):
+        results = []
+        lock = threading.Lock()
+
+        def record(x):
+            with lock:
+                results.append(x)
+
+        for i in range(10):
+            engine.submit(Activity(i % 3, record, (i,)))
+        engine.run_all()
+        assert sorted(results) == list(range(10))
+        engine.shutdown()
+
+    @pytest.mark.parametrize("engine", make_engines(), ids=["inline", "threaded"])
+    def test_nested_spawns_complete(self, engine):
+        seen = []
+        lock = threading.Lock()
+
+        def child(x):
+            with lock:
+                seen.append(x)
+
+        def parent():
+            for i in range(5):
+                engine.submit(Activity(0, child, (i,)))
+
+        engine.submit(Activity(1, parent))
+        engine.run_all()
+        assert sorted(seen) == [0, 1, 2, 3, 4]
+        engine.shutdown()
+
+    @pytest.mark.parametrize("engine", make_engines(), ids=["inline", "threaded"])
+    def test_activity_on_dead_place_raises_dead_place(self, engine):
+        engine.group.kill(1)
+        engine.submit(Activity(1, lambda: None))
+        with pytest.raises(DeadPlaceException) as exc:
+            engine.run_all()
+        assert exc.value.place_id == 1
+        engine.shutdown()
+
+    @pytest.mark.parametrize("engine", make_engines(), ids=["inline", "threaded"])
+    def test_dead_place_preferred_over_other_errors(self, engine):
+        def boom():
+            raise ValueError("app error")
+
+        engine.group.kill(2)
+        engine.submit(Activity(0, boom))
+        engine.submit(Activity(2, lambda: None))
+        with pytest.raises(DeadPlaceException):
+            engine.run_all()
+        engine.shutdown()
+
+    @pytest.mark.parametrize("engine", make_engines(), ids=["inline", "threaded"])
+    def test_app_errors_propagate(self, engine):
+        def boom():
+            raise ValueError("app error")
+
+        engine.submit(Activity(0, boom))
+        with pytest.raises(ValueError, match="app error"):
+            engine.run_all()
+        engine.shutdown()
+
+    @pytest.mark.parametrize("engine", make_engines(), ids=["inline", "threaded"])
+    def test_activity_count_attributed_to_place(self, engine):
+        for _ in range(4):
+            engine.submit(Activity(2, lambda: None))
+        engine.run_all()
+        assert engine.group[2].activities_run == 4
+        engine.shutdown()
+
+
+class TestInlineDeterminism:
+    def test_fifo_order(self):
+        g = PlaceGroup(2)
+        eng = InlineEngine(g)
+        order = []
+        for i in range(6):
+            eng.submit(Activity(i % 2, order.append, (i,)))
+        eng.run_all()
+        assert order == [0, 1, 2, 3, 4, 5]
+
+    def test_run_all_idempotent_when_empty(self):
+        eng = InlineEngine(PlaceGroup(1))
+        eng.run_all()
+        eng.run_all()
+
+
+class TestThreadedEngine:
+    def test_parallel_execution_across_places(self):
+        g = PlaceGroup(2)
+        eng = ThreadedEngine(g, threads_per_place=1)
+        barrier = threading.Barrier(2, timeout=5)
+
+        def meet():
+            barrier.wait()
+
+        eng.submit(Activity(0, meet))
+        eng.submit(Activity(1, meet))
+        eng.run_all()  # would deadlock if places did not run concurrently
+        eng.shutdown()
+
+    def test_shutdown_idempotent(self):
+        eng = ThreadedEngine(PlaceGroup(1))
+        eng.shutdown()
+        eng.shutdown()
+
+    def test_run_all_clears_errors(self):
+        eng = ThreadedEngine(PlaceGroup(1))
+        eng.submit(Activity(0, lambda: 1 / 0))
+        with pytest.raises(ZeroDivisionError):
+            eng.run_all()
+        # subsequent quiescence is clean
+        eng.submit(Activity(0, lambda: None))
+        eng.run_all()
+        eng.shutdown()

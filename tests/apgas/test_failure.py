@@ -1,0 +1,61 @@
+"""Tests for fault plans and the fault injector."""
+
+import pytest
+
+from repro.apgas.failure import FaultInjector, FaultPlan
+from repro.errors import ConfigurationError
+
+
+class TestFaultPlan:
+    def test_requires_exactly_one_trigger(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(place_id=1)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(place_id=1, after_completions=1, at_fraction=0.5)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(place_id=0, at_fraction=1.5)
+        FaultPlan(place_id=0, at_fraction=1.0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(place_id=0, after_completions=-1)
+
+
+class TestFaultInjector:
+    def test_count_trigger_fires_once(self):
+        inj = FaultInjector([FaultPlan(1, after_completions=5)], total_work=100)
+        assert inj.poll_completions(4) == []
+        assert inj.poll_completions(5) == [1]
+        assert inj.poll_completions(6) == []
+        assert inj.pending == 0
+
+    def test_fraction_resolved_against_total(self):
+        inj = FaultInjector([FaultPlan(2, at_fraction=0.5)], total_work=10)
+        assert inj.poll_completions(4) == []
+        assert inj.poll_completions(5) == [2]
+
+    def test_multiple_plans_fire_in_threshold_order(self):
+        plans = [
+            FaultPlan(3, after_completions=8),
+            FaultPlan(1, after_completions=2),
+        ]
+        inj = FaultInjector(plans, total_work=10)
+        assert inj.poll_completions(10) == [1, 3]
+
+    def test_time_triggers(self):
+        inj = FaultInjector([FaultPlan(0, at_time=3.5)], total_work=0)
+        assert inj.next_time_trigger() == 3.5
+        assert inj.poll_time(3.4) == []
+        assert inj.poll_time(3.5) == [0]
+        assert inj.next_time_trigger() is None
+
+    def test_mixed_plan_kinds(self):
+        inj = FaultInjector(
+            [FaultPlan(0, at_time=1.0), FaultPlan(1, after_completions=1)],
+            total_work=2,
+        )
+        assert inj.poll_completions(1) == [1]
+        assert inj.poll_time(2.0) == [0]
+        assert inj.pending == 0

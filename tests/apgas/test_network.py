@@ -1,0 +1,52 @@
+"""Tests for the postal-model network accounting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apgas.network import NetworkModel
+from repro.errors import ConfigurationError
+
+
+class TestNetworkModel:
+    def test_zero_bytes_costs_nothing(self):
+        assert NetworkModel().transfer_cost(0) == 0.0
+
+    def test_local_transfer_free(self):
+        assert NetworkModel().transfer_cost(1024, local=True) == 0.0
+
+    def test_postal_formula(self):
+        net = NetworkModel(alpha=1e-6, beta=1e9)
+        assert net.transfer_cost(1000) == pytest.approx(1e-6 + 1000 / 1e9)
+
+    def test_record_accumulates(self):
+        net = NetworkModel()
+        net.record(0, 1, 100)
+        net.record(0, 1, 50)
+        net.record(1, 2, 10)
+        assert net.stats.messages == 3
+        assert net.stats.bytes == 160
+        assert net.stats.by_pair[(0, 1)] == 150
+        assert net.stats.by_pair[(1, 2)] == 10
+
+    def test_record_same_place_is_free_and_uncounted(self):
+        net = NetworkModel()
+        assert net.record(2, 2, 100) == 0.0
+        assert net.stats.messages == 0
+
+    def test_reset(self):
+        net = NetworkModel()
+        net.record(0, 1, 100)
+        net.reset()
+        assert net.stats.bytes == 0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel(alpha=-1)
+        with pytest.raises(ConfigurationError):
+            NetworkModel(beta=0)
+
+    @given(st.integers(min_value=1, max_value=10**12))
+    def test_cost_monotone_in_bytes(self, n):
+        net = NetworkModel()
+        assert net.transfer_cost(n + 1) >= net.transfer_cost(n) > 0

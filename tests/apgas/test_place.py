@@ -1,0 +1,83 @@
+"""Tests for Place and PlaceGroup."""
+
+import pytest
+
+from repro.apgas.place import Place, PlaceGroup
+from repro.errors import (
+    AllPlacesDeadError,
+    ConfigurationError,
+    DeadPlaceException,
+)
+
+
+class TestPlace:
+    def test_starts_alive(self):
+        assert Place(0).alive
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Place(-1)
+
+    def test_storage_roundtrip(self):
+        p = Place(3)
+        p.put("k", [1, 2])
+        assert p.get("k") == [1, 2]
+        assert "k" in p
+
+    def test_pop_with_default(self):
+        p = Place(0)
+        assert p.pop("missing", "dflt") == "dflt"
+
+    def test_kill_clears_storage_and_blocks_access(self):
+        p = Place(1)
+        p.put("k", 1)
+        p.kill()
+        assert not p.alive
+        with pytest.raises(DeadPlaceException) as exc:
+            p.get("k")
+        assert exc.value.place_id == 1
+        with pytest.raises(DeadPlaceException):
+            p.put("k2", 2)
+        with pytest.raises(DeadPlaceException):
+            p.check_alive()
+
+    def test_kill_idempotent(self):
+        p = Place(0)
+        p.kill()
+        p.kill()
+        assert not p.alive
+
+
+class TestPlaceGroup:
+    def test_size_and_iteration(self):
+        g = PlaceGroup(4)
+        assert g.size == len(g) == 4
+        assert [p.id for p in g] == [0, 1, 2, 3]
+
+    def test_needs_at_least_one_place(self):
+        with pytest.raises(ConfigurationError):
+            PlaceGroup(0)
+
+    def test_alive_bookkeeping(self):
+        g = PlaceGroup(3)
+        assert g.alive_ids() == [0, 1, 2]
+        g.kill(1)
+        assert g.alive_ids() == [0, 2]
+        assert g.alive_count() == 2
+        assert not g.is_alive(1)
+        assert g.is_alive(0)
+
+    def test_check_alive_returns_place(self):
+        g = PlaceGroup(2)
+        assert g.check_alive(1) is g[1]
+        g.kill(1)
+        with pytest.raises(DeadPlaceException):
+            g.check_alive(1)
+
+    def test_require_any_alive(self):
+        g = PlaceGroup(2)
+        g.require_any_alive()
+        g.kill(0)
+        g.kill(1)
+        with pytest.raises(AllPlacesDeadError):
+            g.require_any_alive()

@@ -1,0 +1,42 @@
+"""Tests for the APGAS GlobalRuntime facade."""
+
+import pytest
+
+from repro.apgas.runtime import GlobalRuntime
+from repro.errors import ConfigurationError, DeadPlaceException
+
+
+class TestGlobalRuntime:
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ConfigurationError):
+            GlobalRuntime(2, engine="mpi")
+
+    @pytest.mark.parametrize("engine", ["inline", "threaded"])
+    def test_at_runs_synchronously(self, engine):
+        with GlobalRuntime(2, engine=engine) as rt:
+            assert rt.at(1, lambda a, b: a + b, 2, 3) == 5
+            assert rt.group[1].activities_run == 1
+
+    @pytest.mark.parametrize("engine", ["inline", "threaded"])
+    def test_at_dead_place_raises(self, engine):
+        with GlobalRuntime(2, engine=engine) as rt:
+            rt.kill_place(1)
+            with pytest.raises(DeadPlaceException):
+                rt.at(1, lambda: None)
+
+    @pytest.mark.parametrize("engine", ["inline", "threaded"])
+    def test_finish_waits_for_async(self, engine):
+        with GlobalRuntime(3, engine=engine) as rt:
+            out = []
+            with rt.finish():
+                for i in range(9):
+                    rt.async_at(i % 3, out.append, i)
+            assert sorted(out) == list(range(9))
+
+    def test_nplaces(self):
+        with GlobalRuntime(5) as rt:
+            assert rt.nplaces == 5
+
+    def test_network_default_attached(self):
+        with GlobalRuntime(2) as rt:
+            assert rt.network.transfer_cost(0) == 0.0

@@ -1,0 +1,71 @@
+"""Property-based: framework == oracle on random inputs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.knapsack import solve_knapsack
+from repro.apps.lcs import solve_lcs
+from repro.apps.lps import solve_lps
+from repro.apps.mtp import make_mtp_weights, solve_mtp
+from repro.apps.serial import (
+    knapsack_matrix,
+    lcs_matrix,
+    lps_matrix,
+    mtp_matrix,
+    sw_matrix,
+)
+from repro.apps.smith_waterman import solve_sw
+from repro.core.config import DPX10Config
+
+DNA = st.text(alphabet="ACGT", min_size=1, max_size=12)
+CFG = DPX10Config(nplaces=3)
+SETTINGS = dict(max_examples=20, deadline=None)
+
+
+@settings(**SETTINGS)
+@given(x=DNA, y=DNA)
+def test_lcs_matches_oracle(x, y):
+    app, _ = solve_lcs(x, y, CFG)
+    assert app.length == lcs_matrix(x, y)[-1, -1]
+
+
+@settings(**SETTINGS)
+@given(x=DNA, y=DNA)
+def test_sw_matches_oracle(x, y):
+    app, _ = solve_sw(x, y, CFG)
+    assert app.best_score == sw_matrix(x, y).max()
+
+
+@settings(**SETTINGS)
+@given(s=st.text(alphabet="ABC", min_size=1, max_size=12))
+def test_lps_matches_oracle(s):
+    app, _ = solve_lps(s, CFG)
+    assert app.length == lps_matrix(s)[0, len(s) - 1]
+
+
+@settings(**SETTINGS)
+@given(
+    weights=st.lists(st.integers(1, 8), min_size=1, max_size=6),
+    values=st.data(),
+    capacity=st.integers(0, 20),
+)
+def test_knapsack_matches_oracle(weights, values, capacity):
+    vals = values.draw(
+        st.lists(
+            st.integers(1, 50), min_size=len(weights), max_size=len(weights)
+        )
+    )
+    app, _ = solve_knapsack(weights, vals, capacity, CFG)
+    assert app.best_value == knapsack_matrix(weights, vals, capacity)[-1, -1]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    h=st.integers(2, 7),
+    w=st.integers(2, 7),
+    seed=st.integers(0, 1000),
+)
+def test_mtp_matches_oracle(h, w, seed):
+    wd, wr = make_mtp_weights(h, w, seed=seed)
+    app, _ = solve_mtp(wd, wr, CFG)
+    assert app.best_path_weight == mtp_matrix(wd, wr)[-1, -1]

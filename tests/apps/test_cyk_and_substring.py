@@ -1,0 +1,136 @@
+"""Tests for the CYK parser and longest-common-substring apps."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apgas.failure import FaultPlan
+from repro.apps.common_substring import (
+    common_substring_serial,
+    solve_common_substring,
+)
+from repro.apps.cyk import CNFGrammar, cyk_serial, solve_cyk
+from repro.core.config import DPX10Config
+from repro.patterns.diag_chain import DiagChainDag
+
+CFG = DPX10Config(nplaces=3)
+PARENS = CNFGrammar.balanced_parentheses()
+
+
+class TestDiagChainPattern:
+    def test_validates(self):
+        DiagChainDag(6, 9).validate()
+
+    def test_single_dependency(self):
+        d = DiagChainDag(4, 4)
+        assert len(d.get_dependency(2, 2)) == 1
+        assert d.get_dependency(0, 2) == []
+        assert d.get_dependency(2, 0) == []
+
+    def test_first_row_and_column_are_seeds(self):
+        d = DiagChainDag(3, 3)
+        seeds = [c for c in d.region if not d.get_dependency(*c)]
+        assert (0, 0) in seeds and (0, 2) in seeds and (2, 0) in seeds
+
+
+class TestCommonSubstring:
+    @pytest.mark.parametrize(
+        "x,y,length",
+        [
+            ("BANANAS", "KATANA", 3),  # ANA
+            ("ABAB", "BABA", 3),
+            ("ABC", "XYZ", 0),
+            ("SAME", "SAME", 4),
+            ("A", "A", 1),
+        ],
+    )
+    def test_known_answers(self, x, y, length):
+        app, _ = solve_common_substring(x, y, CFG)
+        assert app.length == length
+        assert len(app.substring) == length
+        if length:
+            assert app.substring in x and app.substring in y
+
+    def test_differs_from_subsequence(self):
+        # the paper's Figure 1 terminology quirk: for ABC/DBC the
+        # subsequence answer is BC (2) and so is the substring; pick a
+        # case where they differ
+        from repro.apps.lcs import solve_lcs
+
+        x, y = "AXBXC", "ABC"
+        sub_app, _ = solve_lcs(x, y, CFG)
+        str_app, _ = solve_common_substring(x, y, CFG)
+        assert sub_app.length == 3  # ABC as a subsequence
+        assert str_app.length == 1  # no common run longer than 1
+
+    def test_survives_fault(self):
+        x, y = "MISSISSIPPIRIVER", "MISSISSAUGA"
+        app, rep = solve_common_substring(
+            x, y, CFG, fault_plans=[FaultPlan(1, at_fraction=0.5)]
+        )
+        assert (app.length, app.substring) == common_substring_serial(x, y)
+        assert rep.recoveries == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(x=st.text(alphabet="AB", min_size=1, max_size=10),
+           y=st.text(alphabet="AB", min_size=1, max_size=10))
+    def test_property_matches_oracle_length(self, x, y):
+        app, _ = solve_common_substring(x, y, CFG)
+        assert app.length == common_substring_serial(x, y)[0]
+
+
+class TestCYK:
+    @pytest.mark.parametrize(
+        "s,expect",
+        [
+            ("()", True),
+            ("(())", True),
+            ("()()", True),
+            ("(()())", True),
+            ("(", False),
+            (")(", False),
+            ("(()", False),
+            ("())", False),
+        ],
+    )
+    def test_balanced_parentheses(self, s, expect):
+        app, _ = solve_cyk(PARENS, s, CFG)
+        assert app.derivable is expect
+
+    def test_unknown_terminal_rejected_by_derivation(self):
+        app, _ = solve_cyk(PARENS, "(a)", CFG)
+        assert app.derivable is False
+
+    def test_custom_grammar(self):
+        # a^n b^n: S -> A T | A B ; T -> S B
+        g = CNFGrammar(
+            start="S",
+            terminal_rules={"a": ["A"], "b": ["B"]},
+            binary_rules=[("S", "A", "B"), ("S", "A", "T"), ("T", "S", "B")],
+        )
+        for s, expect in [("ab", True), ("aabb", True), ("aab", False), ("ba", False)]:
+            app, _ = solve_cyk(g, s, CFG)
+            assert app.derivable is expect, s
+
+    def test_survives_fault(self):
+        s = "(()())(())"
+        app, rep = solve_cyk(
+            PARENS, s, CFG, fault_plans=[FaultPlan(2, at_fraction=0.5)]
+        )
+        assert app.derivable is cyk_serial(PARENS, s)
+        assert rep.recoveries == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(s=st.text(alphabet="()", min_size=1, max_size=10))
+    def test_property_matches_serial(self, s):
+        app, _ = solve_cyk(PARENS, s, CFG)
+        assert app.derivable is cyk_serial(PARENS, s)
+
+    def test_grammar_requires_start(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CNFGrammar(start="", terminal_rules={}, binary_rules=[])
+
+    def test_empty_string_not_derivable(self):
+        assert cyk_serial(PARENS, "") is False

@@ -1,0 +1,129 @@
+"""Tests for the extension applications: banded ED, Viterbi, egg drop."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apgas.failure import FaultPlan
+from repro.apps.banded_alignment import solve_banded_edit_distance
+from repro.apps.egg_drop import EggDropDag, egg_drop_serial, solve_egg_drop
+from repro.apps.serial import edit_distance_matrix
+from repro.apps.viterbi import make_hmm, solve_viterbi, viterbi_serial
+from repro.core.config import DPX10Config
+
+CFG = DPX10Config(nplaces=3)
+
+
+class TestBandedEditDistance:
+    def test_exact_when_band_covers_distance(self):
+        x, y = "kitten", "sitting"
+        app, _ = solve_banded_edit_distance(x, y, bandwidth=3, config=CFG)
+        assert app.distance == edit_distance_matrix(x, y)[-1, -1]
+
+    def test_computes_fewer_vertices_than_full(self):
+        x = "ACGTACGTACGTACGT"
+        y = "ACGTACGAACGTACGT"
+        app, rep = solve_banded_edit_distance(x, y, bandwidth=2, config=CFG)
+        full = (len(x) + 1) * (len(y) + 1)
+        assert rep.active_vertices < full / 2
+        assert app.distance == edit_distance_matrix(x, y)[-1, -1]
+
+    def test_identical_strings_bandwidth_zero(self):
+        app, _ = solve_banded_edit_distance("HELLO", "HELLO", 0, CFG)
+        assert app.distance == 0
+
+    def test_survives_fault(self):
+        x, y = "ACGTACGTACGTA", "ACGTACCTACGTA"
+        app, rep = solve_banded_edit_distance(
+            x, y, 3, CFG, fault_plans=[FaultPlan(1, at_fraction=0.5)]
+        )
+        assert app.distance == edit_distance_matrix(x, y)[-1, -1]
+        assert rep.recoveries == 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(s=st.text(alphabet="AB", min_size=1, max_size=10), flips=st.integers(0, 2))
+    def test_property_exact_within_band(self, s, flips):
+        # mutate up to `flips` characters: distance <= flips <= bandwidth
+        t = list(s)
+        for k in range(min(flips, len(t))):
+            t[k] = "A" if t[k] == "B" else "B"
+        t = "".join(t)
+        app, _ = solve_banded_edit_distance(s, t, bandwidth=3, config=CFG)
+        assert app.distance == edit_distance_matrix(s, t)[-1, -1]
+
+
+class TestViterbi:
+    def test_matches_serial_oracle(self):
+        li, lt, le, obs = make_hmm(5, 4, 15, seed=7)
+        app, _ = solve_viterbi(li, lt, le, obs, CFG)
+        assert app.best_log_prob == pytest.approx(viterbi_serial(li, lt, le, obs))
+
+    def test_single_state(self):
+        li, lt, le, obs = make_hmm(1, 3, 8, seed=1)
+        app, _ = solve_viterbi(li, lt, le, obs, CFG)
+        assert app.best_log_prob == pytest.approx(viterbi_serial(li, lt, le, obs))
+
+    def test_single_observation(self):
+        li, lt, le, obs = make_hmm(4, 2, 1, seed=2)
+        app, _ = solve_viterbi(li, lt, le, obs, CFG)
+        assert app.best_log_prob == pytest.approx(float((li + le[:, obs[0]]).max()))
+
+    def test_survives_fault(self):
+        li, lt, le, obs = make_hmm(4, 3, 20, seed=3)
+        app, rep = solve_viterbi(
+            li, lt, le, obs, CFG, fault_plans=[FaultPlan(2, at_fraction=0.5)]
+        )
+        assert app.best_log_prob == pytest.approx(viterbi_serial(li, lt, le, obs))
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n_states=st.integers(1, 5),
+        length=st.integers(1, 12),
+        seed=st.integers(0, 50),
+    )
+    def test_property_matches_oracle(self, n_states, length, seed):
+        li, lt, le, obs = make_hmm(n_states, 3, length, seed=seed)
+        app, _ = solve_viterbi(li, lt, le, obs, CFG)
+        assert app.best_log_prob == pytest.approx(viterbi_serial(li, lt, le, obs))
+
+
+class TestEggDrop:
+    def test_pattern_validates(self):
+        EggDropDag(3, 10).validate()
+
+    @pytest.mark.parametrize(
+        "eggs,floors,expect",
+        [
+            (1, 10, 10),  # linear search with one egg
+            (2, 20, 6),
+            (2, 36, 8),
+            (3, 14, 4),
+            (2, 0, 0),
+        ],
+    )
+    def test_known_answers(self, eggs, floors, expect):
+        app, _ = solve_egg_drop(eggs, floors, CFG)
+        assert app.trials == expect
+
+    def test_matches_oracle_matrix(self):
+        app, _ = solve_egg_drop(3, 12, CFG)
+        assert app.trials == egg_drop_serial(3, 12)[3, 12]
+
+    def test_more_eggs_never_worse(self):
+        a, _ = solve_egg_drop(2, 15, CFG)
+        b, _ = solve_egg_drop(3, 15, CFG)
+        assert b.trials <= a.trials
+
+    def test_survives_fault(self):
+        app, rep = solve_egg_drop(
+            3, 15, CFG, fault_plans=[FaultPlan(1, at_fraction=0.5)]
+        )
+        assert app.trials == egg_drop_serial(3, 15)[3, 15]
+        assert rep.recoveries == 1
+
+    @settings(max_examples=10, deadline=None)
+    @given(eggs=st.integers(1, 4), floors=st.integers(0, 12))
+    def test_property_matches_oracle(self, eggs, floors):
+        app, _ = solve_egg_drop(eggs, floors, CFG)
+        assert app.trials == egg_drop_serial(eggs, floors)[eggs, floors]

@@ -1,0 +1,152 @@
+"""Each DPX10 application against its serial oracle (cell-for-cell)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.knapsack import make_knapsack_instance, solve_knapsack
+from repro.apps.lcs import solve_lcs
+from repro.apps.lps import solve_lps
+from repro.apps.mtp import make_mtp_weights, solve_mtp
+from repro.apps.edit_distance import solve_edit_distance
+from repro.apps.serial import (
+    edit_distance_matrix,
+    knapsack_matrix,
+    lcs_matrix,
+    lps_matrix,
+    mtp_matrix,
+    sw_matrix,
+    swlag_matrices,
+)
+from repro.apps.smith_waterman import solve_sw, solve_swlag
+from repro.core.config import DPX10Config
+
+CFG = DPX10Config(nplaces=3)
+
+
+class TestLCSApp:
+    def test_paper_figure1_walkthrough(self):
+        app, _ = solve_lcs("ABC", "DBC", CFG)
+        assert app.length == 2
+        assert app.subsequence == "BC"
+
+    def test_full_matrix_matches_oracle(self):
+        x, y = "ABCBDAB", "BDCABA"
+        app, _ = solve_lcs(x, y, CFG)
+        oracle = lcs_matrix(x, y)
+        assert app.length == oracle[-1, -1]
+
+    def test_subsequence_is_common_subsequence(self):
+        x, y = "XMJYAUZ", "MZJAWXU"
+        app, _ = solve_lcs(x, y, CFG)
+        assert app.length == len(app.subsequence)
+
+        def is_subseq(s, t):
+            it = iter(t)
+            return all(c in it for c in s)
+
+        assert is_subseq(app.subsequence, x)
+        assert is_subseq(app.subsequence, y)
+
+    def test_empty_common(self):
+        app, _ = solve_lcs("AAA", "BBB", CFG)
+        assert app.length == 0
+        assert app.subsequence == ""
+
+
+class TestSWApp:
+    def test_matches_oracle(self):
+        x, y = "ACACACTA", "AGCACACA"
+        app, _ = solve_sw(x, y, CFG)
+        assert app.best_score == sw_matrix(x, y).max()
+
+    def test_figure7_scoring_constants(self):
+        from repro.apps.smith_waterman import SWApp
+
+        assert SWApp.MATCH_SCORE == 2
+        assert SWApp.DISMATCH_SCORE == -1
+        assert SWApp.GAP_PENALTY == -1
+
+    def test_no_similarity(self):
+        app, _ = solve_sw("AAAA", "TTTT", CFG)
+        assert app.best_score == 0
+
+
+class TestSWLAGApp:
+    def test_matches_oracle(self):
+        x, y = "GATTACA", "TACGACGA"
+        app, _ = solve_swlag(x, y, CFG)
+        h, _, _ = swlag_matrices(x, y)
+        assert app.best_score == h.max()
+
+    def test_custom_scoring(self):
+        x, y = "AAAATTTTCCCC", "AAAACCCC"
+        app, _ = solve_swlag(x, y, CFG, gap_open=-3, gap_extend=-1)
+        h, _, _ = swlag_matrices(x, y, gap_open=-3, gap_extend=-1)
+        assert app.best_score == h.max() == 10
+
+
+class TestMTPApp:
+    def test_matches_oracle(self):
+        wd, wr = make_mtp_weights(7, 9, seed=11)
+        app, _ = solve_mtp(wd, wr, CFG)
+        assert app.best_path_weight == mtp_matrix(wd, wr)[-1, -1]
+
+    def test_weight_generation_shapes(self):
+        wd, wr = make_mtp_weights(5, 7, seed=0)
+        assert wd.shape == (4, 7) and wr.shape == (5, 6)
+
+    def test_weight_generation_deterministic(self):
+        a = make_mtp_weights(4, 4, seed=5)
+        b = make_mtp_weights(4, 4, seed=5)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_inconsistent_shapes_rejected(self):
+        from repro.apps.mtp import MTPApp
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            MTPApp(np.zeros((3, 4)), np.zeros((3, 4)))
+
+
+class TestLPSApp:
+    @pytest.mark.parametrize("s", ["A", "AB", "BBABCBCAB", "character"])
+    def test_matches_oracle(self, s):
+        app, _ = solve_lps(s, CFG)
+        assert app.length == lps_matrix(s)[0, len(s) - 1]
+
+    def test_triangular_dag_skips_inactive(self):
+        _, report = solve_lps("ABCD", CFG)
+        assert report.active_vertices == 10  # upper triangle of 4x4
+
+
+class TestKnapsackApp:
+    def test_matches_oracle(self):
+        w, v = [1, 3, 4, 5], [1, 4, 5, 7]
+        app, _ = solve_knapsack(w, v, 7, CFG)
+        assert app.best_value == 9
+
+    def test_chosen_items_consistent(self):
+        w, v = make_knapsack_instance(10, 30, seed=4)
+        app, _ = solve_knapsack(w, v, 30, CFG)
+        assert app.best_value == knapsack_matrix(w, v, 30)[-1, -1]
+        total_w = sum(w[k] for k in app.chosen_items)
+        total_v = sum(v[k] for k in app.chosen_items)
+        assert total_w <= 30
+        assert total_v == app.best_value
+
+    def test_random_instance_bounds(self):
+        w, v = make_knapsack_instance(20, 50, seed=9)
+        assert len(w) == len(v) == 20
+        assert all(x >= 1 for x in w)
+
+
+class TestEditDistanceApp:
+    def test_matches_oracle(self):
+        app, _ = solve_edit_distance("kitten", "sitting", CFG)
+        assert app.distance == 3
+
+    def test_random_matches_oracle(self):
+        x, y = "INTENTION", "EXECUTION"
+        app, _ = solve_edit_distance(x, y, CFG)
+        assert app.distance == edit_distance_matrix(x, y)[-1, -1]

@@ -1,0 +1,107 @@
+"""Tests for the Needleman-Wunsch and matrix-chain applications."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apgas.failure import FaultPlan
+from repro.apps.matrix_chain import make_chain_dims, solve_matrix_chain
+from repro.apps.needleman_wunsch import solve_nw
+from repro.apps.serial import matrix_chain_matrix, nw_matrix
+from repro.core.config import DPX10Config
+from repro.errors import ConfigurationError
+
+CFG = DPX10Config(nplaces=3)
+
+
+class TestSerialOracles:
+    def test_nw_identical_strings(self):
+        assert nw_matrix("ACGT", "ACGT")[-1, -1] == 4
+
+    def test_nw_known_alignment(self):
+        # GATTACA vs GCATGCT is the classic example; score -1 with
+        # +1/-1/-2 scoring... wait, canonical is +1/-1/-1 giving 0; with
+        # gap -2 the optimal alignment scores -1
+        assert nw_matrix("GATTACA", "GCATGCT")[-1, -1] == -1
+
+    def test_nw_empty_prefix_row(self):
+        d = nw_matrix("AB", "CD", gap=-3)
+        assert d[0, 2] == -6 and d[2, 0] == -6
+
+    def test_matrix_chain_textbook(self):
+        # CLRS example: dims 30,35,15,5,10,20,25 -> 15125
+        assert matrix_chain_matrix([30, 35, 15, 5, 10, 20, 25])[0, -1] == 15125
+
+    def test_matrix_chain_two_matrices(self):
+        assert matrix_chain_matrix([10, 20, 30])[0, 1] == 6000
+
+    def test_matrix_chain_single_matrix(self):
+        assert matrix_chain_matrix([5, 7])[0, 0] == 0
+
+
+class TestNWApp:
+    def test_matches_oracle(self):
+        x, y = "GATTACA", "GCATGCT"
+        app, _ = solve_nw(x, y, CFG)
+        assert app.score == nw_matrix(x, y)[-1, -1]
+
+    def test_custom_scoring(self):
+        x, y = "ACGTT", "ACT"
+        app, _ = solve_nw(x, y, CFG, match=2, mismatch=-2, gap=-1)
+        assert app.score == nw_matrix(x, y, match=2, mismatch=-2, gap=-1)[-1, -1]
+
+    def test_survives_fault(self):
+        x, y = "ACGTACGTACGT", "TACGATCGGTAC"
+        app, rep = solve_nw(
+            x, y, CFG, fault_plans=[FaultPlan(1, at_fraction=0.5)]
+        )
+        assert app.score == nw_matrix(x, y)[-1, -1]
+        assert rep.recoveries == 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        x=st.text(alphabet="ACGT", min_size=1, max_size=10),
+        y=st.text(alphabet="ACGT", min_size=1, max_size=10),
+    )
+    def test_property_matches_oracle(self, x, y):
+        app, _ = solve_nw(x, y, CFG)
+        assert app.score == nw_matrix(x, y)[-1, -1]
+
+
+class TestMatrixChainApp:
+    def test_clrs_example(self):
+        app, _ = solve_matrix_chain([30, 35, 15, 5, 10, 20, 25], CFG)
+        assert app.min_multiplications == 15125
+
+    def test_random_matches_oracle(self):
+        dims = make_chain_dims(8, seed=11)
+        app, _ = solve_matrix_chain(dims, CFG)
+        assert app.min_multiplications == matrix_chain_matrix(dims)[0, -1]
+
+    def test_single_matrix_is_zero(self):
+        app, _ = solve_matrix_chain([4, 9], CFG)
+        assert app.min_multiplications == 0
+
+    def test_too_short_dims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve_matrix_chain([5], CFG)
+
+    def test_survives_fault(self):
+        dims = make_chain_dims(10, seed=4)
+        app, rep = solve_matrix_chain(
+            dims, DPX10Config(nplaces=3), fault_plans=[FaultPlan(2, at_fraction=0.5)]
+        )
+        assert app.min_multiplications == matrix_chain_matrix(dims)[0, -1]
+
+    def test_dims_generator(self):
+        dims = make_chain_dims(5, seed=0)
+        assert len(dims) == 6
+        assert all(d >= 1 for d in dims)
+        assert dims == make_chain_dims(5, seed=0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(1, 7), seed=st.integers(0, 100))
+    def test_property_matches_oracle(self, n, seed):
+        dims = make_chain_dims(n, seed=seed)
+        app, _ = solve_matrix_chain(dims, CFG)
+        assert app.min_multiplications == matrix_chain_matrix(dims)[0, -1]

@@ -1,0 +1,142 @@
+"""Tests for the serial oracle implementations (known-answer checks)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.serial import (
+    edit_distance_matrix,
+    knapsack_matrix,
+    lcs_matrix,
+    lps_matrix,
+    mtp_matrix,
+    sw_matrix,
+    swlag_matrices,
+)
+
+
+class TestLCS:
+    def test_paper_figure1(self):
+        assert lcs_matrix("ABC", "DBC")[-1, -1] == 2
+
+    def test_identical_strings(self):
+        assert lcs_matrix("HELLO", "HELLO")[-1, -1] == 5
+
+    def test_disjoint_strings(self):
+        assert lcs_matrix("AAA", "BBB")[-1, -1] == 0
+
+    def test_classic(self):
+        assert lcs_matrix("ABCBDAB", "BDCABA")[-1, -1] == 4
+
+    def test_empty_string(self):
+        assert lcs_matrix("", "ABC")[-1, -1] == 0
+
+
+class TestSW:
+    def test_no_similarity(self):
+        assert sw_matrix("AAAA", "TTTT").max() == 0
+
+    def test_perfect_match(self):
+        assert sw_matrix("ACGT", "ACGT").max() == 8  # 4 matches x 2
+
+    def test_local_not_global(self):
+        # local alignment ignores bad prefixes
+        assert sw_matrix("TTTACGT", "GGGACGT").max() == 8
+
+    def test_gap_penalty_applied(self):
+        # ACGT vs ACT: best local alignment has one gap
+        assert sw_matrix("ACGT", "ACT").max() == 5  # 3 matches - 1 gap
+
+    def test_nonnegative(self):
+        m = sw_matrix("GATTACA", "TACGACG")
+        assert (m >= 0).all()
+
+
+class TestSWLAG:
+    def test_matches_linear_when_open_equals_extend(self):
+        x, y = "GATTACA", "TACGACGA"
+        h_affine, _, _ = swlag_matrices(x, y, gap_open=-1, gap_extend=-1)
+        h_linear = sw_matrix(x, y, gap=-1)
+        np.testing.assert_array_equal(h_affine, h_linear)
+
+    def test_affine_prefers_long_gaps(self):
+        # one long gap should beat two short ones under affine scoring
+        x = "AAAATTTTCCCC"
+        y = "AAAACCCC"
+        h, _, _ = swlag_matrices(x, y, gap_open=-3, gap_extend=-1)
+        # 8 matches (16) minus open (-3) minus 3 extensions (-3) = 10
+        assert h.max() == 10
+
+    def test_nonnegative_h(self):
+        h, _, _ = swlag_matrices("ACGTACGT", "TGCATGCA")
+        assert (h >= 0).all()
+
+
+class TestMTP:
+    def test_deterministic_small_grid(self):
+        w_down = np.array([[1, 2], [3, 4]])
+        w_right = np.array([[5], [6], [7]])
+        d = mtp_matrix(w_down, w_right)
+        # paths: down-down-right = 1+3+7 = 11; others smaller or equal
+        assert d[2, 1] == 11
+
+    def test_single_row(self):
+        w_down = np.zeros((0, 3), dtype=np.int64)
+        w_right = np.array([[2, 3]])
+        assert mtp_matrix(w_down, w_right)[0, 2] == 5
+
+    def test_monotone_rows(self):
+        w_down = np.ones((3, 4), dtype=np.int64)
+        w_right = np.ones((4, 3), dtype=np.int64)
+        d = mtp_matrix(w_down, w_right)
+        assert d[-1, -1] == 6  # 3 downs + 3 rights, all weight 1
+
+
+class TestLPS:
+    @pytest.mark.parametrize(
+        "s,expect",
+        [
+            ("A", 1),
+            ("AB", 1),
+            ("AA", 2),
+            ("BBABCBCAB", 7),  # BABCBAB
+            ("character", 5),  # carac
+            ("AGBDBA", 5),
+        ],
+    )
+    def test_known_answers(self, s, expect):
+        assert lps_matrix(s)[0, len(s) - 1] == expect
+
+    def test_diagonal_is_one(self):
+        d = lps_matrix("XYZ")
+        assert all(d[i, i] == 1 for i in range(3))
+
+
+class TestKnapsack:
+    def test_classic_instance(self):
+        # weights/values from the canonical textbook example
+        w, v = [1, 3, 4, 5], [1, 4, 5, 7]
+        assert knapsack_matrix(w, v, 7)[-1, -1] == 9
+
+    def test_zero_capacity(self):
+        assert knapsack_matrix([2, 3], [10, 20], 0)[-1, -1] == 0
+
+    def test_all_items_fit(self):
+        assert knapsack_matrix([1, 1], [5, 7], 10)[-1, -1] == 12
+
+    def test_item_heavier_than_capacity(self):
+        assert knapsack_matrix([100], [999], 10)[-1, -1] == 0
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize(
+        "x,y,expect",
+        [
+            ("kitten", "sitting", 3),
+            ("", "abc", 3),
+            ("abc", "", 3),
+            ("same", "same", 0),
+            ("flaw", "lawn", 2),
+        ],
+    )
+    def test_known_answers(self, x, y, expect):
+        assert edit_distance_matrix(x, y)[-1, -1] == expect

@@ -1,0 +1,77 @@
+"""Tests for the figure-reproduction harness (tiny parameterizations)."""
+
+import pytest
+
+from repro.bench.figures import (
+    SCALES,
+    fig10_scalability,
+    fig11_size_scaling,
+    fig12_overhead,
+    fig13_recovery,
+    sim_dag_for,
+)
+from repro.errors import ConfigurationError
+from repro.patterns import DiagonalDag, GridDag, IntervalDag
+from repro.patterns.knapsack import KnapsackDag
+
+
+class TestSimDagFor:
+    def test_app_shapes(self):
+        assert isinstance(sim_dag_for("swlag", 10_000), DiagonalDag)
+        assert isinstance(sim_dag_for("mtp", 10_000), GridDag)
+        assert isinstance(sim_dag_for("lps", 10_000), IntervalDag)
+        assert isinstance(sim_dag_for("knapsack", 10_000), KnapsackDag)
+
+    def test_vertex_count_approximate(self):
+        dag = sim_dag_for("swlag", 250_000)
+        assert dag.size == pytest.approx(250_000, rel=0.02)
+
+    def test_lps_active_count_approximate(self):
+        dag = sim_dag_for("lps", 250_000)
+        active = dag.width * (dag.width + 1) // 2
+        assert active == pytest.approx(250_000, rel=0.02)
+
+    def test_knapsack_weights_deterministic(self):
+        a = sim_dag_for("knapsack", 90_000)
+        b = sim_dag_for("knapsack", 90_000)
+        assert a.weights == b.weights
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sim_dag_for("tsp", 100)
+
+
+class TestScales:
+    def test_both_scales_defined(self):
+        assert set(SCALES) == {"small", "paper"}
+        for params in SCALES.values():
+            assert params["fig10_vertices"] > 0
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fig10_scalability("huge")
+
+
+class TestFigureRunners:
+    """Tiny sweeps: structure and basic physics, not calibration."""
+
+    def test_fig10_structure(self):
+        data = fig10_scalability("small", apps=["mtp"], nodes_list=[2, 4])
+        assert set(data) == {"mtp"}
+        assert set(data["mtp"]) == {2, 4}
+        assert data["mtp"][4] < data["mtp"][2]
+
+    def test_fig11_monotone(self):
+        data = fig11_size_scaling("small", apps=["swlag"])
+        times = list(data["swlag"].values())
+        assert times == sorted(times)
+
+    def test_fig12_ratio_above_one(self):
+        data = fig12_overhead("small", nodes_list=[4])
+        for _, (_, _, ratio) in data[4].items():
+            assert ratio > 1.0
+
+    def test_fig13_recovery_halves_with_places(self):
+        data = fig13_recovery("small", nodes_list=[4, 8])
+        for v in data[4]:
+            assert data[8][v][0] == pytest.approx(data[4][v][0] * 6 / 14, rel=0.02)

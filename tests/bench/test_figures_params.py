@@ -1,0 +1,34 @@
+"""Extra coverage for figure-runner parameterizations."""
+
+import pytest
+
+from repro.bench.figures import _cost_for, fig13_recovery
+from repro.sim.costmodel import CostModel
+
+
+class TestCostScaling:
+    def test_small_scale_shrinks_stencil_t_msg(self):
+        assert _cost_for("swlag", "small").t_msg < _cost_for("swlag", "paper").t_msg
+
+    def test_paper_scale_uses_presets_verbatim(self):
+        assert _cost_for("mtp", "paper") == CostModel.for_app("mtp")
+
+    def test_knapsack_t_msg_scale_free(self):
+        # its communication is volume-proportional: no edge scaling
+        assert _cost_for("knapsack", "small").t_msg == CostModel.for_app(
+            "knapsack"
+        ).t_msg
+
+
+class TestFig13Params:
+    def test_custom_fault_fraction(self):
+        early = fig13_recovery("small", nodes_list=[4], at_fraction=0.2)
+        late = fig13_recovery("small", nodes_list=[4], at_fraction=0.8)
+        sizes = sorted(early[4])
+        # recovery time is independent of when the fault lands (it touches
+        # every vertex either way)...
+        for v in sizes:
+            assert early[4][v][0] == pytest.approx(late[4][v][0])
+        # ...but a later fault wastes more finished work on the dead node,
+        # so the normalized impact should not shrink
+        assert late[4][sizes[-1]][1] >= early[4][sizes[-1]][1] * 0.9

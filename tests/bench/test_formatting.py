@@ -1,0 +1,26 @@
+"""Tests for the series formatter."""
+
+import os
+
+from repro.bench.formatting import format_series, write_series
+
+
+class TestFormatSeries:
+    def test_contains_all_cells(self):
+        out = format_series("T", "n", [1, 2], {"a": [0.5, 0.25], "b": [3.0, 4.0]})
+        assert "T" in out
+        assert "n=1" in out and "n=2" in out
+        assert "0.50" in out and "4.00" in out
+        assert out.count("\n") >= 4
+
+    def test_custom_unit_and_precision(self):
+        out = format_series("T", "v", [10], {"r": [1.2345]}, unit="x", precision=3)
+        assert "1.234 x" in out or "1.235 x" in out
+
+
+class TestWriteSeries:
+    def test_roundtrip(self, tmp_path):
+        path = os.path.join(tmp_path, "sub", "table.txt")
+        write_series(path, "hello\nworld")
+        with open(path) as fh:
+            assert fh.read() == "hello\nworld\n"

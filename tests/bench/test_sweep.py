@@ -1,0 +1,67 @@
+"""Tests for the parameter-sweep utility."""
+
+import pytest
+
+from repro.bench.sweep import Sweep, to_csv
+from repro.errors import ConfigurationError
+
+
+class TestSweep:
+    def test_grid_size_and_order(self):
+        s = Sweep(axes={"a": [1, 2], "b": ["x", "y", "z"]}, run=lambda a, b: {})
+        assert s.size == 6
+        pts = s.points()
+        assert pts[0] == {"a": 1, "b": "x"}
+        assert pts[-1] == {"a": 2, "b": "z"}
+
+    def test_execute_merges_metrics(self):
+        s = Sweep(axes={"n": [1, 2, 4]}, run=lambda n: {"inv": 1.0 / n, "sq": n * n})
+        rows = s.execute()
+        assert rows[2] == {"n": 4, "inv": 0.25, "sq": 16}
+        assert s.results is rows
+
+    def test_metric_axis_collision_rejected(self):
+        s = Sweep(axes={"n": [1]}, run=lambda n: {"n": 5})
+        with pytest.raises(ConfigurationError):
+            s.execute()
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Sweep(axes={"n": []}, run=lambda n: {})
+
+    def test_no_axes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Sweep(axes={}, run=lambda: {})
+
+    def test_real_runtime_sweep(self):
+        from repro.apps.lcs import solve_lcs
+        from repro.core.config import DPX10Config
+
+        def run(nplaces, cache_size):
+            _, rep = solve_lcs(
+                "ABCBDAB", "BDCABA", DPX10Config(nplaces=nplaces, cache_size=cache_size)
+            )
+            return {"bytes": rep.network_bytes, "hits": rep.cache_hits}
+
+        rows = Sweep(axes={"nplaces": [1, 3], "cache_size": [0, 16]}, run=run).execute()
+        assert len(rows) == 4
+        by_key = {(r["nplaces"], r["cache_size"]): r for r in rows}
+        assert by_key[(1, 16)]["bytes"] == 0  # single place: no traffic
+        assert by_key[(3, 0)]["hits"] == 0  # no cache: no hits
+
+
+class TestToCSV:
+    def test_roundtrip_structure(self):
+        csv = to_csv([{"a": 1, "b": 2.5}, {"a": 3, "b": 0.125}])
+        lines = csv.strip().split("\n")
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+        assert lines[2] == "3,0.125"
+
+    def test_quoting(self):
+        csv = to_csv([{"name": 'va"l,ue', "x": 1}])
+        assert '"va""l,ue"' in csv
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            to_csv([])

@@ -1,0 +1,54 @@
+"""Tests for the user-facing API types."""
+
+import pytest
+
+from repro.core.api import DPX10App, Vertex, VertexId, dependency_map
+
+
+class TestVertexId:
+    def test_is_tuple_like(self):
+        v = VertexId(2, 3)
+        assert v.i == 2 and v.j == 3
+        assert tuple(v) == (2, 3)
+        assert v == (2, 3)
+
+    def test_hashable(self):
+        assert len({VertexId(1, 2), VertexId(1, 2), VertexId(2, 1)}) == 2
+
+
+class TestVertex:
+    def test_accessors(self):
+        v = Vertex(1, 2, "val")
+        assert (v.i, v.j) == (1, 2)
+        assert v.get_result() == "val"
+        assert v.id == VertexId(1, 2)
+
+    def test_slots(self):
+        v = Vertex(0, 0, 0)
+        with pytest.raises(AttributeError):
+            v.extra = 1
+
+
+class TestDependencyMap:
+    def test_maps_by_coordinate(self):
+        vs = [Vertex(0, 1, "a"), Vertex(1, 0, "b")]
+        assert dependency_map(vs) == {(0, 1): "a", (1, 0): "b"}
+
+    def test_empty(self):
+        assert dependency_map([]) == {}
+
+
+class TestDPX10App:
+    def test_compute_is_abstract(self):
+        with pytest.raises(TypeError):
+            DPX10App()
+
+    def test_default_hooks(self):
+        class App(DPX10App):
+            def compute(self, i, j, vertices):
+                return 0
+
+        app = App()
+        assert app.value_dtype is None
+        assert app.init_value(0, 0) is None
+        app.app_finished(None)  # default no-op

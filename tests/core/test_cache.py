@@ -1,0 +1,97 @@
+"""Tests for the FIFO remote-vertex cache."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.cache import RemoteCache
+from repro.errors import ConfigurationError
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        c = RemoteCache(4)
+        hit, val = c.get("k")
+        assert not hit and val is None
+        c.put("k", 42)
+        hit, val = c.get("k")
+        assert hit and val == 42
+
+    def test_stats(self):
+        c = RemoteCache(4)
+        c.get("a")
+        c.put("a", 1)
+        c.get("a")
+        c.get("b")
+        assert c.hits == 1 and c.misses == 2
+        assert c.hit_rate == pytest.approx(1 / 3)
+
+    def test_hit_rate_zero_when_unused(self):
+        assert RemoteCache(4).hit_rate == 0.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RemoteCache(-1)
+
+    def test_len_and_contains(self):
+        c = RemoteCache(4)
+        c.put("a", 1)
+        assert len(c) == 1 and "a" in c and "b" not in c
+
+    def test_clear(self):
+        c = RemoteCache(2)
+        c.put("a", 1)
+        c.clear()
+        assert len(c) == 0
+        c.put("b", 2)  # reusable after clear
+        assert c.get("b") == (True, 2)
+
+
+class TestFIFO:
+    def test_evicts_oldest_not_lru(self):
+        c = RemoteCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get("a")  # a hit must NOT refresh "a" (FIFO, not LRU)
+        c.put("c", 3)  # evicts "a", the oldest insertion
+        assert "a" not in c
+        assert "b" in c and "c" in c
+
+    def test_reinsert_keeps_position(self):
+        c = RemoteCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("a", 99)  # value refresh, position unchanged
+        c.put("c", 3)  # still evicts "a"
+        assert "a" not in c
+        assert c.get("b") == (True, 2)
+
+    def test_capacity_zero_disables(self):
+        c = RemoteCache(0)
+        c.put("a", 1)
+        assert c.get("a") == (False, None)
+        assert len(c) == 0
+
+    def test_capacity_one(self):
+        c = RemoteCache(1)
+        c.put("a", 1)
+        c.put("b", 2)
+        assert "a" not in c and c.get("b") == (True, 2)
+
+    @given(
+        capacity=st.integers(1, 8),
+        keys=st.lists(st.integers(0, 20), min_size=1, max_size=60),
+    )
+    def test_property_capacity_never_exceeded_and_fifo_order(self, capacity, keys):
+        c = RemoteCache(capacity)
+        inserted = []  # insertion order of currently-distinct keys
+        for k in keys:
+            if k not in inserted:
+                inserted.append(k)
+                if len(inserted) > capacity:
+                    inserted.pop(0)
+            c.put(k, k * 10)
+            assert len(c) <= capacity
+        # exactly the most recent `capacity` distinct insertions survive
+        for k in inserted:
+            assert c.get(k) == (True, k * 10)

@@ -1,0 +1,64 @@
+"""Concurrency stress for the FIFO remote-vertex cache."""
+
+import threading
+
+from repro.core.cache import RemoteCache
+
+
+class TestCacheUnderThreads:
+    def test_capacity_never_exceeded_under_contention(self):
+        cache = RemoteCache(32)
+        errors = []
+
+        def churn(seed):
+            try:
+                for k in range(2000):
+                    key = (seed, k % 100)
+                    cache.put(key, k)
+                    hit, value = cache.get(key)
+                    if hit:
+                        assert value is not None
+                    assert len(cache) <= 32
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 32
+        assert cache.hits + cache.misses == 8000
+
+    def test_clear_during_churn_is_safe(self):
+        cache = RemoteCache(16)
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            k = 0
+            try:
+                while not stop.is_set():
+                    cache.put(("k", k % 50), k)
+                    cache.get(("k", (k + 1) % 50))
+                    k += 1
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def clearer():
+            try:
+                for _ in range(50):
+                    cache.clear()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        t1 = threading.Thread(target=churn)
+        t2 = threading.Thread(target=clearer)
+        t1.start()
+        t2.start()
+        t2.join()
+        stop.set()
+        t1.join()
+        assert not errors
+        assert len(cache) <= 16

@@ -1,0 +1,109 @@
+"""Tests for the Dag base class and its structural validation."""
+
+import pytest
+
+from repro.core.api import VertexId
+from repro.core.dag import Dag, ResultView
+from repro.errors import ConfigurationError, DPX10Error, PatternError
+
+
+class ChainDag(Dag):
+    """Minimal valid pattern: 1-D chain along columns."""
+
+    def get_dependency(self, i, j):
+        return [VertexId(i, j - 1)] if j > 0 else []
+
+    def get_anti_dependency(self, i, j):
+        return [VertexId(i, j + 1)] if j + 1 < self.width else []
+
+
+class TestDagBasics:
+    def test_geometry(self):
+        d = ChainDag(3, 4)
+        assert d.size == 12
+        assert d.region.height == 3
+        assert d.contains(2, 3) and not d.contains(3, 0)
+
+    def test_min_size_enforced(self):
+        with pytest.raises(ConfigurationError):
+            ChainDag(0, 4)
+
+    def test_active_cells_default_all(self):
+        assert len(ChainDag(2, 3).active_cells()) == 6
+
+    def test_get_vertex_before_run_raises(self):
+        with pytest.raises(DPX10Error, match="not bound"):
+            ChainDag(2, 2).get_vertex(0, 0)
+
+    def test_get_vertex_after_bind(self):
+        d = ChainDag(2, 2)
+        d.bind_results(ResultView(lambda i, j: i * 10 + j, lambda i, j: True))
+        assert d.get_vertex(1, 1).get_result() == 11
+
+
+class TestValidate:
+    def test_valid_chain_passes(self):
+        ChainDag(3, 5).validate()
+
+    def test_out_of_bounds_dependency(self):
+        class Bad(ChainDag):
+            def get_dependency(self, i, j):
+                return [VertexId(i, j - 1)]  # (i, -1) for j == 0
+
+        with pytest.raises(PatternError, match="out of bounds"):
+            Bad(2, 2).validate()
+
+    def test_self_dependency(self):
+        class Bad(ChainDag):
+            def get_dependency(self, i, j):
+                return [VertexId(i, j)]
+
+        with pytest.raises(PatternError, match="itself"):
+            Bad(2, 2).validate()
+
+    def test_duplicate_dependency(self):
+        class Bad(ChainDag):
+            def get_dependency(self, i, j):
+                return [VertexId(i, j - 1), VertexId(i, j - 1)] if j > 0 else []
+
+        with pytest.raises(PatternError, match="twice"):
+            Bad(2, 2).validate()
+
+    def test_missing_anti_edge(self):
+        class Bad(ChainDag):
+            def get_anti_dependency(self, i, j):
+                return []
+
+        with pytest.raises(PatternError, match="missing"):
+            Bad(2, 2).validate()
+
+    def test_spurious_anti_edge(self):
+        class Bad(ChainDag):
+            def get_anti_dependency(self, i, j):
+                extra = [VertexId(i, j + 1)] if j + 1 < self.width else []
+                if i + 1 < self.height:
+                    extra.append(VertexId(i + 1, j))  # nobody depends this way
+                return extra
+
+        with pytest.raises(PatternError, match="does not depend"):
+            Bad(2, 2).validate()
+
+    def test_cycle_detected(self):
+        class Cyclic(Dag):
+            # (i,0) <-> (i,1) two-cycles
+            def get_dependency(self, i, j):
+                return [VertexId(i, 1 - j)]
+
+            def get_anti_dependency(self, i, j):
+                return [VertexId(i, 1 - j)]
+
+        with pytest.raises(PatternError, match="cycle"):
+            Cyclic(1, 2).validate()
+
+    def test_dependency_on_inactive_cell(self):
+        class Bad(ChainDag):
+            def is_active(self, i, j):
+                return j != 0
+
+        with pytest.raises(PatternError, match="inactive"):
+            Bad(2, 3).validate()

@@ -1,0 +1,109 @@
+"""Tests for the multiprocessing engine (places as real OS processes)."""
+
+import numpy as np
+import pytest
+
+from repro.apgas.failure import FaultPlan
+from repro.apps.knapsack import make_knapsack_instance, solve_knapsack
+from repro.apps.lcs import solve_lcs
+from repro.apps.lps import solve_lps
+from repro.apps.serial import knapsack_matrix, lcs_matrix, lps_matrix
+from repro.core.config import DPX10Config
+from repro.core.mp_engine import _topological_levels
+from repro.errors import PlaceZeroDeadError
+from repro.patterns import DiagonalDag, GridDag, IntervalDag
+
+X, Y = "ABCBDABACGTACGT", "BDCABAACGGTTAC"
+EXPECT = int(lcs_matrix(X, Y)[-1, -1])
+
+
+class TestTopologicalLevels:
+    def test_diagonal_levels_are_antidiagonals(self):
+        levels = _topological_levels(DiagonalDag(3, 3))
+        assert levels[0] == [(0, 0)]
+        assert sorted(levels[1]) == [(0, 1), (1, 0)]
+        assert len(levels) == 5  # anti-diagonals of a 3x3
+
+    def test_grid_levels_cover_all(self):
+        levels = _topological_levels(GridDag(4, 5))
+        assert sum(len(lv) for lv in levels) == 20
+
+    def test_interval_levels_respect_triangle(self):
+        levels = _topological_levels(IntervalDag(4, 4))
+        assert sorted(levels[0]) == [(0, 0), (1, 1), (2, 2), (3, 3)]
+        assert sum(len(lv) for lv in levels) == 10
+
+    def test_no_cell_before_its_dependency(self):
+        dag = DiagonalDag(5, 5)
+        levels = _topological_levels(dag)
+        depth = {}
+        for k, lv in enumerate(levels):
+            for c in lv:
+                depth[c] = k
+        for i, j in dag.region:
+            for d in dag.get_dependency(i, j):
+                assert depth[(d.i, d.j)] < depth[(i, j)]
+
+
+class TestMPExecution:
+    def test_lcs_matches_oracle(self):
+        app, rep = solve_lcs(X, Y, DPX10Config(nplaces=3, engine="mp"))
+        assert app.length == EXPECT
+        assert rep.completions == rep.active_vertices
+
+    def test_single_place(self):
+        app, rep = solve_lcs(X, Y, DPX10Config(nplaces=1, engine="mp"))
+        assert app.length == EXPECT
+        assert rep.network_bytes == 0  # nothing crosses a process boundary
+
+    def test_cross_place_bytes_are_real(self):
+        _, rep = solve_lcs(X, Y, DPX10Config(nplaces=3, engine="mp"))
+        assert rep.network_bytes > 0
+        assert rep.network_messages > 0
+
+    def test_work_split_across_processes(self):
+        _, rep = solve_lcs(X, Y, DPX10Config(nplaces=3, engine="mp"))
+        assert set(rep.per_place_executed) == {0, 1, 2}
+        assert sum(rep.per_place_executed.values()) == rep.completions
+
+    def test_triangular_pattern(self):
+        s = "ABCBACBDDBACB"
+        app, _ = solve_lps(s, DPX10Config(nplaces=2, engine="mp"))
+        assert app.length == lps_matrix(s)[0, len(s) - 1]
+
+    def test_custom_knapsack_pattern(self):
+        w, v = make_knapsack_instance(7, 18, seed=5)
+        app, _ = solve_knapsack(w, v, 18, DPX10Config(nplaces=2, engine="mp"))
+        assert app.best_value == knapsack_matrix(w, v, 18)[-1, -1]
+
+    @pytest.mark.parametrize("dist", ["block_rows", "block_cols", "cyclic_cols"])
+    def test_distribution_axis(self, dist):
+        cfg = DPX10Config(nplaces=3, engine="mp", distribution=dist)
+        app, _ = solve_lcs(X, Y, cfg)
+        assert app.length == EXPECT
+
+
+class TestMPFaults:
+    def test_sigkill_recovery_preserves_answer(self):
+        cfg = DPX10Config(nplaces=3, engine="mp")
+        app, rep = solve_lcs(
+            X, Y, cfg, fault_plans=[FaultPlan(2, at_fraction=0.5)]
+        )
+        assert app.length == EXPECT
+        assert rep.recoveries == 1
+        assert rep.final_alive_places == 2
+        # the dead partition was recomputed
+        assert rep.completions > rep.active_vertices
+
+    def test_place_zero_kill_unrecoverable(self):
+        cfg = DPX10Config(nplaces=2, engine="mp")
+        with pytest.raises(PlaceZeroDeadError):
+            solve_lcs(X, Y, cfg, fault_plans=[FaultPlan(0, at_fraction=0.4)])
+
+    def test_two_sequential_faults(self):
+        cfg = DPX10Config(nplaces=4, engine="mp")
+        plans = [FaultPlan(3, at_fraction=0.3), FaultPlan(2, at_fraction=0.7)]
+        app, rep = solve_lcs(X, Y, cfg, fault_plans=plans)
+        assert app.length == EXPECT
+        assert rep.recoveries == 2
+        assert rep.final_alive_places == 2

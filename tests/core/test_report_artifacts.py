@@ -1,0 +1,84 @@
+"""Tests for report serialization, sim profiles, and the stencil renderer."""
+
+import json
+
+import pytest
+
+from repro.apps.lcs import solve_lcs
+from repro.core.config import DPX10Config
+from repro.patterns import DiagonalDag, GridDag, IntervalDag
+from repro.sim import ClusterSpec, CostModel, simulate
+
+
+class TestReportToDict:
+    def test_json_roundtrip(self):
+        _, rep = solve_lcs("ABCBDAB", "BDCABA", DPX10Config(nplaces=3))
+        payload = json.dumps(rep.to_dict())
+        back = json.loads(payload)
+        assert back["completions"] == rep.completions
+        assert back["recoveries"] == 0
+        assert back["per_place_executed"]["0"] > 0
+
+    def test_contains_all_headline_metrics(self):
+        _, rep = solve_lcs("ABC", "ABD", DPX10Config(nplaces=2))
+        d = rep.to_dict()
+        for key in (
+            "wall_time",
+            "completions",
+            "active_vertices",
+            "network_bytes",
+            "cache_hit_rate",
+            "final_alive_places",
+        ):
+            assert key in d
+
+
+class TestSimCompletionProfile:
+    def test_profile_sums_to_tiles(self):
+        r = simulate(
+            DiagonalDag(600, 600),
+            ClusterSpec.tianhe1a(2),
+            CostModel.for_app("sw"),
+            tile_size=100,
+        )
+        profile = r.completion_profile(buckets=10)
+        assert len(profile) == 10
+        assert sum(profile) == r.ntiles
+
+    def test_wavefront_shape(self):
+        # the diagonal wavefront starts narrow: the first bucket should not
+        # dominate
+        r = simulate(
+            DiagonalDag(1200, 1200),
+            ClusterSpec.tianhe1a(4),
+            CostModel.for_app("sw"),
+            tile_size=100,
+        )
+        profile = r.completion_profile(buckets=8)
+        assert profile[0] < max(profile)
+
+    def test_empty_edge(self):
+        r = simulate(
+            GridDag(10, 10), ClusterSpec.tianhe1a(1), CostModel.for_app("sw"),
+            tile_size=100,
+        )
+        assert sum(r.completion_profile(5)) == 1
+
+
+class TestStencilRenderer:
+    def test_marks_cell_and_deps(self):
+        out = DiagonalDag(9, 9).render_stencil()
+        assert out.count("@") == 1
+        assert out.count("o") == 3
+
+    def test_explicit_cell(self):
+        out = GridDag(9, 9).render_stencil(0, 0)
+        assert out.count("@") == 1
+        assert out.count("o") == 0  # the corner seed has no deps
+
+    def test_shaped_pattern_shows_blanks(self):
+        out = IntervalDag(9, 9).render_stencil()
+        assert "@" in out and "o" in out
+        # the inactive lower triangle leaves blanks
+        assert any(line.rstrip() != line.rstrip(".") or "  " in line
+                   for line in out.splitlines())

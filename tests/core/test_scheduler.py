@@ -1,0 +1,88 @@
+"""Tests for the three scheduling strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import VertexId
+from repro.core.scheduler import (
+    LocalScheduling,
+    MinCommScheduling,
+    RandomScheduling,
+    make_strategy,
+)
+from repro.errors import ConfigurationError, SchedulingError
+
+RNG = np.random.default_rng(0)
+VID = VertexId(1, 1)
+
+
+class TestMakeStrategy:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("local", LocalScheduling), ("random", RandomScheduling), ("mincomm", MinCommScheduling)],
+    )
+    def test_by_name(self, name, cls):
+        assert isinstance(make_strategy(name), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_strategy("work-stealing")
+
+
+class TestLocal:
+    def test_always_home(self):
+        s = LocalScheduling()
+        assert s.choose_place(VID, 2, [0, 1], [0, 1, 2, 3], RNG, 8) == 2
+
+
+class TestRandom:
+    def test_only_alive_places(self):
+        s = RandomScheduling()
+        alive = [1, 3]
+        picks = {
+            s.choose_place(VID, 1, [], alive, np.random.default_rng(k), 8)
+            for k in range(50)
+        }
+        assert picks <= set(alive)
+        assert len(picks) == 2  # both get picked eventually
+
+    def test_deterministic_given_rng(self):
+        a = RandomScheduling().choose_place(VID, 0, [], [0, 1, 2], np.random.default_rng(7), 8)
+        b = RandomScheduling().choose_place(VID, 0, [], [0, 1, 2], np.random.default_rng(7), 8)
+        assert a == b
+
+    def test_no_alive_raises(self):
+        with pytest.raises(SchedulingError):
+            RandomScheduling().choose_place(VID, 0, [], [], RNG, 8)
+
+
+class TestMinComm:
+    def test_prefers_dep_majority_place(self):
+        s = MinCommScheduling()
+        # both deps at place 1, home 0: running at 1 costs one write-back (8);
+        # running at 0 costs two fetches (16)
+        assert s.choose_place(VID, 0, [1, 1], [0, 1], RNG, 8) == 1
+
+    def test_home_wins_ties(self):
+        s = MinCommScheduling()
+        # one dep at each place: cost(home=0) = 8, cost(1) = 8 + 8 writeback
+        assert s.choose_place(VID, 0, [0, 1], [0, 1], RNG, 8) == 0
+
+    def test_no_deps_stays_home(self):
+        s = MinCommScheduling()
+        assert s.choose_place(VID, 2, [], [0, 1, 2], RNG, 8) == 2
+
+    def test_three_way(self):
+        s = MinCommScheduling()
+        # deps at 1,1,2; home 0.
+        # cost(0)=3 fetches=24; cost(1)=1 fetch + writeback=16; cost(2)=2+wb=24
+        assert s.choose_place(VID, 0, [1, 1, 2], [0, 1, 2], RNG, 8) == 1
+
+    def test_dead_home_dep_counted(self):
+        # deps on places not in alive set still cost a transfer everywhere
+        s = MinCommScheduling()
+        assert s.choose_place(VID, 0, [5, 5], [0, 1], RNG, 8) == 0
+
+    def test_no_alive_raises(self):
+        with pytest.raises(SchedulingError):
+            MinCommScheduling().choose_place(VID, 0, [], [], RNG, 8)

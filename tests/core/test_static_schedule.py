@@ -1,0 +1,136 @@
+"""Tests for the static-schedule optimization (precomputed topological order)."""
+
+import pytest
+
+from repro.apgas.failure import FaultPlan
+from repro.apps.knapsack import make_knapsack_instance, solve_knapsack
+from repro.apps.lcs import solve_lcs
+from repro.apps.lps import solve_lps
+from repro.apps.matrix_chain import make_chain_dims, solve_matrix_chain
+from repro.apps.serial import (
+    knapsack_matrix,
+    lcs_matrix,
+    lps_matrix,
+    matrix_chain_matrix,
+)
+from repro.core.config import DPX10Config
+from repro.errors import ConfigurationError
+from repro.patterns import (
+    DiagonalDag,
+    FullRowDag,
+    GridDag,
+    IntervalDag,
+    TriangularDag,
+)
+from repro.patterns.knapsack import KnapsackDag
+
+X, Y = "ABCBDABACGTAC", "BDCABAACGGTT"
+EXPECT = int(lcs_matrix(X, Y)[-1, -1])
+STATIC = DPX10Config(nplaces=3, static_schedule=True)
+
+
+def order_is_topological(dag):
+    order = dag.static_order()
+    assert order is not None
+    pos = {c: k for k, c in enumerate(order)}
+    assert len(pos) == len(dag.active_cells())
+    for i, j in order:
+        for d in dag.get_dependency(i, j):
+            assert pos[(d.i, d.j)] < pos[(i, j)], f"({d.i},{d.j}) !< ({i},{j})"
+
+
+class TestStaticOrders:
+    @pytest.mark.parametrize(
+        "dag",
+        [
+            GridDag(6, 7),
+            DiagonalDag(5, 5),
+            IntervalDag(6, 6),
+            FullRowDag(4, 5),
+            TriangularDag(6, 6),
+            KnapsackDag([2, 3, 1], 8),
+        ],
+        ids=lambda d: type(d).__name__,
+    )
+    def test_order_respects_dependencies(self, dag):
+        order_is_topological(dag)
+
+    def test_default_is_none(self):
+        from repro.core.api import VertexId
+        from repro.core.dag import Dag
+
+        class Custom(Dag):
+            def get_dependency(self, i, j):
+                return []
+
+            def get_anti_dependency(self, i, j):
+                return []
+
+        assert Custom(2, 2).static_order() is None
+
+    def test_mixed_direction_stencil_declines(self):
+        from repro.patterns.base import StencilDag
+
+        class Mixed(StencilDag):
+            offsets = ((-1, 0), (1, -1))  # points both up and down
+
+        assert Mixed(4, 4).static_order() is None
+
+
+class TestStaticExecution:
+    def test_lcs(self):
+        app, rep = solve_lcs(X, Y, STATIC)
+        assert app.length == EXPECT
+        assert rep.completions == rep.active_vertices
+
+    def test_lps_interval_order(self):
+        s = "BBABCBCABBA"
+        app, _ = solve_lps(s, STATIC)
+        assert app.length == lps_matrix(s)[0, len(s) - 1]
+
+    def test_matrix_chain_triangular_order(self):
+        dims = make_chain_dims(8, seed=3)
+        app, _ = solve_matrix_chain(dims, STATIC)
+        assert app.min_multiplications == matrix_chain_matrix(dims)[0, -1]
+
+    def test_knapsack(self):
+        w, v = make_knapsack_instance(8, 20, seed=6)
+        app, _ = solve_knapsack(w, v, 20, STATIC)
+        assert app.best_value == knapsack_matrix(w, v, 20)[-1, -1]
+
+    def test_fault_recovery_resumes(self):
+        app, rep = solve_lcs(
+            X, Y, STATIC, fault_plans=[FaultPlan(2, at_fraction=0.5)]
+        )
+        assert app.length == EXPECT
+        assert rep.recoveries == 1
+        assert rep.completions > rep.active_vertices  # recomputation happened
+
+    def test_stats_match_dynamic(self):
+        _, dyn = solve_lcs(X, Y, DPX10Config(nplaces=3))
+        _, sta = solve_lcs(X, Y, STATIC)
+        assert sta.completions == dyn.completions
+        # same home placement, same remote fetch pattern
+        assert sta.network_bytes == dyn.network_bytes
+
+
+class TestConfigGuards:
+    def test_requires_inline_engine(self):
+        with pytest.raises(ConfigurationError):
+            DPX10Config(engine="threaded", static_schedule=True)
+
+    def test_pattern_without_order_rejected_at_run(self):
+        from repro.core.api import DPX10App
+        from repro.core.dag import Dag
+        from repro.core.runtime import DPX10Runtime
+
+        class NoOrderDag(GridDag):
+            def static_order(self):
+                return None
+
+        class App(DPX10App):
+            def compute(self, i, j, vertices):
+                return 0
+
+        with pytest.raises(ConfigurationError, match="static_order"):
+            DPX10Runtime(App(), NoOrderDag(3, 3), STATIC).run()

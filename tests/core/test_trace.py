@@ -1,0 +1,82 @@
+"""Tests for execution tracing."""
+
+import pytest
+
+from repro.apps.lcs import solve_lcs
+from repro.core.config import DPX10Config
+from repro.core.trace import ExecutionTrace, TraceEvent
+
+X, Y = "ABCBDAB", "BDCABA"
+
+
+class TestExecutionTrace:
+    def test_empty_trace(self):
+        t = ExecutionTrace()
+        assert len(t) == 0
+        assert t.span == 0.0
+        assert t.utilization() == {}
+        assert t.render_gantt() == "(empty trace)"
+
+    def test_record_and_span(self):
+        t = ExecutionTrace()
+        t.record(TraceEvent(0, 0, 0, 0, 1.0, 2.0))
+        t.record(TraceEvent(0, 1, 0, 1, 2.0, 4.0))
+        assert len(t) == 2
+        assert t.span == pytest.approx(3.0)
+
+    def test_utilization(self):
+        t = ExecutionTrace()
+        t.record(TraceEvent(0, 0, 0, 0, 0.0, 3.0))
+        t.record(TraceEvent(0, 1, 0, 1, 0.0, 1.5))
+        util = t.utilization()
+        assert util[0] == pytest.approx(1.0)
+        assert util[1] == pytest.approx(0.5)
+
+    def test_completion_profile_buckets(self):
+        t = ExecutionTrace()
+        for k in range(10):
+            t.record(TraceEvent(0, k, 0, 0, k * 1.0, k + 0.5))
+        profile = t.completion_profile(buckets=5)
+        assert len(profile) == 5
+        assert sum(profile) == 10
+
+    def test_executed_per_place(self):
+        t = ExecutionTrace()
+        t.record(TraceEvent(0, 0, 0, 1, 0, 1))
+        t.record(TraceEvent(0, 1, 0, 1, 0, 1))
+        t.record(TraceEvent(0, 2, 0, 0, 0, 1))
+        assert t.executed_per_place() == {0: 1, 1: 2}
+
+    def test_gantt_contains_place_rows(self):
+        t = ExecutionTrace()
+        t.record(TraceEvent(0, 0, 0, 0, 0.0, 1.0))
+        t.record(TraceEvent(0, 1, 0, 2, 0.5, 1.0))
+        out = t.render_gantt(width=20)
+        assert "place   0" in out and "place   2" in out
+        assert "#" in out
+
+
+class TestRuntimeIntegration:
+    def test_trace_off_by_default(self):
+        _, rep = solve_lcs(X, Y, DPX10Config(nplaces=2))
+        assert rep.trace is None
+
+    @pytest.mark.parametrize("engine", ["inline", "threaded"])
+    def test_trace_covers_every_vertex(self, engine):
+        cfg = DPX10Config(nplaces=2, engine=engine, trace=True)
+        _, rep = solve_lcs(X, Y, cfg)
+        assert rep.trace is not None
+        assert len(rep.trace) == rep.completions
+        coords = {(e.i, e.j) for e in rep.trace.events}
+        assert len(coords) == rep.active_vertices
+
+    def test_trace_places_match_report(self):
+        cfg = DPX10Config(nplaces=3, trace=True)
+        _, rep = solve_lcs(X, Y, cfg)
+        assert rep.trace.executed_per_place() == rep.per_place_executed
+
+    def test_utilization_bounded(self):
+        cfg = DPX10Config(nplaces=2, trace=True)
+        _, rep = solve_lcs(X, Y, cfg)
+        for frac in rep.trace.utilization().values():
+            assert 0.0 < frac <= 1.0

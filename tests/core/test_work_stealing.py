@@ -1,0 +1,63 @@
+"""Tests for the work-stealing extension.
+
+Beyond the paper (its future work cites X10's work-stealing schedulers):
+idle places steal ready vertices from the longest queue. Results must be
+unchanged; load balance should improve on skewed DAGs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.lcs import solve_lcs
+from repro.apps.lps import solve_lps
+from repro.apps.serial import lcs_matrix, lps_matrix
+from repro.core.config import DPX10Config
+from repro.apgas.failure import FaultPlan
+
+X, Y = "ACGTACGGTACGATCG", "TACGATCGGGACGT"
+EXPECT = int(lcs_matrix(X, Y)[-1, -1])
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("engine", ["inline", "threaded"])
+    def test_answer_unchanged(self, engine):
+        cfg = DPX10Config(nplaces=4, engine=engine, work_stealing=True)
+        app, _ = solve_lcs(X, Y, cfg)
+        assert app.length == EXPECT
+
+    @pytest.mark.parametrize("engine", ["inline", "threaded"])
+    def test_with_fault(self, engine):
+        cfg = DPX10Config(nplaces=4, engine=engine, work_stealing=True)
+        app, rep = solve_lcs(
+            X, Y, cfg, fault_plans=[FaultPlan(2, at_fraction=0.5)]
+        )
+        assert app.length == EXPECT
+        assert rep.recoveries == 1
+
+    def test_skewed_triangular_dag(self):
+        # the interval pattern under column splicing gives place 0 far less
+        # work than the last place; stealing must not change the answer
+        s = "ABCBACBDDBACBA"
+        cfg = DPX10Config(nplaces=4, work_stealing=True)
+        app, _ = solve_lps(s, cfg)
+        assert app.length == lps_matrix(s)[0, len(s) - 1]
+
+
+class TestLoadBalance:
+    def test_stealing_spreads_activities_on_skewed_dag(self):
+        # under block_cols, the LPS triangle loads later places much more
+        # heavily; stealing should tighten the per-place activity spread
+        s = "ABCBACBDDBACBACDDA" * 3
+
+        def spread(work_stealing):
+            cfg = DPX10Config(
+                nplaces=4, work_stealing=work_stealing, distribution="block_cols"
+            )
+            _, rep = solve_lps(s, cfg)
+            counts = [rep.per_place_executed.get(p, 0) for p in range(4)]
+            return max(counts) - min(counts)
+
+        assert spread(True) < spread(False)
+
+    def test_default_off(self):
+        assert DPX10Config().work_stealing is False

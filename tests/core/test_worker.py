@@ -1,0 +1,176 @@
+"""Unit tests for the per-vertex execution path (execute_vertex)."""
+
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.apgas.failure import FaultInjector, FaultPlan
+from repro.apgas.network import NetworkModel
+from repro.apgas.place import PlaceGroup
+from repro.core.api import DPX10App
+from repro.core.cache import RemoteCache
+from repro.core.config import DPX10Config
+from repro.core.scheduler import make_strategy
+from repro.core.vertex_store import build_stores
+from repro.core.worker import ExecutionState, execute_vertex, run_inline, try_steal
+from repro.dist.dist import Dist
+from repro.errors import DeadPlaceException, PatternError
+from repro.patterns.diagonal import DiagonalDag
+from repro.patterns.grid import GridDag
+
+
+class RecordingApp(DPX10App[int]):
+    """Returns a function of (i, j) and records dependency order."""
+
+    value_dtype = np.int64
+
+    def __init__(self):
+        self.seen_deps = {}
+
+    def compute(self, i, j, vertices):
+        self.seen_deps[(i, j)] = [(v.i, v.j) for v in vertices]
+        return i * 10 + j
+
+
+def make_state(dag=None, nplaces=2, cache_size=8, dist_kind="block_rows", plans=()):
+    dag = dag or GridDag(4, 4)
+    group = PlaceGroup(nplaces)
+    cfg = DPX10Config(nplaces=nplaces, cache_size=cache_size, distribution=dist_kind)
+    app = RecordingApp()
+    dist = cfg.make_dist(dag.region, group.alive_ids())
+    stores = build_stores(group, dag, dist, app.value_dtype, app.init_value)
+    ready = {pid: deque(stores[pid].zero_indegree_unfinished()) for pid in dist.place_ids}
+    caches = {pid: RemoteCache(cache_size) for pid in range(nplaces)}
+    total = sum(s.active_count for s in stores.values())
+    state = ExecutionState(
+        app=app,
+        dag=dag,
+        config=cfg,
+        group=group,
+        network=NetworkModel(),
+        strategy=make_strategy("local"),
+        dist=dist,
+        stores=stores,
+        ready=ready,
+        caches=caches,
+        injector=FaultInjector(list(plans), total) if plans else None,
+        total_active=total,
+    )
+    return state, app
+
+
+class TestExecuteVertex:
+    def test_seed_vertex_lifecycle(self):
+        state, app = make_state()
+        execute_vertex(state, (0, 0), 0)
+        store = state.stores[0]
+        assert store.is_finished(0, 0)
+        assert store.get_result(0, 0) == 0
+        assert state.completions == 1
+        # anti-deps notified: (0,1) and (1,0) had indegree 1 -> now ready
+        ready_all = {c for q in state.ready.values() for c in q}
+        assert {(0, 1), (1, 0)} <= ready_all
+
+    def test_dependency_order_matches_pattern(self):
+        dag = DiagonalDag(3, 3)
+        state, app = make_state(dag=dag, nplaces=1)
+        run_inline(state)
+        assert app.seen_deps[(1, 1)] == [(0, 0), (0, 1), (1, 0)]
+        assert app.seen_deps[(0, 0)] == []
+
+    def test_local_dep_fetch_free(self):
+        state, app = make_state(nplaces=1)
+        run_inline(state)
+        assert state.network.stats.bytes == 0
+
+    def test_remote_dep_recorded_and_cached(self):
+        # block_rows over 2 places on a 4x4 grid: rows 0-1 on place 0
+        state, app = make_state(nplaces=2, cache_size=8)
+        run_inline(state)
+        # cells (2, j) fetch (1, j) remotely exactly once each
+        assert state.network.stats.by_pair[(0, 1)] == 4 * state.config.value_nbytes
+        assert state.caches[1].misses == 4
+
+    def test_cache_hit_avoids_second_fetch(self):
+        dag = DiagonalDag(4, 4)
+        state, app = make_state(dag=dag, nplaces=2, cache_size=16)
+        run_inline(state)
+        assert state.caches[1].hits > 0
+
+    def test_cacheless_fetches_every_time(self):
+        dag = DiagonalDag(4, 4)
+        s_cache, _ = make_state(dag=dag, nplaces=2, cache_size=16)
+        s_nocache, _ = make_state(dag=dag, nplaces=2, cache_size=0)
+        run_inline(s_cache)
+        run_inline(s_nocache)
+        assert s_nocache.network.stats.bytes > s_cache.network.stats.bytes
+
+    def test_remote_execution_writes_back(self):
+        state, app = make_state(nplaces=2)
+        # execute (0,0) [home place 0] at place 1: result write-back 0<-1
+        execute_vertex(state, (0, 0), 1)
+        assert state.stores[0].is_finished(0, 0)
+        assert state.network.stats.by_pair[(1, 0)] == state.config.value_nbytes
+        assert state.executed_by[1] == 1
+
+    def test_fault_trigger_kills_and_raises(self):
+        state, app = make_state(plans=[FaultPlan(1, after_completions=1)])
+        with pytest.raises(DeadPlaceException) as exc:
+            execute_vertex(state, (0, 0), 0)
+        assert exc.value.place_id == 1
+        assert not state.group.is_alive(1)
+        # the completed vertex's result survived on place 0
+        assert state.stores[0].is_finished(0, 0)
+
+    def test_notification_to_dead_place_skipped(self):
+        state, app = make_state()
+        state.group.kill(1)
+        # (3,0) lives on dead place 1; finishing (0,0) must not raise
+        execute_vertex(state, (0, 0), 0)
+        assert state.completions == 1
+
+
+class TestRunInline:
+    def test_completes_whole_dag(self):
+        state, app = make_state()
+        run_inline(state)
+        assert state.completions == 16
+        assert all(s.all_done() for s in state.stores.values())
+
+    def test_deadlock_detected(self):
+        state, app = make_state()
+        # drain the seed: nothing will ever become ready
+        state.ready[0].clear()
+        with pytest.raises(PatternError, match="deadlock"):
+            run_inline(state)
+
+
+class TestTrySteal:
+    def test_disabled_returns_none(self):
+        state, _ = make_state()
+        assert try_steal(state, 0) is None
+
+    def test_steals_from_longest_queue(self):
+        state, _ = make_state()
+        state.config.work_stealing = True
+        state.ready[0].clear()
+        state.ready[1].extend([(9, 9), (8, 8)])
+        stolen = try_steal(state, 0)
+        assert stolen == (8, 8)  # from the tail
+        assert list(state.ready[1]) == [(9, 9)]
+
+    def test_never_steals_from_self(self):
+        state, _ = make_state()
+        state.config.work_stealing = True
+        state.ready[1].clear()
+        state.ready[0].clear()
+        state.ready[0].append((1, 1))
+        assert try_steal(state, 0) is None
+
+    def test_skips_dead_places(self):
+        state, _ = make_state()
+        state.config.work_stealing = True
+        state.ready[1].append((9, 9))
+        state.group.kill(1)
+        assert try_steal(state, 0) is None

@@ -1,0 +1,144 @@
+"""Tests for all Dist kinds: every cell mapped, partitions exact."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.dist import Dist
+from repro.dist.region import Region2D
+from repro.errors import DistributionError
+
+REGION = Region2D.of_shape(6, 8)
+PLACES = [0, 1, 2]
+
+
+def all_dist_kinds(region=REGION, places=PLACES):
+    return {
+        "block_rows": Dist.block_rows(region, places),
+        "block_cols": Dist.block_cols(region, places),
+        "cyclic_rows": Dist.cyclic_rows(region, places),
+        "cyclic_cols": Dist.cyclic_cols(region, places),
+        "block_cyclic": Dist.block_cyclic(region, places, 2, 2),
+        "custom": Dist.custom(region, places, lambda i, j: (i + j) % 3),
+    }
+
+
+class TestEveryKind:
+    @pytest.mark.parametrize("kind", list(all_dist_kinds()))
+    def test_every_cell_mapped_to_member_place(self, kind):
+        d = all_dist_kinds()[kind]
+        for i, j in REGION:
+            assert d.place_of(i, j) in PLACES
+
+    @pytest.mark.parametrize("kind", list(all_dist_kinds()))
+    def test_owned_coords_partition_region(self, kind):
+        d = all_dist_kinds()[kind]
+        seen = {}
+        for pid in PLACES:
+            for coord in d.owned_coords(pid):
+                assert coord not in seen, f"{coord} owned twice"
+                seen[coord] = pid
+        assert len(seen) == REGION.size
+        for (i, j), pid in seen.items():
+            assert d.place_of(i, j) == pid
+
+    @pytest.mark.parametrize("kind", list(all_dist_kinds()))
+    def test_owned_count_consistent(self, kind):
+        d = all_dist_kinds()[kind]
+        assert sum(d.owned_count(pid) for pid in PLACES) == REGION.size
+
+    @pytest.mark.parametrize("kind", list(all_dist_kinds()))
+    def test_out_of_region_rejected(self, kind):
+        d = all_dist_kinds()[kind]
+        with pytest.raises(DistributionError):
+            d.place_of(-1, 0)
+        with pytest.raises(DistributionError):
+            d.place_of(0, 99)
+
+
+class TestBlockKinds:
+    def test_block_rows_bands(self):
+        d = Dist.block_rows(REGION, PLACES)
+        assert d.place_of(0, 0) == 0
+        assert d.place_of(5, 7) == 2
+        parts = d.partitions(0)
+        assert parts == [Region2D(0, 2, 0, 8)]
+
+    def test_block_cols_is_paper_default_shape(self):
+        d = Dist.block_cols(Region2D.of_shape(4, 9), PLACES)
+        # columns 0-2 -> place 0, 3-5 -> 1, 6-8 -> 2
+        assert d.place_of(3, 2) == 0
+        assert d.place_of(0, 3) == 1
+        assert d.place_of(2, 8) == 2
+
+    def test_cyclic_has_no_rect_partitions(self):
+        d = Dist.cyclic_rows(REGION, PLACES)
+        assert d.partitions(0) is None
+
+    def test_more_places_than_rows(self):
+        region = Region2D.of_shape(2, 3)
+        d = Dist.block_rows(region, [0, 1, 2, 3])
+        assert d.owned_count(2) == 0
+        assert sum(d.owned_count(p) for p in [0, 1, 2, 3]) == region.size
+
+
+class TestCyclic:
+    def test_round_robin_rows(self):
+        d = Dist.cyclic_rows(REGION, PLACES)
+        assert [d.place_of(i, 0) for i in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_round_robin_cols(self):
+        d = Dist.cyclic_cols(REGION, PLACES)
+        assert [d.place_of(0, j) for j in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_offset_region(self):
+        region = Region2D(10, 13, 5, 8)
+        d = Dist.cyclic_rows(region, [4, 7])
+        assert d.place_of(10, 5) == 4
+        assert d.place_of(11, 5) == 7
+
+
+class TestCustom:
+    def test_map_to_nonmember_rejected_at_query(self):
+        d = Dist.custom(REGION, [0, 1], lambda i, j: 5)
+        with pytest.raises(DistributionError):
+            d.place_of(0, 0)
+
+    def test_duplicate_places_rejected(self):
+        with pytest.raises(DistributionError):
+            Dist.block_rows(REGION, [0, 0, 1])
+
+    def test_empty_places_rejected(self):
+        with pytest.raises(DistributionError):
+            Dist.block_rows(REGION, [])
+
+
+@settings(max_examples=30)
+@given(
+    h=st.integers(1, 12),
+    w=st.integers(1, 12),
+    nplaces=st.integers(1, 5),
+    kind=st.sampled_from(
+        ["block_rows", "block_cols", "cyclic_rows", "cyclic_cols", "block_cyclic"]
+    ),
+)
+def test_property_all_kinds_tile_exactly(h, w, nplaces, kind):
+    region = Region2D.of_shape(h, w)
+    places = list(range(nplaces))
+    factory = {
+        "block_rows": lambda: Dist.block_rows(region, places),
+        "block_cols": lambda: Dist.block_cols(region, places),
+        "cyclic_rows": lambda: Dist.cyclic_rows(region, places),
+        "cyclic_cols": lambda: Dist.cyclic_cols(region, places),
+        "block_cyclic": lambda: Dist.block_cyclic(region, places, 2, 3),
+    }[kind]
+    d = factory()
+    seen = set()
+    for pid in places:
+        owned = list(d.owned_coords(pid))
+        assert len(owned) == d.owned_count(pid)
+        for coord in owned:
+            assert coord not in seen
+            seen.add(coord)
+            assert d.place_of(*coord) == pid
+    assert len(seen) == region.size

@@ -1,0 +1,87 @@
+"""Tests for DistArray over live and dead places."""
+
+import pytest
+
+from repro.apgas.place import PlaceGroup
+from repro.dist.dist import Dist
+from repro.dist.dist_array import DistArray
+from repro.dist.region import Region2D
+from repro.errors import DeadPlaceException, DistributionError
+
+
+@pytest.fixture()
+def arr():
+    group = PlaceGroup(3)
+    dist = Dist.block_rows(Region2D.of_shape(6, 4), [0, 1, 2])
+    return DistArray(dist, group), group
+
+
+class TestDistArray:
+    def test_set_get_roundtrip(self, arr):
+        a, _ = arr
+        a.set(0, 0, 42)
+        a.set(5, 3, "x")
+        assert a.get(0, 0) == 42
+        assert a.get(5, 3) == "x"
+
+    def test_unset_cell_raises_keyerror(self, arr):
+        a, _ = arr
+        with pytest.raises(KeyError):
+            a.get(1, 1)
+        assert not a.contains(1, 1)
+
+    def test_home_of_matches_dist(self, arr):
+        a, _ = arr
+        assert a.home_of(0, 0) == 0
+        assert a.home_of(5, 0) == 2
+
+    def test_local_items_and_sizes(self, arr):
+        a, _ = arr
+        a.set(0, 0, 1)
+        a.set(1, 1, 2)
+        a.set(4, 0, 3)
+        assert dict(a.local_items(0)) == {(0, 0): 1, (1, 1): 2}
+        assert a.local_size(0) == 2
+        assert a.local_size(1) == 0
+        assert a.total_set() == 3
+
+    def test_access_on_dead_place_raises(self, arr):
+        a, group = arr
+        a.set(0, 0, 1)
+        group.kill(0)
+        with pytest.raises(DeadPlaceException):
+            a.get(0, 0)
+        with pytest.raises(DeadPlaceException):
+            a.set(1, 0, 2)
+        # other places still fine
+        a.set(4, 0, 3)
+        assert a.get(4, 0) == 3
+
+    def test_alive_home_ids(self, arr):
+        a, group = arr
+        assert a.alive_home_ids() == [0, 1, 2]
+        group.kill(1)
+        assert a.alive_home_ids() == [0, 2]
+
+    def test_total_set_skips_dead(self, arr):
+        a, group = arr
+        a.set(0, 0, 1)
+        a.set(4, 0, 2)
+        group.kill(0)
+        assert a.total_set() == 1
+
+    def test_dist_onto_missing_place_rejected(self):
+        group = PlaceGroup(2)
+        dist = Dist.block_rows(Region2D.of_shape(4, 2), [0, 5])
+        with pytest.raises(DistributionError):
+            DistArray(dist, group)
+
+    def test_two_arrays_do_not_collide(self):
+        group = PlaceGroup(1)
+        dist = Dist.block_rows(Region2D.of_shape(2, 2), [0])
+        a = DistArray(dist, group)
+        b = DistArray(dist, group)
+        a.set(0, 0, "a")
+        b.set(0, 0, "b")
+        assert a.get(0, 0) == "a"
+        assert b.get(0, 0) == "b"

@@ -1,0 +1,70 @@
+"""Tests for Dist.make dispatch and the block_flat distribution."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.dist import Dist
+from repro.dist.region import Region2D
+from repro.errors import DistributionError
+
+REGION = Region2D.of_shape(5, 6)
+
+
+class TestMake:
+    @pytest.mark.parametrize(
+        "kind",
+        ["block_rows", "block_cols", "block_flat", "cyclic_rows", "cyclic_cols"],
+    )
+    def test_dispatch(self, kind):
+        d = Dist.make(kind, REGION, [0, 1])
+        assert d.kind == kind
+
+    def test_block_cyclic_takes_block_shape(self):
+        d = Dist.make("block_cyclic", REGION, [0, 1], block_h=2, block_w=3)
+        assert d.place_of(0, 0) == d.place_of(1, 2)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DistributionError):
+            Dist.make("hilbert", REGION, [0])
+
+
+class TestBlockFlat:
+    def test_paper_figure6_shape(self):
+        # 12 cells over 2 places: 6 cells each, splitting row 1
+        region = Region2D.of_shape(3, 4)
+        d = Dist.block_flat(region, [0, 1])
+        assert d.place_of(0, 0) == 0
+        assert d.place_of(1, 1) == 0  # flat index 5, last of place 0
+        assert d.place_of(1, 2) == 1  # flat index 6, first of place 1
+        assert d.place_of(2, 3) == 1
+
+    def test_unbalanced_remainder_to_first(self):
+        region = Region2D.of_shape(1, 7)
+        d = Dist.block_flat(region, [0, 1, 2])
+        counts = [d.owned_count(p) for p in (0, 1, 2)]
+        assert counts == [3, 2, 2]
+
+    def test_offset_region(self):
+        region = Region2D(2, 4, 3, 6)
+        d = Dist.block_flat(region, [0, 1])
+        assert d.place_of(2, 3) == 0
+        assert d.place_of(3, 5) == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        h=st.integers(1, 8),
+        w=st.integers(1, 8),
+        n=st.integers(1, 5),
+    )
+    def test_property_contiguous_balanced_partition(self, h, w, n):
+        region = Region2D.of_shape(h, w)
+        d = Dist.block_flat(region, list(range(n)))
+        # partition: every cell exactly once
+        owners = [d.place_of(i, j) for i, j in region]
+        # flat ordering means owners are non-decreasing
+        assert owners == sorted(owners)
+        # balanced: counts differ by at most one
+        counts = [d.owned_count(p) for p in range(n)]
+        assert sum(counts) == region.size
+        assert max(counts) - min(counts) <= 1

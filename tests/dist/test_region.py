@@ -1,0 +1,135 @@
+"""Tests for Region2D geometry and algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dist.region import Region2D
+from repro.errors import ConfigurationError
+
+regions = st.builds(
+    lambda r0, h, c0, w: Region2D(r0, r0 + h, c0, c0 + w),
+    st.integers(-20, 20),
+    st.integers(0, 30),
+    st.integers(-20, 20),
+    st.integers(0, 30),
+)
+
+
+class TestBasics:
+    def test_of_shape(self):
+        r = Region2D.of_shape(3, 4)
+        assert (r.height, r.width, r.size) == (3, 4, 12)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Region2D(2, 1, 0, 0)
+        with pytest.raises(ConfigurationError):
+            Region2D(0, 1, 5, 4)
+
+    def test_empty(self):
+        assert Region2D(0, 0, 0, 5).is_empty
+        assert not Region2D.of_shape(1, 1).is_empty
+
+    def test_contains(self):
+        r = Region2D(1, 3, 2, 5)
+        assert r.contains(1, 2)
+        assert r.contains(2, 4)
+        assert not r.contains(3, 2)  # row end exclusive
+        assert not r.contains(1, 5)  # col end exclusive
+        assert not r.contains(0, 2)
+
+    def test_iteration_row_major(self):
+        r = Region2D(0, 2, 0, 2)
+        assert list(r) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    @given(regions)
+    def test_iteration_matches_size_and_contains(self, r):
+        cells = list(r)
+        assert len(cells) == r.size
+        assert all(r.contains(i, j) for i, j in cells)
+
+
+class TestIntersect:
+    def test_overlap(self):
+        a = Region2D(0, 4, 0, 4)
+        b = Region2D(2, 6, 1, 3)
+        assert a.intersect(b) == Region2D(2, 4, 1, 3)
+
+    def test_disjoint(self):
+        a = Region2D(0, 2, 0, 2)
+        b = Region2D(2, 4, 0, 2)
+        assert a.intersect(b) is None
+
+    @given(regions, regions)
+    def test_commutative(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(regions)
+    def test_self_intersection_identity(self, r):
+        if r.is_empty:
+            assert r.intersect(r) is None
+        else:
+            assert r.intersect(r) == r
+
+
+class TestSplit:
+    @given(regions, st.integers(1, 8))
+    def test_split_rows_tiles_exactly(self, r, parts):
+        bands = r.split_rows(parts)
+        assert len(bands) == parts
+        assert sum(b.size for b in bands) == r.size
+        # contiguous, ordered, non-overlapping
+        row = r.row0
+        for b in bands:
+            assert b.row0 == row
+            assert (b.col0, b.col1) == (r.col0, r.col1)
+            row = b.row1
+        assert row == r.row1
+
+    @given(regions, st.integers(1, 8))
+    def test_split_cols_tiles_exactly(self, r, parts):
+        bands = r.split_cols(parts)
+        assert len(bands) == parts
+        assert sum(b.size for b in bands) == r.size
+        col = r.col0
+        for b in bands:
+            assert b.col0 == col
+            assert (b.row0, b.row1) == (r.row0, r.row1)
+            col = b.col1
+        assert col == r.col1
+
+    def test_split_balanced(self):
+        bands = Region2D.of_shape(10, 1).split_rows(3)
+        assert [b.height for b in bands] == [4, 3, 3]
+
+    def test_split_more_parts_than_rows(self):
+        bands = Region2D.of_shape(2, 3).split_rows(4)
+        assert [b.height for b in bands] == [1, 1, 0, 0]
+
+    def test_invalid_parts(self):
+        with pytest.raises(ConfigurationError):
+            Region2D.of_shape(2, 2).split_rows(0)
+
+
+class TestTile:
+    def test_exact_tiling(self):
+        tiles = Region2D.of_shape(4, 6).tile(2, 3)
+        assert len(tiles) == 2 and len(tiles[0]) == 2
+        assert all(t.size == 6 for row in tiles for t in row)
+
+    def test_clipped_edges(self):
+        tiles = Region2D.of_shape(5, 5).tile(2, 2)
+        assert len(tiles) == 3 and len(tiles[0]) == 3
+        assert tiles[2][2] == Region2D(4, 5, 4, 5)
+
+    @given(regions.filter(lambda r: not r.is_empty), st.integers(1, 7), st.integers(1, 7))
+    def test_tiles_cover_exactly(self, r, th, tw):
+        tiles = [t for row in r.tile(th, tw) for t in row]
+        assert sum(t.size for t in tiles) == r.size
+        seen = set()
+        for t in tiles:
+            for cell in t:
+                assert cell not in seen
+                seen.add(cell)
+        assert len(seen) == r.size

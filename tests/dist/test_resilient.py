@@ -1,0 +1,85 @@
+"""Tests for the snapshot-based ResilientDistArray baseline."""
+
+import pytest
+
+from repro.apgas.place import PlaceGroup
+from repro.dist.dist import Dist
+from repro.dist.region import Region2D
+from repro.dist.resilient import ResilientDistArray
+from repro.errors import RecoveryError
+
+REGION = Region2D.of_shape(4, 4)
+
+
+@pytest.fixture()
+def setup():
+    group = PlaceGroup(3)
+    dist = Dist.block_rows(REGION, [0, 1, 2])
+    return ResilientDistArray(dist, group), group
+
+
+class TestSnapshotRestore:
+    def test_restore_without_snapshot_fails(self, setup):
+        arr, group = setup
+        new_dist = Dist.block_rows(REGION, [0, 1])
+        with pytest.raises(RecoveryError):
+            arr.restore(new_dist)
+
+    def test_snapshot_counts_cells(self, setup):
+        arr, _ = setup
+        arr.set(0, 0, 1)
+        arr.set(3, 3, 2)
+        assert arr.snapshot() == 2
+        assert arr.snapshots_taken == 1
+        assert arr.cells_copied_total == 2
+
+    def test_restore_recovers_snapshot_state(self, setup):
+        arr, group = setup
+        arr.set(0, 0, "kept")
+        arr.snapshot()
+        arr.set(1, 1, "lost-after-snapshot")
+        group.kill(2)
+        new_dist = Dist.block_rows(REGION, [0, 1])
+        restored = arr.restore(new_dist)
+        assert restored.get(0, 0) == "kept"
+        # progress after the snapshot is rolled back
+        assert not restored.contains(1, 1)
+
+    def test_restore_moves_cells_to_new_homes(self, setup):
+        arr, group = setup
+        # (3,3) homed at place 2; after place 2 dies it must land on a survivor
+        arr.set(3, 3, 7)
+        arr.snapshot()
+        group.kill(2)
+        restored = arr.restore(Dist.block_rows(REGION, [0, 1]))
+        assert restored.get(3, 3) == 7
+        assert restored.home_of(3, 3) in (0, 1)
+
+    def test_restore_onto_dead_place_rejected(self, setup):
+        arr, group = setup
+        arr.snapshot()
+        group.kill(1)
+        with pytest.raises(RecoveryError):
+            arr.restore(Dist.block_rows(REGION, [0, 1]))
+
+    def test_snapshot_volume_grows_with_progress(self, setup):
+        # the paper's argument against periodic snapshots: cost tracks the
+        # amount of intermediate state
+        arr, _ = setup
+        arr.set(0, 0, 1)
+        first = arr.snapshot()
+        for i, j in REGION:
+            arr.set(i, j, i + j)
+        second = arr.snapshot()
+        assert second > first
+        assert arr.cells_copied_total == first + second
+
+    def test_restore_preserves_snapshot_store(self, setup):
+        arr, group = setup
+        arr.set(0, 0, 1)
+        arr.snapshot()
+        group.kill(2)
+        restored = arr.restore(Dist.block_rows(REGION, [0, 1]))
+        assert restored.snapshots_taken == 1
+        restored.set(0, 1, 2)
+        assert restored.snapshot() == 2

@@ -1,0 +1,46 @@
+"""Every shipped example must run clean end to end (its asserts included)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "sequence_alignment.py",
+    "knapsack_custom_pattern.py",
+    "fault_tolerance.py",
+    "matrix_chain_2d1d.py",
+    "execution_trace.py",
+    "parameter_sweep.py",
+    "snapshot_vs_recovery.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr}"
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_cluster_simulation_runs_clean():
+    # the figure sweep example; small scale, but the longest example
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "cluster_simulation.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env={**os.environ, "REPRO_SCALE": "small"},
+    )
+    assert proc.returncode == 0, f"cluster_simulation failed:\n{proc.stderr}"
+    assert "speedup 2->12 nodes" in proc.stdout
+    assert "recovery" in proc.stdout

@@ -1,0 +1,102 @@
+"""All three engines must produce cell-identical result matrices.
+
+The engines differ in everything incidental — thread model, process
+model, scheduling order, communication — and in nothing semantic. The
+strongest statement of that is full-matrix equality, app by app.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.knapsack import make_knapsack_instance, solve_knapsack
+from repro.apps.lcs import solve_lcs
+from repro.apps.lps import solve_lps
+from repro.apps.mtp import make_mtp_weights, solve_mtp
+from repro.apps.serial import (
+    knapsack_matrix,
+    lcs_matrix,
+    lps_matrix,
+    mtp_matrix,
+    sw_matrix,
+)
+from repro.apps.smith_waterman import solve_sw
+from repro.core.config import DPX10Config
+
+ENGINES = ["inline", "threaded", "mp"]
+
+
+def cfg(engine):
+    return DPX10Config(nplaces=3, engine=engine)
+
+
+class TestFullMatrixAgreement:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_lcs_matrix_equals_oracle(self, engine):
+        x, y = "ABCBDABACG", "BDCABAACGG"
+        app, _ = solve_lcs(x, y, cfg(engine))
+        # bind gives access to the full matrix
+        from repro.patterns.diagonal import DiagonalDag  # noqa: F401
+
+        # re-solve to hold the dag: use the runtime API directly
+        from repro.apps.lcs import LCSApp
+        from repro.core.runtime import DPX10Runtime
+        from repro.patterns.diagonal import DiagonalDag
+
+        app = LCSApp(x, y)
+        dag = DiagonalDag(len(x) + 1, len(y) + 1)
+        DPX10Runtime(app, dag, cfg(engine)).run()
+        got = dag.to_array(dtype=np.int64).astype(np.int64)
+        np.testing.assert_array_equal(got, lcs_matrix(x, y))
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_sw_matrix_equals_oracle(self, engine):
+        from repro.apps.smith_waterman import SWApp
+        from repro.core.runtime import DPX10Runtime
+        from repro.patterns.diagonal import DiagonalDag
+
+        x, y = "ACACACTA", "AGCACACA"
+        app = SWApp(x, y)
+        dag = DiagonalDag(len(x) + 1, len(y) + 1)
+        DPX10Runtime(app, dag, cfg(engine)).run()
+        got = dag.to_array(dtype=np.int64).astype(np.int64)
+        np.testing.assert_array_equal(got, sw_matrix(x, y))
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_lps_answer(self, engine):
+        s = "BBABCBCABBA"
+        app, _ = solve_lps(s, cfg(engine))
+        assert app.length == lps_matrix(s)[0, len(s) - 1]
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_mtp_answer(self, engine):
+        wd, wr = make_mtp_weights(6, 7, seed=13)
+        app, _ = solve_mtp(wd, wr, cfg(engine))
+        assert app.best_path_weight == mtp_matrix(wd, wr)[-1, -1]
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_knapsack_answer(self, engine):
+        w, v = make_knapsack_instance(8, 22, seed=21)
+        app, _ = solve_knapsack(w, v, 22, cfg(engine))
+        assert app.best_value == knapsack_matrix(w, v, 22)[-1, -1]
+
+
+class TestToArray:
+    def test_fill_for_inactive_cells(self):
+        from repro.apps.lps import LPSApp
+        from repro.core.runtime import DPX10Runtime
+        from repro.patterns.interval import IntervalDag
+
+        s = "ABCA"
+        app = LPSApp(s)
+        dag = IntervalDag(4, 4)
+        DPX10Runtime(app, dag, cfg("inline")).run()
+        arr = dag.to_array(fill=-1)
+        assert arr[2, 0] == -1  # inactive lower triangle
+        assert arr[0, 3] == lps_matrix(s)[0, 3]
+
+    def test_requires_run(self):
+        from repro.errors import DPX10Error
+        from repro.patterns.grid import GridDag
+
+        with pytest.raises(DPX10Error):
+            GridDag(2, 2).to_array()

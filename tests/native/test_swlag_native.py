@@ -1,0 +1,34 @@
+"""The hand-written baseline must agree with the oracle and the framework."""
+
+import numpy as np
+
+from repro.apps.serial import swlag_matrices
+from repro.apps.smith_waterman import solve_swlag
+from repro.core.config import DPX10Config
+from repro.native.swlag_native import swlag_native, swlag_native_score
+
+
+class TestAgainstOracle:
+    def test_matrices_identical(self):
+        x, y = "GATTACAACGT", "TACGACGATTT"
+        hn, en, fn = swlag_native(x, y)
+        ho, eo, fo = swlag_matrices(x, y)
+        np.testing.assert_array_equal(hn, ho)
+        np.testing.assert_array_equal(en, eo)
+        np.testing.assert_array_equal(fn, fo)
+
+    def test_custom_scoring(self):
+        x, y = "AAAATTTTCCCC", "AAAACCCC"
+        hn, _, _ = swlag_native(x, y, gap_open=-3, gap_extend=-1)
+        ho, _, _ = swlag_matrices(x, y, gap_open=-3, gap_extend=-1)
+        np.testing.assert_array_equal(hn, ho)
+
+
+class TestAgainstFramework:
+    def test_same_best_score(self):
+        x, y = "ACACACTAGT", "AGCACACAGT"
+        app, _ = solve_swlag(x, y, DPX10Config(nplaces=2))
+        assert swlag_native_score(x, y) == app.best_score
+
+    def test_score_helper(self):
+        assert swlag_native_score("ACGT", "ACGT") == 8

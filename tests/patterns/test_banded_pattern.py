@@ -1,0 +1,76 @@
+"""Tests for the banded diagonal pattern (extension)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PatternError
+from repro.patterns.banded import BandedDiagonalDag
+
+
+class TestShape:
+    def test_band_activity(self):
+        d = BandedDiagonalDag(6, 6, 1)
+        assert d.is_active(2, 2) and d.is_active(2, 3) and d.is_active(3, 2)
+        assert not d.is_active(0, 2)
+        assert not d.is_active(4, 1)
+
+    def test_bandwidth_zero_is_diagonal_only(self):
+        d = BandedDiagonalDag(4, 4, 0)
+        assert len(d.active_cells()) == 4
+
+    def test_band_must_reach_corner(self):
+        with pytest.raises(PatternError):
+            BandedDiagonalDag(10, 4, 2)
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(PatternError):
+            BandedDiagonalDag(4, 4, -1)
+
+
+class TestStructure:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(1, 8),
+        extra=st.integers(0, 3),
+        w=st.integers(0, 6),
+    )
+    def test_validates_at_any_size(self, n, extra, w):
+        m = n + extra
+        bandwidth = max(w, extra)  # band must reach the corner
+        BandedDiagonalDag(n, m, bandwidth).validate()
+
+    def test_deps_filtered_to_band(self):
+        d = BandedDiagonalDag(6, 6, 1)
+        # (2, 3) sits on the band's upper edge: (1, 3) is out of band
+        deps = {tuple(v) for v in d.get_dependency(2, 3)}
+        assert deps == {(1, 2), (2, 2)}
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        r0=st.integers(0, 8),
+        h=st.integers(0, 6),
+        c0=st.integers(0, 8),
+        cw=st.integers(0, 6),
+        w=st.integers(0, 5),
+    )
+    def test_active_count_matches_bruteforce(self, r0, h, c0, cw, w):
+        d = BandedDiagonalDag(14, 14, w)
+        got = d.active_cells_in_rect(r0, r0 + h, c0, c0 + cw)
+        want = sum(
+            1
+            for i in range(r0, r0 + h)
+            for j in range(c0, c0 + cw)
+            if abs(i - j) <= w
+        )
+        assert got == want
+
+    def test_tile_deps_skip_out_of_band_tiles(self):
+        d = BandedDiagonalDag(100, 100, 5)
+        # at 10x10 tiles of edge 10, tile (5, 3) spans rows 50-59 x cols
+        # 30-39: its closest cell to the diagonal is 11 away — fully out
+        # of the width-5 band, so in-band tiles never depend on it
+        deps = d.tile_deps(5, 4, 10, 10)
+        assert (5, 3) not in deps
+        assert (4, 4) in deps
+        assert d.tile_deps(5, 3, 10, 10) is not None  # callable on any tile

@@ -1,0 +1,230 @@
+"""Tests for each built-in DAG pattern's stencil and shape."""
+
+import pytest
+
+from repro.core.api import VertexId
+from repro.errors import PatternError
+from repro.patterns import (
+    PATTERNS,
+    AntiDiagonalDag,
+    ColumnChainDag,
+    DiagonalDag,
+    FullRowDag,
+    GridDag,
+    IntervalDag,
+    RowChainDag,
+    TriangularDag,
+    get_pattern,
+)
+
+
+class TestRegistry:
+    def test_eight_builtins_registered(self):
+        # the paper's Figure 5 set, plus the "banded" extension
+        assert {
+            "grid",
+            "diagonal",
+            "row_chain",
+            "column_chain",
+            "interval",
+            "antidiag",
+            "full_row",
+            "triangular",
+        } <= set(PATTERNS)
+        assert "banded" in PATTERNS
+
+    def test_get_pattern(self):
+        assert get_pattern("grid") is GridDag
+        with pytest.raises(PatternError):
+            get_pattern("torus")
+
+    def test_pattern_name_attribute(self):
+        assert GridDag.pattern_name == "grid"
+
+
+class TestGrid:
+    def test_interior_deps(self):
+        d = GridDag(4, 4)
+        assert set(d.get_dependency(2, 2)) == {VertexId(1, 2), VertexId(2, 1)}
+
+    def test_corner_is_seed(self):
+        assert GridDag(4, 4).get_dependency(0, 0) == []
+
+    def test_edges_have_one_dep(self):
+        d = GridDag(4, 4)
+        assert d.get_dependency(0, 2) == [VertexId(0, 1)]
+        assert d.get_dependency(2, 0) == [VertexId(1, 0)]
+
+    def test_anti_is_mirror(self):
+        d = GridDag(4, 4)
+        assert set(d.get_anti_dependency(2, 2)) == {VertexId(3, 2), VertexId(2, 3)}
+        assert d.get_anti_dependency(3, 3) == []
+
+
+class TestDiagonal:
+    def test_interior_deps(self):
+        d = DiagonalDag(4, 4)
+        assert set(d.get_dependency(2, 2)) == {
+            VertexId(1, 1),
+            VertexId(1, 2),
+            VertexId(2, 1),
+        }
+
+    def test_figure1_structure(self):
+        # the LCS example: (0,0) is the only seed of a dense matrix
+        d = DiagonalDag(3, 3)
+        seeds = [c for c in d.region if not d.get_dependency(*c)]
+        assert seeds == [(0, 0)]
+
+
+class TestChains:
+    def test_row_chain_rows_independent(self):
+        d = RowChainDag(3, 4)
+        assert d.get_dependency(1, 0) == []
+        assert d.get_dependency(1, 2) == [VertexId(1, 1)]
+        seeds = [c for c in d.region if not d.get_dependency(*c)]
+        assert seeds == [(0, 0), (1, 0), (2, 0)]
+
+    def test_column_chain_cols_independent(self):
+        d = ColumnChainDag(4, 3)
+        assert d.get_dependency(0, 1) == []
+        assert d.get_dependency(2, 1) == [VertexId(1, 1)]
+        seeds = [c for c in d.region if not d.get_dependency(*c)]
+        assert seeds == [(0, 0), (0, 1), (0, 2)]
+
+
+class TestAntiDiagonalBand:
+    def test_interior_deps(self):
+        d = AntiDiagonalDag(4, 4)
+        assert set(d.get_dependency(2, 2)) == {
+            VertexId(1, 1),
+            VertexId(1, 2),
+            VertexId(1, 3),
+        }
+
+    def test_row0_is_seed_row(self):
+        d = AntiDiagonalDag(3, 5)
+        assert all(not d.get_dependency(0, j) for j in range(5))
+
+    def test_border_clipping(self):
+        d = AntiDiagonalDag(3, 3)
+        assert set(d.get_dependency(1, 0)) == {VertexId(0, 0), VertexId(0, 1)}
+        assert set(d.get_dependency(1, 2)) == {VertexId(0, 1), VertexId(0, 2)}
+
+
+class TestInterval:
+    def test_lower_triangle_inactive(self):
+        d = IntervalDag(4, 4)
+        assert d.is_active(1, 3) and d.is_active(2, 2)
+        assert not d.is_active(3, 0)
+
+    def test_diagonal_cells_are_seeds(self):
+        d = IntervalDag(4, 4)
+        for i in range(4):
+            assert d.get_dependency(i, i) == []
+
+    def test_adjacent_pair_two_deps(self):
+        d = IntervalDag(4, 4)
+        assert set(d.get_dependency(1, 2)) == {VertexId(2, 2), VertexId(1, 1)}
+
+    def test_general_cell_three_deps(self):
+        d = IntervalDag(4, 4)
+        assert set(d.get_dependency(0, 3)) == {
+            VertexId(1, 3),
+            VertexId(0, 2),
+            VertexId(1, 2),
+        }
+
+    def test_active_count(self):
+        assert len(IntervalDag(4, 4).active_cells()) == 10
+
+
+class TestFullRow:
+    def test_whole_previous_row(self):
+        d = FullRowDag(3, 4)
+        assert d.get_dependency(2, 1) == [VertexId(1, k) for k in range(4)]
+        assert d.get_dependency(0, 2) == []
+
+    def test_anti_whole_next_row(self):
+        d = FullRowDag(3, 4)
+        assert d.get_anti_dependency(1, 0) == [VertexId(2, k) for k in range(4)]
+        assert d.get_anti_dependency(2, 0) == []
+
+
+class TestTriangular:
+    def test_diagonal_seeds(self):
+        d = TriangularDag(5, 5)
+        assert d.get_dependency(2, 2) == []
+
+    def test_interval_split_deps(self):
+        d = TriangularDag(5, 5)
+        deps = set(d.get_dependency(1, 3))
+        assert deps == {
+            VertexId(1, 1),
+            VertexId(1, 2),
+            VertexId(2, 3),
+            VertexId(3, 3),
+        }
+
+    def test_dep_count_grows_with_interval(self):
+        d = TriangularDag(8, 8)
+        assert len(d.get_dependency(0, 7)) > len(d.get_dependency(0, 2))
+
+
+class TestStencilGuards:
+    def test_empty_offsets_rejected(self):
+        from repro.patterns.base import StencilDag
+
+        class Empty(StencilDag):
+            offsets = ()
+
+        with pytest.raises(PatternError):
+            Empty(2, 2)
+
+    def test_zero_offset_rejected(self):
+        from repro.patterns.base import StencilDag
+
+        class Selfie(StencilDag):
+            offsets = ((0, 0), (-1, 0))
+
+        with pytest.raises(PatternError):
+            Selfie(2, 2)
+
+    def test_duplicate_offsets_rejected(self):
+        from repro.patterns.base import StencilDag
+
+        class Dup(StencilDag):
+            offsets = ((-1, 0), (-1, 0))
+
+        with pytest.raises(PatternError):
+            Dup(2, 2)
+
+    def test_duplicate_registration_rejected(self):
+        from repro.patterns.base import register_pattern
+
+        with pytest.raises(PatternError):
+            register_pattern("grid")(GridDag)
+
+
+class TestTileDeps:
+    def test_grid_tile_stencil(self):
+        d = GridDag(10, 10)
+        assert set(d.tile_deps(1, 1, 3, 3)) == {(0, 1), (1, 0)}
+        assert d.tile_deps(0, 0, 3, 3) == []
+
+    def test_diagonal_tile_stencil(self):
+        d = DiagonalDag(10, 10)
+        assert set(d.tile_deps(1, 1, 3, 3)) == {(0, 0), (0, 1), (1, 0)}
+
+    def test_interval_tile_stencil_respects_triangle(self):
+        d = IntervalDag(10, 10)
+        assert set(d.tile_deps(0, 1, 3, 3)) == {(1, 1), (0, 0), (1, 0)} - {(1, 0)}
+
+    def test_full_row_tile_deps(self):
+        d = FullRowDag(10, 10)
+        assert d.tile_deps(2, 1, 3, 4) == [(1, k) for k in range(4)]
+
+    def test_boundary_fraction_bounds(self):
+        for cls in (GridDag, DiagonalDag, RowChainDag, ColumnChainDag):
+            frac = cls(10, 10).tile_boundary_fraction(10, 10)
+            assert 0 < frac <= 1

@@ -1,0 +1,77 @@
+"""The vectorized initialization fast path must agree with the scalar one."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patterns import (
+    AntiDiagonalDag,
+    BandedDiagonalDag,
+    DiagonalDag,
+    GridDag,
+    IntervalDag,
+    RowChainDag,
+    TriangularDag,
+)
+from repro.patterns.diag_chain import DiagChainDag
+
+
+def scalar_indegrees(dag, rows, cols):
+    out = np.zeros(len(rows), dtype=np.int32)
+    for k, (i, j) in enumerate(zip(rows, cols)):
+        if dag.is_active(i, j):
+            out[k] = sum(
+                1 for d in dag.get_dependency(i, j) if dag.is_active(d.i, d.j)
+            )
+    return out
+
+
+ALL_CELL_PATTERNS = [
+    GridDag(7, 9),
+    DiagonalDag(6, 6),
+    RowChainDag(5, 8),
+    AntiDiagonalDag(6, 7),
+    DiagChainDag(6, 6),
+    IntervalDag(8, 8),
+    BandedDiagonalDag(9, 9, 2),
+]
+
+
+class TestBulkAgreesWithScalar:
+    @pytest.mark.parametrize(
+        "dag", ALL_CELL_PATTERNS, ids=lambda d: type(d).__name__
+    )
+    def test_full_region(self, dag):
+        cells = list(dag.region)
+        rows = np.array([c[0] for c in cells])
+        cols = np.array([c[1] for c in cells])
+        bulk = dag.bulk_indegrees(rows, cols)
+        assert bulk is not None, "stencil patterns must provide the fast path"
+        np.testing.assert_array_equal(bulk, scalar_indegrees(dag, rows, cols))
+
+    def test_triangular_has_no_fast_path(self):
+        # O(n)-dependency patterns fall back to the scalar computation
+        dag = TriangularDag(5, 5)
+        assert dag.bulk_indegrees(np.array([0]), np.array([1])) is None
+
+    def test_activity_mask_matches_scalar(self):
+        for dag in ALL_CELL_PATTERNS:
+            cells = list(dag.region)
+            rows = np.array([c[0] for c in cells])
+            cols = np.array([c[1] for c in cells])
+            mask = dag.is_active_array(rows, cols)
+            assert mask is not None
+            expect = np.array([dag.is_active(i, j) for i, j in cells])
+            np.testing.assert_array_equal(mask, expect)
+
+    @settings(max_examples=20, deadline=None)
+    @given(h=st.integers(1, 12), w=st.integers(1, 12))
+    def test_property_grid_and_diagonal(self, h, w):
+        for dag in (GridDag(h, w), DiagonalDag(h, w)):
+            cells = list(dag.region)
+            rows = np.array([c[0] for c in cells])
+            cols = np.array([c[1] for c in cells])
+            np.testing.assert_array_equal(
+                dag.bulk_indegrees(rows, cols), scalar_indegrees(dag, rows, cols)
+            )

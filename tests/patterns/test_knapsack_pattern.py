@@ -1,0 +1,88 @@
+"""Tests for the custom 0/1 Knapsack DAG pattern (paper Figures 8/9)."""
+
+import pytest
+
+from repro.core.api import VertexId
+from repro.errors import PatternError
+from repro.patterns.knapsack import KnapsackDag
+
+
+class TestShape:
+    def test_matrix_dimensions(self):
+        d = KnapsackDag([2, 3, 1], capacity=7)
+        assert (d.height, d.width) == (4, 8)
+
+    def test_weights_must_be_positive_integers(self):
+        with pytest.raises(PatternError):
+            KnapsackDag([0, 2], 5)
+        with pytest.raises(PatternError):
+            KnapsackDag([-1], 5)
+        with pytest.raises(PatternError):
+            KnapsackDag([], 5)
+
+    def test_capacity_zero_allowed(self):
+        d = KnapsackDag([1], capacity=0)
+        assert d.width == 1
+        d.validate()
+
+
+class TestDependencies:
+    def test_row0_seeds(self):
+        d = KnapsackDag([2, 3], 5)
+        assert all(not d.get_dependency(0, j) for j in range(6))
+
+    def test_item_fits(self):
+        d = KnapsackDag([2, 3], 5)
+        # row 1 considers item weight 2
+        assert d.get_dependency(1, 4) == [VertexId(0, 4), VertexId(0, 2)]
+
+    def test_item_does_not_fit(self):
+        d = KnapsackDag([2, 3], 5)
+        assert d.get_dependency(1, 1) == [VertexId(0, 1)]
+
+    def test_exact_fit_boundary(self):
+        d = KnapsackDag([2, 3], 5)
+        assert d.get_dependency(1, 2) == [VertexId(0, 2), VertexId(0, 0)]
+
+    def test_data_dependent_jump_distance(self):
+        d = KnapsackDag([5], 9)
+        assert VertexId(0, 1) in d.get_dependency(1, 6)
+
+
+class TestAntiDependencies:
+    def test_exact_inverse_small(self):
+        KnapsackDag([2, 3, 1], 7).validate()
+
+    def test_paper_figure9_omission_fixed(self):
+        # row 1 cell (1, j+w_0) depends on (0, j); our anti must include it
+        # even though the paper's Figure 9 listing omits it for i == 0
+        d = KnapsackDag([2, 3], 5)
+        assert VertexId(1, 3) in d.get_anti_dependency(0, 1)
+
+    def test_last_row_no_anti(self):
+        d = KnapsackDag([2], 4)
+        assert d.get_anti_dependency(1, 2) == []
+
+    def test_anti_respects_capacity(self):
+        d = KnapsackDag([3], 4)
+        # (0, 3): 3 + 3 > 4 so only the vertical edge
+        assert d.get_anti_dependency(0, 3) == [VertexId(1, 3)]
+        # (0, 1): 1 + 3 <= 4 so both edges
+        assert set(d.get_anti_dependency(0, 1)) == {VertexId(1, 1), VertexId(1, 4)}
+
+
+class TestTileDeps:
+    def test_reach_covers_heaviest_item(self):
+        d = KnapsackDag([6, 2], 19)  # width 20
+        # 4 tile columns of width 5; heaviest item 6 -> reach 2 tiles back
+        deps = d.tile_deps(1, 3, 2, 4)
+        assert deps == [(0, 1), (0, 2), (0, 3)]
+
+    def test_first_tile_row_seeds(self):
+        d = KnapsackDag([2], 9)
+        assert d.tile_deps(0, 1, 2, 2) == []
+
+    def test_reach_clipped_at_zero(self):
+        d = KnapsackDag([50], 19)
+        deps = d.tile_deps(1, 1, 2, 4)
+        assert deps == [(0, 0), (0, 1)]

@@ -1,0 +1,107 @@
+"""Property-based structural tests over the whole pattern library.
+
+Dag.validate() is itself an exhaustive checker (inverse relation +
+acyclicity + schedulability), so the property is simply: every pattern at
+every small size validates, and a few global invariants hold.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patterns import PATTERNS, KnapsackDag
+
+# "banded" takes an extra constructor argument; it gets its own tests in
+# test_banded_pattern.py
+STENCIL_NAMES = sorted(set(PATTERNS) - {"banded"})
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    name=st.sampled_from(STENCIL_NAMES),
+    height=st.integers(1, 9),
+    width=st.integers(1, 9),
+)
+def test_every_builtin_validates_at_any_size(name, height, width):
+    if name in ("interval", "triangular"):
+        width = height  # square triangular patterns
+    PATTERNS[name](height, width).validate()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    weights=st.lists(st.integers(1, 7), min_size=1, max_size=5),
+    capacity=st.integers(0, 15),
+)
+def test_knapsack_pattern_validates(weights, capacity):
+    KnapsackDag(weights, capacity).validate()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    name=st.sampled_from(STENCIL_NAMES),
+    height=st.integers(2, 8),
+    width=st.integers(2, 8),
+)
+def test_dependency_counts_symmetric(name, height, width):
+    """Sum of indegrees equals sum of outdegrees (edge conservation)."""
+    if name in ("interval", "triangular"):
+        width = height
+    dag = PATTERNS[name](height, width)
+    active = dag.active_cells()
+    deps = sum(len(dag.get_dependency(i, j)) for i, j in active)
+    antis = sum(len(dag.get_anti_dependency(i, j)) for i, j in active)
+    assert deps == antis
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    name=st.sampled_from(STENCIL_NAMES),
+    height=st.integers(2, 8),
+    width=st.integers(2, 8),
+)
+def test_at_least_one_seed(name, height, width):
+    if name in ("interval", "triangular"):
+        width = height
+    dag = PATTERNS[name](height, width)
+    seeds = [c for c in dag.active_cells() if not dag.get_dependency(*c)]
+    assert seeds, "a DAG needs at least one zero-indegree vertex"
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    name=st.sampled_from(STENCIL_NAMES),
+    height=st.integers(2, 6),
+    width=st.integers(2, 6),
+    nti=st.integers(1, 3),
+    ntj=st.integers(1, 3),
+)
+def test_tile_deps_in_bounds_and_acyclic(name, height, width, nti, ntj):
+    if name in ("interval", "triangular"):
+        width = height
+        ntj = nti
+    dag = PATTERNS[name](height, width)
+    # tile DAG must be in-bounds and acyclic (checked via Kahn)
+    indeg = {}
+    anti = {}
+    tiles = [(ti, tj) for ti in range(nti) for tj in range(ntj)]
+    if name in ("interval", "triangular"):
+        tiles = [(ti, tj) for ti, tj in tiles if ti <= tj]
+    tile_set = set(tiles)
+    for t in tiles:
+        deps = dag.tile_deps(*t, nti, ntj)
+        assert len(set(deps)) == len(deps)
+        for d in deps:
+            assert d in tile_set
+            anti.setdefault(d, []).append(t)
+        indeg[t] = len(deps)
+    ready = [t for t in tiles if indeg[t] == 0]
+    done = 0
+    while ready:
+        t = ready.pop()
+        done += 1
+        for a in anti.get(t, []):
+            indeg[a] -= 1
+            if indeg[a] == 0:
+                ready.append(a)
+    assert done == len(tiles)

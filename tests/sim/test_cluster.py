@@ -1,0 +1,41 @@
+"""Tests for ClusterSpec."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.cluster import ClusterSpec
+
+
+class TestClusterSpec:
+    def test_tianhe1a_matches_paper_setup(self):
+        c = ClusterSpec.tianhe1a(10)
+        assert c.nplaces == 20  # X10_NPLACES = 2 x nodes
+        assert c.threads_per_place == 6  # X10_NTHREADS
+        assert c.workers == 120  # "10 nodes (120 cores)"
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(nodes=0)
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(nodes=1, threads_per_place=0)
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(nodes=1, beta=0)
+
+    def test_without_node(self):
+        c = ClusterSpec.tianhe1a(4).without_node(2)
+        assert c.nodes == 3
+        assert c.workers == 36
+
+    def test_without_only_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec.tianhe1a(1).without_node(0)
+
+    def test_without_bad_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec.tianhe1a(2).without_node(5)
+
+    def test_frozen(self):
+        import dataclasses
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ClusterSpec.tianhe1a(2).nodes = 5

@@ -1,0 +1,49 @@
+"""Tests for the calibrated cost model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.costmodel import CostModel
+
+
+class TestCostModel:
+    def test_t_cell_composition(self):
+        c = CostModel(t_vertex=1e-6, framework_overhead=0.1, dep_factor=0.5)
+        assert c.t_cell == pytest.approx(1e-6 * 1.1 * 1.5)
+
+    def test_native_drops_framework_overhead_only(self):
+        c = CostModel.for_app("swlag")
+        n = c.native()
+        assert n.framework_overhead == 0.0
+        assert n.t_vertex == c.t_vertex
+        assert n.t_msg == c.t_msg
+        assert n.t_cell < c.t_cell
+
+    def test_cacheless_triples_boundary_fetches(self):
+        c = CostModel.for_app("swlag").cacheless()
+        assert c.fetches_per_boundary_cell == 3.0
+
+    def test_presets_exist_for_evaluation_apps(self):
+        for app in ("swlag", "sw", "mtp", "lps", "knapsack"):
+            assert CostModel.for_app(app).t_vertex > 0
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostModel.for_app("tsp")
+
+    def test_knapsack_has_dep_resolution_surcharge(self):
+        # "0/1KP takes a little longer since it needs more time to resolve
+        # the dependencies"
+        assert CostModel.for_app("knapsack").dep_factor > 0
+        assert CostModel.for_app("mtp").dep_factor == 0
+
+    def test_recovery_constant_matches_fig13a_anchor(self):
+        # 500M vertices, 4-node cluster -> 3 surviving nodes = 6 places
+        c = CostModel.for_app("swlag")
+        assert 500e6 * c.t_recover / 6 == pytest.approx(65.0, rel=0.01)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(t_vertex=0)
+        with pytest.raises(ConfigurationError):
+            CostModel(t_vertex=1e-6, framework_overhead=-0.1)

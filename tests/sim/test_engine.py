@@ -1,0 +1,166 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patterns import ColumnChainDag, DiagonalDag, GridDag, RowChainDag
+from repro.sim.cluster import ClusterSpec
+from repro.sim.costmodel import CostModel
+from repro.sim.engine import simulate, simulate_with_fault
+from repro.sim.recovery_model import recovery_time
+
+COST = CostModel.for_app("swlag")
+SMALL = ClusterSpec(nodes=2, places_per_node=2, threads_per_place=2)
+
+
+class TestLowerBounds:
+    """A feasible schedule can never beat work/cores or the critical path."""
+
+    @pytest.mark.parametrize("dag_cls", [GridDag, DiagonalDag, RowChainDag])
+    def test_work_bound(self, dag_cls):
+        dag = dag_cls(600, 600)
+        r = simulate(dag, SMALL, COST, tile_size=100)
+        assert r.makespan >= r.work_seconds / r.workers * 0.999
+
+    def test_critical_path_bound_chain(self):
+        # column_chain with a single tile column: pure chain of nti tiles
+        dag = ColumnChainDag(1000, 50)
+        r = simulate(dag, SMALL, COST, tile_size=50)
+        chain = 20 * 50 * 50 * COST.t_cell  # 20 tiles, fully serialized
+        assert r.makespan == pytest.approx(chain, rel=1e-6)
+
+    def test_single_tile(self):
+        dag = GridDag(10, 10)
+        r = simulate(dag, SMALL, COST, tile_size=100)
+        assert r.ntiles == 1
+        assert r.makespan == pytest.approx(100 * COST.t_cell)
+
+
+class TestParallelism:
+    def test_row_chain_scales_nearly_ideally(self):
+        # independent rows under a row distribution: every place owns
+        # whole chains, so scaling is near-ideal (the per-row chain length
+        # and pipeline fill keep it just below the place count)
+        dag = RowChainDag(6400, 200)
+        t1 = simulate(dag, ClusterSpec(nodes=1, places_per_node=1, threads_per_place=4), COST, tile_size=100, dist="block_rows").makespan
+        t4 = simulate(dag, ClusterSpec(nodes=1, places_per_node=4, threads_per_place=4), COST, tile_size=100, dist="block_rows").makespan
+        assert t1 / t4 > 2.5
+
+    def test_more_nodes_never_meaningfully_slower(self):
+        # scaling helps while work-bound, then flattens once the wavefront
+        # critical path dominates — it must never get meaningfully worse
+        dag = DiagonalDag(3200, 3200)
+        times = [
+            simulate(dag, ClusterSpec.tianhe1a(n), COST, tile_size=100).makespan
+            for n in (2, 4, 8)
+        ]
+        assert times[1] <= times[0]
+        assert times[2] <= times[1] * 1.05
+
+    def test_speedup_saturates(self):
+        # doubling nodes twice must not give 4x on a wavefront DAG
+        dag = DiagonalDag(1200, 1200)
+        t2 = simulate(dag, ClusterSpec.tianhe1a(2), COST, tile_size=100).makespan
+        t8 = simulate(dag, ClusterSpec.tianhe1a(8), COST, tile_size=100).makespan
+        assert t2 / t8 < 4.0
+
+    def test_parallel_efficiency_bounds(self):
+        r = simulate(DiagonalDag(600, 600), SMALL, COST, tile_size=100)
+        assert 0 < r.parallel_efficiency <= 1.0
+
+
+class TestDeterminism:
+    def test_repeatable(self):
+        dag = DiagonalDag(500, 500)
+        a = simulate(dag, SMALL, COST, tile_size=100)
+        b = simulate(dag, SMALL, COST, tile_size=100)
+        assert a.makespan == b.makespan
+        assert a.work_seconds == b.work_seconds
+
+    def test_completion_log_complete(self):
+        r = simulate(GridDag(300, 300), SMALL, COST, tile_size=100)
+        assert len(r.completions) == r.ntiles
+        finishes = [t for t, _ in r.completions]
+        assert finishes == sorted(finishes)
+
+
+class TestFaultSimulation:
+    def test_fault_costs_more_than_no_fault(self):
+        dag = DiagonalDag(1000, 1000)
+        r = simulate_with_fault(dag, ClusterSpec.tianhe1a(4), COST, fail_node=3, tile_size=100)
+        assert r.normalized > 1.0
+        assert r.total == pytest.approx(
+            r.fail_time + r.recovery_seconds + r.resume_makespan
+        )
+
+    def test_recovery_time_matches_model(self):
+        dag = DiagonalDag(1000, 1000)
+        r = simulate_with_fault(dag, ClusterSpec.tianhe1a(4), COST, fail_node=3, tile_size=100)
+        assert r.recovery_seconds == pytest.approx(
+            recovery_time(1000 * 1000, 6, COST)
+        )
+
+    def test_impact_shrinks_with_more_nodes(self):
+        # Figure 13b's claim
+        dag = DiagonalDag(1400, 1400)
+        n4 = simulate_with_fault(dag, ClusterSpec.tianhe1a(4), COST, fail_node=3, tile_size=100)
+        n8 = simulate_with_fault(dag, ClusterSpec.tianhe1a(8), COST, fail_node=7, tile_size=100)
+        assert n8.normalized < n4.normalized
+
+    def test_copy_preserves_more_than_discard(self):
+        dag = DiagonalDag(1000, 1000)
+        kw = dict(cluster=ClusterSpec.tianhe1a(4), cost=COST, fail_node=3, tile_size=100)
+        rd = simulate_with_fault(dag, restore_manner="discard", **kw)
+        rc = simulate_with_fault(dag, restore_manner="copy", **kw)
+        assert rc.tiles_preserved >= rd.tiles_preserved
+        assert rc.total <= rd.total
+
+    def test_fault_at_zero_fraction(self):
+        dag = DiagonalDag(600, 600)
+        r = simulate_with_fault(
+            dag, ClusterSpec.tianhe1a(2), COST, fail_node=1, at_fraction=0.0, tile_size=100
+        )
+        assert r.fail_time == 0.0
+        assert r.tiles_preserved == 0
+
+    def test_bad_args_rejected(self):
+        from repro.errors import ConfigurationError
+
+        dag = GridDag(100, 100)
+        with pytest.raises(ConfigurationError):
+            simulate_with_fault(dag, ClusterSpec.tianhe1a(2), COST, fail_node=5)
+        with pytest.raises(ConfigurationError):
+            simulate_with_fault(dag, ClusterSpec.tianhe1a(1), COST, fail_node=0)
+        with pytest.raises(ConfigurationError):
+            simulate_with_fault(
+                dag, ClusterSpec.tianhe1a(2), COST, fail_node=1, at_fraction=1.5
+            )
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    n=st.integers(100, 600),
+    nodes=st.integers(1, 6),
+    tile=st.integers(20, 120),
+)
+def test_property_makespan_bounds(n, nodes, tile):
+    """work/cores <= makespan <= total work (never faster than perfect,
+    never slower than fully serial)."""
+    dag = GridDag(n, n)
+    cluster = ClusterSpec.tianhe1a(nodes)
+    r = simulate(dag, cluster, COST, tile_size=tile)
+    assert r.makespan <= r.work_seconds * (1 + 1e-9)
+    assert r.makespan >= r.work_seconds / r.workers * (1 - 1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(size=st.integers(200, 900))
+def test_property_makespan_monotone_in_size(size):
+    dag_small = DiagonalDag(size, size)
+    dag_big = DiagonalDag(size + 100, size + 100)
+    c = ClusterSpec.tianhe1a(3)
+    assert (
+        simulate(dag_big, c, COST, tile_size=100).makespan
+        > simulate(dag_small, c, COST, tile_size=100).makespan
+    )

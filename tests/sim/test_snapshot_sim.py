@@ -1,0 +1,65 @@
+"""Tests for the snapshot-FT simulation baseline."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.patterns import DiagonalDag
+from repro.sim.cluster import ClusterSpec
+from repro.sim.costmodel import CostModel
+from repro.sim.engine import simulate, simulate_with_fault_snapshot
+
+COST = CostModel.for_app("swlag")
+DAG = DiagonalDag(1200, 1200)
+CLUSTER = ClusterSpec.tianhe1a(4)
+KW = dict(fail_node=3, tile_size=100)
+
+
+class TestSnapshotSim:
+    def test_total_decomposition(self):
+        r = simulate_with_fault_snapshot(DAG, CLUSTER, COST, **KW)
+        assert r.total == pytest.approx(
+            r.fail_time + r.checkpoint_seconds + r.restore_seconds + r.resume_makespan
+        )
+        assert r.normalized > 1.0
+
+    def test_denser_checkpoints_cost_more_save_more(self):
+        dense = simulate_with_fault_snapshot(
+            DAG, CLUSTER, COST, checkpoint_every=0.05, **KW
+        )
+        sparse = simulate_with_fault_snapshot(
+            DAG, CLUSTER, COST, checkpoint_every=0.45, **KW
+        )
+        assert dense.snapshots_taken > sparse.snapshots_taken
+        assert dense.checkpoint_seconds > sparse.checkpoint_seconds
+        # denser checkpoints roll back less work
+        assert dense.resume_makespan <= sparse.resume_makespan
+
+    def test_no_checkpoint_before_first_interval(self):
+        r = simulate_with_fault_snapshot(
+            DAG, CLUSTER, COST, at_fraction=0.2, checkpoint_every=0.5, **KW
+        )
+        assert r.snapshots_taken == 0
+        assert r.checkpoint_seconds == 0.0
+        # full rollback: resume redoes everything
+        base = simulate(DAG, CLUSTER, COST, tile_size=100).makespan
+        assert r.resume_makespan >= base * 0.5
+
+    def test_checkpoint_tax_grows_with_progress(self):
+        early = simulate_with_fault_snapshot(
+            DAG, CLUSTER, COST, at_fraction=0.2, checkpoint_every=0.1, **KW
+        )
+        late = simulate_with_fault_snapshot(
+            DAG, CLUSTER, COST, at_fraction=0.9, checkpoint_every=0.1, **KW
+        )
+        # the paper's volume argument: later snapshots copy more
+        assert late.checkpoint_seconds > 3 * early.checkpoint_seconds
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_with_fault_snapshot(
+                DAG, CLUSTER, COST, fail_node=3, checkpoint_every=0.0
+            )
+        with pytest.raises(ConfigurationError):
+            simulate_with_fault_snapshot(
+                DAG, ClusterSpec.tianhe1a(1), COST, fail_node=0
+            )

@@ -1,0 +1,152 @@
+"""Tests for the tile decomposition and its cost estimates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patterns import DiagonalDag, GridDag, IntervalDag, TriangularDag, FullRowDag
+from repro.patterns.knapsack import KnapsackDag
+from repro.sim.costmodel import CostModel
+from repro.sim.tiles import TileGrid, active_cells_in_rect
+
+COST = CostModel.for_app("swlag")
+
+
+class TestActiveCellsInRect:
+    def test_dense_is_area(self):
+        assert active_cells_in_rect(GridDag(10, 10), 2, 5, 3, 7) == 12
+
+    def test_empty_rect(self):
+        assert active_cells_in_rect(GridDag(10, 10), 2, 2, 0, 5) == 0
+
+    def test_triangular_full_matrix(self):
+        n = 7
+        dag = IntervalDag(n, n)
+        assert active_cells_in_rect(dag, 0, n, 0, n) == n * (n + 1) // 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        r0=st.integers(0, 10),
+        h=st.integers(0, 10),
+        c0=st.integers(0, 10),
+        w=st.integers(0, 10),
+    )
+    def test_triangular_matches_bruteforce(self, r0, h, c0, w):
+        dag = TriangularDag(25, 25)
+        got = active_cells_in_rect(dag, r0, r0 + h, c0, c0 + w)
+        want = sum(
+            1
+            for i in range(r0, r0 + h)
+            for j in range(c0, c0 + w)
+            if i <= j
+        )
+        assert got == want
+
+
+class TestTileGrid:
+    def test_tile_counts(self):
+        g = TileGrid(GridDag(100, 150), tile_size=50, nplaces=3)
+        assert (g.nti, g.ntj) == (2, 3)
+        assert len(g.tiles) == 6
+        assert g.total_cells == 100 * 150
+
+    def test_edge_tiles_clipped(self):
+        g = TileGrid(GridDag(10, 10), tile_size=7, nplaces=1)
+        assert g.cells((0, 0)) == 49
+        assert g.cells((1, 1)) == 9
+
+    def test_interval_skips_inactive_tiles(self):
+        g = TileGrid(IntervalDag(100, 100), tile_size=50, nplaces=1)
+        assert (1, 0) not in g._cells
+        assert g.total_cells == 100 * 101 // 2
+
+    def test_deps_filtered_to_active(self):
+        g = TileGrid(IntervalDag(100, 100), tile_size=50, nplaces=1)
+        assert set(g.deps((0, 1))) == {(1, 1), (0, 0)}
+
+
+class TestPlacement:
+    def test_block_cols_bands(self):
+        g = TileGrid(GridDag(100, 400), tile_size=50, nplaces=4)  # 8 tile cols
+        places = [g.place_of((0, tj)) for tj in range(8)]
+        assert places == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_block_rows_bands(self):
+        g = TileGrid(GridDag(400, 100), tile_size=50, nplaces=4, dist="block_rows")
+        places = [g.place_of((ti, 0)) for ti in range(8)]
+        assert places == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_uneven_bands(self):
+        g = TileGrid(GridDag(10, 50), tile_size=10, nplaces=3)  # 5 tile cols
+        places = [g.place_of((0, tj)) for tj in range(5)]
+        assert places == [0, 0, 1, 1, 2]  # first band gets the extra
+
+    def test_survivor_remap(self):
+        g = TileGrid(GridDag(100, 400), tile_size=50, nplaces=4)
+        # over survivors [0, 2, 3], bands are recomputed
+        places = [g.place_of((0, tj), [0, 2, 3]) for tj in range(8)]
+        assert places == [0, 0, 0, 2, 2, 2, 3, 3]
+
+    def test_more_places_than_tile_columns(self):
+        g = TileGrid(GridDag(10, 20), tile_size=10, nplaces=5)
+        for tj in range(2):
+            assert 0 <= g.place_of((0, tj)) < 5
+
+    def test_invalid_args(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            TileGrid(GridDag(4, 4), tile_size=0, nplaces=1)
+        with pytest.raises(ConfigurationError):
+            TileGrid(GridDag(4, 4), tile_size=2, nplaces=1, dist="cyclic_rows")
+
+
+class TestRemoteFetches:
+    def test_interior_tile_no_fetches(self):
+        g = TileGrid(DiagonalDag(100, 400), tile_size=50, nplaces=4)
+        assert g.remote_fetches((0, 1), COST) == 0  # same band as (0, 0)
+
+    def test_band_boundary_tile_fetches(self):
+        g = TileGrid(DiagonalDag(100, 400), tile_size=50, nplaces=4)
+        # tile (0, 2) is the first column of place 1's band
+        fetches = g.remote_fetches((0, 2), COST)
+        assert fetches == 50 * COST.fetches_per_boundary_cell
+
+    def test_cacheless_fetches_more(self):
+        g = TileGrid(DiagonalDag(100, 400), tile_size=50, nplaces=4)
+        assert g.remote_fetches((0, 2), COST.cacheless()) == 3 * g.remote_fetches(
+            (0, 2), COST
+        )
+
+    def test_first_band_never_remote(self):
+        g = TileGrid(DiagonalDag(100, 400), tile_size=50, nplaces=4)
+        assert g.remote_fetches((1, 0), COST) == 0
+
+    def test_block_rows_crossing(self):
+        g = TileGrid(DiagonalDag(400, 100), tile_size=50, nplaces=4, dist="block_rows")
+        assert g.remote_fetches((2, 0), COST) == 50  # first row of place 1's band
+        assert g.remote_fetches((1, 0), COST) == 0
+
+    def test_full_row_pattern_mostly_remote(self):
+        g = TileGrid(FullRowDag(100, 400), tile_size=50, nplaces=4)
+        cells = g.cells((1, 0))
+        assert g.remote_fetches((1, 0), COST) == pytest.approx(cells * 3 / 4)
+
+    def test_knapsack_jump_fraction(self):
+        dag = KnapsackDag([3] * 99, 399)
+        g = TileGrid(dag, tile_size=50, nplaces=4)
+        cells = g.cells((1, 1))
+        expect = cells * min(1.0, COST.knapsack_weight_fraction * 4)
+        assert g.remote_fetches((1, 1), COST) == pytest.approx(expect)
+
+    def test_knapsack_seed_row_free(self):
+        dag = KnapsackDag([3] * 99, 399)
+        g = TileGrid(dag, tile_size=50, nplaces=4)
+        assert g.remote_fetches((0, 1), COST) == 0
+
+    def test_exec_time_positive_and_additive(self):
+        g = TileGrid(DiagonalDag(100, 400), tile_size=50, nplaces=4)
+        t_interior = g.exec_time((0, 1), COST)
+        t_boundary = g.exec_time((0, 2), COST)
+        assert t_interior == pytest.approx(2500 * COST.t_cell)
+        assert t_boundary > t_interior

@@ -1,0 +1,23 @@
+"""Run the library's embedded doctests — examples in docstrings must work."""
+
+import doctest
+import importlib
+
+import pytest
+
+# modules whose docstrings carry runnable examples
+DOCTEST_MODULES = [
+    "repro.apgas.runtime",
+    "repro.bench.formatting",
+    "repro.bench.sweep",
+    "repro.core.runtime",
+    "repro.util.timer",
+]
+
+
+@pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module_name}"
+    assert results.attempted > 0, f"{module_name} listed but has no doctests"

@@ -1,0 +1,61 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AllPlacesDeadError,
+    ConfigurationError,
+    DeadPlaceException,
+    DistributionError,
+    DPX10Error,
+    PatternError,
+    PlaceZeroDeadError,
+    RecoveryError,
+    SchedulingError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            PatternError,
+            DistributionError,
+            SchedulingError,
+            RecoveryError,
+            SimulationError,
+        ],
+    )
+    def test_all_are_dpx10_errors(self, exc):
+        assert issubclass(exc, DPX10Error)
+        assert issubclass(exc, Exception)
+
+    def test_recovery_specializations(self):
+        assert issubclass(AllPlacesDeadError, RecoveryError)
+        assert issubclass(PlaceZeroDeadError, RecoveryError)
+
+    def test_catching_the_base_catches_everything(self):
+        for exc in (PatternError("x"), DeadPlaceException(3), PlaceZeroDeadError()):
+            with pytest.raises(DPX10Error):
+                raise exc
+
+
+class TestDeadPlaceException:
+    def test_carries_place_id(self):
+        exc = DeadPlaceException(7)
+        assert exc.place_id == 7
+        assert "place 7" in str(exc)
+
+    def test_custom_message(self):
+        exc = DeadPlaceException(2, "pipe closed")
+        assert exc.place_id == 2
+        assert str(exc) == "pipe closed"
+
+
+class TestPlaceZeroDeadError:
+    def test_message_explains_the_limitation(self):
+        msg = str(PlaceZeroDeadError())
+        assert "place 0" in msg.lower()
+        assert "resilient x10" in msg.lower()

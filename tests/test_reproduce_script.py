@@ -1,0 +1,26 @@
+"""The consolidated reproduction script must run clean end to end."""
+
+import os
+import subprocess
+import sys
+
+
+def test_reproduce_small_scale(tmp_path):
+    script = os.path.join(
+        os.path.dirname(__file__), "..", "scripts", "reproduce.py"
+    )
+    proc = subprocess.run(
+        [sys.executable, script, "--scale", "small", "--out", str(tmp_path)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    report = os.path.join(tmp_path, "REPORT.md")
+    assert os.path.exists(report)
+    text = open(report).read()
+    for figure in ("Figure 10", "Figure 11", "Figure 12", "Figure 13"):
+        assert figure in text
+    assert "Speedups 2->12 nodes" in text
+    for name in ("fig10_all.txt", "fig11_all.txt", "fig12_all.txt", "fig13_all.txt"):
+        assert os.path.exists(os.path.join(tmp_path, name))

@@ -1,0 +1,32 @@
+"""Tests for the logging helpers."""
+
+import logging
+
+from repro.util.logging import enable_debug_logging, get_logger
+
+
+class TestGetLogger:
+    def test_namespaced(self):
+        assert get_logger("core.runtime").name == "repro.core.runtime"
+
+    def test_already_namespaced_untouched(self):
+        assert get_logger("repro.sim").name == "repro.sim"
+
+    def test_same_name_same_logger(self):
+        assert get_logger("x") is get_logger("x")
+
+
+class TestEnableDebugLogging:
+    def test_attaches_one_handler(self):
+        root = logging.getLogger("repro")
+        before = list(root.handlers)
+        try:
+            enable_debug_logging()
+            enable_debug_logging()  # idempotent
+            added = [h for h in root.handlers if h not in before]
+            assert len(added) == 1
+            assert root.level == logging.DEBUG
+        finally:
+            for h in list(root.handlers):
+                if h not in before:
+                    root.removeHandler(h)

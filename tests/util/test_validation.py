@@ -1,0 +1,29 @@
+"""Tests for validation helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError, PatternError
+from repro.util.validation import fail, require
+
+
+class TestRequire:
+    def test_passes_when_true(self):
+        require(True, "never raised")
+
+    def test_raises_configuration_error_by_default(self):
+        with pytest.raises(ConfigurationError, match="boom"):
+            require(False, "boom")
+
+    def test_raises_custom_exception(self):
+        with pytest.raises(PatternError):
+            require(False, "bad pattern", PatternError)
+
+
+class TestFail:
+    def test_always_raises(self):
+        with pytest.raises(ConfigurationError, match="nope"):
+            fail("nope")
+
+    def test_custom_exception(self):
+        with pytest.raises(PatternError):
+            fail("bad", PatternError)
