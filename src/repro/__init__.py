@@ -40,7 +40,7 @@ from repro.core.api import DPX10App, Vertex, VertexId, dependency_map
 from repro.core.config import DPX10Config
 from repro.core.dag import Dag
 from repro.core.runtime import DPX10Runtime, RunReport
-from repro.errors import DeadPlaceException, DPX10Error
+from repro.errors import DeadPlaceException, DependencyRaceError, DPX10Error
 from repro.patterns import PATTERNS, get_pattern
 
 __version__ = "1.0.0"
@@ -93,6 +93,7 @@ __all__ = [
     "DPX10Runtime",
     "RunReport",
     "DeadPlaceException",
+    "DependencyRaceError",
     "DPX10Error",
     "PATTERNS",
     "get_pattern",

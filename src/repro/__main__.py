@@ -280,6 +280,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=_cmd_patterns)
 
+    from repro.analysis.cli import add_lint_parser
+
+    add_lint_parser(sub)
+
     for fig in ("fig10", "fig11", "fig12", "fig13"):
         p = sub.add_parser(fig, help=f"regenerate the paper's {fig} series")
         p.add_argument("--scale", choices=["small", "paper"], default="small")

@@ -1,0 +1,59 @@
+"""Static DP-program verification and runtime race sanitizing.
+
+Three cooperating passes over a DPX10 program (see docs/ANALYSIS.md):
+
+1. :mod:`repro.analysis.symbolic` — proves a stencil pattern acyclic from
+   its offset set alone (ranking/wavefront vector), checks dep/anti-dep
+   inverse consistency, and reports static parallelism metrics.
+2. :mod:`repro.analysis.lint` — an AST pass over ``compute()`` that flags
+   undeclared-cell reads, nondeterminism sources, and shared-state
+   mutation.
+3. :mod:`repro.analysis.sanitize` — the opt-in runtime dependency-race
+   sanitizer behind ``DPX10Config(sanitize=True)``.
+
+This package's import surface is deliberately light: ``repro.core``
+modules import :mod:`repro.analysis.sanitize`, so nothing here may import
+``repro.core``/``repro.patterns``/``repro.apps`` at module level. The CLI
+entry point (:mod:`repro.analysis.cli`) and the fixture registry
+(:mod:`repro.analysis.registry`) do, and therefore must be imported
+explicitly, never from this ``__init__``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import (
+    FINDING_CODES,
+    AnalysisReport,
+    Finding,
+    Severity,
+    make_finding,
+)
+from repro.analysis.lint import lint_app, lint_compute
+from repro.analysis.sanitize import check_read, compute_guard, guard_active
+from repro.analysis.symbolic import (
+    enumerate_verify,
+    find_ranking_vector,
+    try_symbolic_validate,
+    verify_offsets,
+    verify_pattern,
+    verify_stencil,
+)
+
+__all__ = [
+    "FINDING_CODES",
+    "AnalysisReport",
+    "Finding",
+    "Severity",
+    "make_finding",
+    "lint_app",
+    "lint_compute",
+    "check_read",
+    "compute_guard",
+    "guard_active",
+    "enumerate_verify",
+    "find_ranking_vector",
+    "try_symbolic_validate",
+    "verify_offsets",
+    "verify_pattern",
+    "verify_stencil",
+]

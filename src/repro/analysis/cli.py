@@ -1,0 +1,168 @@
+"""The ``python -m repro lint`` command.
+
+Runs the static passes — symbolic/enumerated pattern verification plus
+the ``compute()`` AST lint — over built-in fixtures or user code and
+prints findings as ``SEVERITY CODE [subject] message`` lines. The exit
+code is non-zero when any ERROR-severity finding (or, under ``--strict``,
+any WARNING) is reported, so the command slots directly into CI.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import List, Tuple
+
+from repro.analysis.findings import AnalysisReport, Severity
+from repro.analysis.lint import lint_app
+from repro.analysis.symbolic import verify_pattern
+from repro.core.dag import Dag
+from repro.errors import AnalysisError
+
+__all__ = ["add_lint_parser", "cmd_lint"]
+
+
+def add_lint_parser(sub) -> None:
+    p = sub.add_parser(
+        "lint",
+        help="statically verify DP patterns and lint compute() methods",
+        description=__doc__,
+    )
+    p.add_argument(
+        "--pattern",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="verify a built-in pattern (repeatable)",
+    )
+    p.add_argument(
+        "--app",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="verify + lint a built-in application (repeatable)",
+    )
+    p.add_argument(
+        "--module",
+        action="append",
+        default=[],
+        metavar="MOD:ATTR",
+        help=(
+            "verify a user target: ATTR in module MOD may be a Dag "
+            "instance, a zero-argument factory returning a Dag or an "
+            "(app, dag) pair, or an app instance paired with a dag via "
+            "a factory (repeatable)"
+        ),
+    )
+    p.add_argument(
+        "--all",
+        action="store_true",
+        help="lint every built-in pattern and application (the default "
+        "when no target is given)",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat WARNING findings as errors for the exit code",
+    )
+    p.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="skip the static parallelism metrics",
+    )
+    p.set_defaults(fn=cmd_lint)
+
+
+def _resolve_module_target(spec: str):
+    if ":" not in spec:
+        raise AnalysisError(
+            f"--module takes MOD:ATTR, got {spec!r} (missing ':')"
+        )
+    mod_name, attr = spec.split(":", 1)
+    try:
+        mod = importlib.import_module(mod_name)
+    except ImportError as exc:
+        raise AnalysisError(f"cannot import module {mod_name!r}: {exc}")
+    try:
+        obj = getattr(mod, attr)
+    except AttributeError:
+        raise AnalysisError(f"module {mod_name!r} has no attribute {attr!r}")
+    if callable(obj) and not isinstance(obj, Dag):
+        obj = obj()
+    return obj
+
+
+def _gather(args) -> List[Tuple[str, object, object]]:
+    """Resolve CLI targets to ``(subject, dag_or_None, app_or_None)``."""
+    from repro.analysis import registry
+
+    targets: List[Tuple[str, object, object]] = []
+    patterns = list(args.pattern)
+    apps = list(args.app)
+    if args.all or not (patterns or apps or args.module):
+        patterns = list(registry.pattern_names())
+        apps = list(registry.app_names())
+    for name in patterns:
+        targets.append((f"pattern:{name}", registry.pattern_fixture(name), None))
+    for name in apps:
+        app, dag = registry.app_fixture(name)
+        targets.append((f"app:{name}", dag, app))
+    for spec in args.module:
+        obj = _resolve_module_target(spec)
+        if isinstance(obj, Dag):
+            targets.append((spec, obj, None))
+        elif (
+            isinstance(obj, tuple)
+            and len(obj) == 2
+            and isinstance(obj[1], Dag)
+        ):
+            targets.append((spec, obj[1], obj[0]))
+        else:
+            raise AnalysisError(
+                f"--module target {spec!r} resolved to {type(obj).__name__}; "
+                "expected a Dag, an (app, dag) pair, or a factory for one"
+            )
+    return targets
+
+
+def _print_report(report: AnalysisReport, verbose_metrics: bool) -> None:
+    for f in report.findings:
+        print(str(f))
+    if verbose_metrics and report.metrics:
+        depth = report.metrics.get("wavefront_depth")
+        width = report.metrics.get("max_antichain_width")
+        vec = report.metrics.get("wavefront_vector")
+        bits = [f"method={report.method}"]
+        if vec is not None:
+            bits.append(f"wavefront_vector={vec}")
+        if depth is not None:
+            bits.append(f"depth={depth}")
+        if width is not None:
+            bits.append(f"width={width}")
+        print(f"  {report.subject}: " + " ".join(bits))
+
+
+def cmd_lint(args) -> int:
+    try:
+        targets = _gather(args)
+    except AnalysisError as exc:
+        print(f"ERROR DP106 [lint] {exc}")
+        return 2
+
+    fail_at = Severity.WARNING if args.strict else Severity.ERROR
+    n_findings = 0
+    failed = False
+    for subject, dag, app in targets:
+        report = verify_pattern(dag, metrics=not args.no_metrics, subject=subject)
+        if app is not None:
+            report.extend(lint_app(app, dag=dag, subject=subject))
+        _print_report(report, verbose_metrics=not args.no_metrics)
+        n_findings += len(report.findings)
+        worst = report.max_severity
+        if worst is not None and worst >= fail_at:
+            failed = True
+
+    verdict = "FAIL" if failed else "ok"
+    print(
+        f"lint: {len(targets)} target(s), {n_findings} finding(s) -> {verdict}"
+    )
+    return 1 if failed else 0

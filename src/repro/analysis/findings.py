@@ -1,0 +1,156 @@
+"""Finding model shared by every ``repro.analysis`` pass.
+
+A *finding* is one diagnosed defect (or noteworthy fact) about a DP
+program: a stable code (``DP1xx`` structural, ``DP2xx`` compute-lint,
+``DP3xx`` runtime), a severity, a human message and an optional source
+location. Passes return :class:`AnalysisReport` objects; the CLI turns
+them into text/JSON and an exit code.
+
+Finding codes
+=============
+
+========  ========  =====================================================
+code      severity  meaning
+========  ========  =====================================================
+DP101     error     offset set admits no wavefront ranking (cyclic stencil)
+DP102     error     dependency out of bounds / inactive / self / duplicate
+DP103     error     ``get_anti_dependency`` is not the inverse relation
+DP104     error     malformed offset set (zero or duplicate offsets)
+DP105     error     pattern is unschedulable (Kahn's algorithm stalls)
+DP106     note      pattern too large/irregular to verify exhaustively
+DP201     error     ``compute()`` reads a cell outside ``get_dependency``
+DP202     warning   nondeterminism source inside ``compute()``
+DP203     warning   ``compute()`` mutates global or shared state
+DP204     note      data-dependent dependency index (not statically
+                    checkable; consider ``DPX10Config(sanitize=True)``)
+DP205     warning   result-view read inside ``compute()`` with an index
+                    the linter cannot resolve
+DP301     error     runtime sanitizer: undeclared read during ``compute()``
+DP302     error     runtime sanitizer: dependency gathered before it
+                    finished (under-declared anti-dependency)
+========  ========  =====================================================
+
+DP301/DP302 are raised as :class:`~repro.errors.DependencyRaceError`
+during a sanitized run rather than collected in a report.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+__all__ = ["Severity", "Finding", "AnalysisReport", "FINDING_CODES"]
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity ladder; only ``ERROR`` fails a lint run."""
+
+    NOTE = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name.lower()
+
+
+#: code -> (default severity, one-line description)
+FINDING_CODES: Dict[str, tuple] = {
+    "DP101": (Severity.ERROR, "cyclic stencil: no wavefront ranking vector exists"),
+    "DP102": (Severity.ERROR, "invalid dependency (out of bounds/inactive/self/duplicate)"),
+    "DP103": (Severity.ERROR, "anti-dependency is not the inverse of the dependency relation"),
+    "DP104": (Severity.ERROR, "malformed offset set"),
+    "DP105": (Severity.ERROR, "pattern is unschedulable"),
+    "DP106": (Severity.NOTE, "pattern not exhaustively verifiable"),
+    "DP201": (Severity.ERROR, "compute() reads an undeclared cell"),
+    "DP202": (Severity.WARNING, "nondeterminism source in compute()"),
+    "DP203": (Severity.WARNING, "compute() mutates global or shared state"),
+    "DP204": (Severity.NOTE, "data-dependent dependency index"),
+    "DP205": (Severity.WARNING, "unresolvable result-view read in compute()"),
+    "DP301": (Severity.ERROR, "undeclared read during compute() (runtime)"),
+    "DP302": (Severity.ERROR, "unfinished dependency gathered (runtime)"),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosed fact about a pattern or app."""
+
+    code: str
+    severity: Severity
+    message: str
+    #: what was analysed, e.g. ``pattern:diagonal`` or ``app:lcs``
+    subject: str = ""
+    #: source location (lint findings), as ``file.py:line``
+    location: Optional[str] = None
+
+    def __str__(self) -> str:
+        loc = f" ({self.location})" if self.location else ""
+        subj = f" [{self.subject}]" if self.subject else ""
+        return f"{self.severity.name:7s} {self.code}{subj} {self.message}{loc}"
+
+
+def make_finding(
+    code: str,
+    message: str,
+    subject: str = "",
+    location: Optional[str] = None,
+    severity: Optional[Severity] = None,
+) -> Finding:
+    """Build a finding, defaulting severity from the code catalog."""
+    if severity is None:
+        severity = FINDING_CODES[code][0]
+    return Finding(code, severity, message, subject, location)
+
+
+@dataclass
+class AnalysisReport:
+    """Findings plus (for verifier passes) static parallelism metrics."""
+
+    subject: str = ""
+    findings: List[Finding] = field(default_factory=list)
+    #: symbolic verifier metrics (wavefront vector/depth, widths, ...)
+    metrics: Dict[str, object] = field(default_factory=dict)
+    #: which engine produced the verdict: "symbolic" or "enumeration"
+    method: str = ""
+
+    def add(
+        self,
+        code: str,
+        message: str,
+        location: Optional[str] = None,
+        severity: Optional[Severity] = None,
+    ) -> None:
+        self.findings.append(
+            make_finding(code, message, self.subject, location, severity)
+        )
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        return max((f.severity for f in self.findings), default=None)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding was recorded."""
+        return all(f.severity < Severity.ERROR for f in self.findings)
+
+    def codes(self) -> List[str]:
+        return [f.code for f in self.findings]
+
+    def summary(self) -> str:
+        counts: Dict[Severity, int] = {}
+        for f in self.findings:
+            counts[f.severity] = counts.get(f.severity, 0) + 1
+        if not counts:
+            return f"{self.subject or 'analysis'}: clean"
+        parts = ", ".join(
+            f"{counts[s]} {s.name.lower()}(s)"
+            for s in sorted(counts, reverse=True)
+        )
+        return f"{self.subject or 'analysis'}: {parts}"

@@ -1,0 +1,388 @@
+"""AST lint for user ``compute()`` recurrences.
+
+The DP analogue of a data race is ``compute(i, j, vertices)`` reading a
+cell that ``get_dependency(i, j)`` never declared: the scheduler only
+sequences declared edges, so an undeclared read observes a cell that may
+or may not be finished depending on timing/distribution — correct on one
+place, silently corrupt on eight. This pass walks the recurrence's AST
+and flags:
+
+* **DP201** — a dependency lookup (``dep[(i-1, j-1)]``, ``dep.get(...)``
+  on the ``dependency_map`` dict, or a ``get_vertex`` call) whose offset
+  resolves statically and is *not* in the pattern's declared offset set;
+* **DP202** — nondeterminism sources (``random``, ``time``, ``uuid``,
+  ``secrets``, ``numpy.random``, ``hash()``/``id()``) that make the
+  recurrence timing- or process-dependent;
+* **DP203** — mutation of global or shared state (``global``/``nonlocal``
+  statements, writes through module-level names, writes to ``self``):
+  ``compute()`` runs concurrently on worker threads, so shared writes are
+  ordering-dependent;
+* **DP204** — data-dependent dependency indices (e.g. Knapsack's
+  ``dep[(i-1, j-w)]``) that static analysis cannot resolve; the runtime
+  sanitizer (``DPX10Config(sanitize=True)``) covers these;
+* **DP205** — a result-view read (``get_vertex``) whose index cannot be
+  resolved at all.
+
+Reads through the ``vertices`` parameter itself (the Figure-7
+coordinate-scan style) are declared by construction and never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding, make_finding
+
+__all__ = ["lint_compute", "lint_app"]
+
+Offset = Tuple[int, int]
+
+#: module roots whose calls make a recurrence nondeterministic
+_NONDET_ROOTS = {"random", "secrets", "uuid", "time", "datetime"}
+#: attribute names that mark nondeterminism under any root (np.random...)
+_NONDET_ATTRS = {"random", "urandom", "perf_counter", "time", "now"}
+#: builtins whose results vary across processes/runs
+_NONDET_BUILTINS = {"hash", "id"}
+
+
+def _attr_chain(node: ast.AST) -> List[str]:
+    """``a.b.c`` -> ``["a", "b", "c"]``; empty when not a name chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+def _const_int(node: ast.AST) -> Optional[int]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _const_int(node.operand)
+        return -inner if inner is not None else None
+    return None
+
+
+def _linear(node: ast.AST, var: str) -> Optional[int]:
+    """Resolve ``node`` as ``var + c``; return ``c`` or ``None``.
+
+    Handles ``i``, ``i + 1``, ``i - 2``, ``1 + i`` and parenthesised
+    combinations thereof. Anything else (other names, calls, data-
+    dependent arithmetic) is unresolvable.
+    """
+    if isinstance(node, ast.Name):
+        return 0 if node.id == var else None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        sign = 1 if isinstance(node.op, ast.Add) else -1
+        left_c = _const_int(node.right)
+        if left_c is not None:
+            base = _linear(node.left, var)
+            if base is not None:
+                return base + sign * left_c
+        if isinstance(node.op, ast.Add):
+            right_c = _const_int(node.left)
+            if right_c is not None:
+                base = _linear(node.right, var)
+                if base is not None:
+                    return base + right_c
+    return None
+
+
+class _ComputeLinter(ast.NodeVisitor):
+    def __init__(
+        self,
+        fn: ast.FunctionDef,
+        subject: str,
+        filename: str,
+        base_line: int,
+        offsets: Optional[Set[Offset]],
+    ) -> None:
+        self.subject = subject
+        self.filename = filename
+        self.base_line = base_line
+        self.offsets = offsets
+        self.findings: List[Finding] = []
+        args = fn.args
+        params = [a.arg for a in args.posonlyargs + args.args]
+        if params and params[0] == "self":
+            params = params[1:]
+        # compute(i, j, vertices): the two index parameters and the
+        # dependency rail, whatever the app chose to call them
+        self.pi = params[0] if len(params) > 0 else "i"
+        self.pj = params[1] if len(params) > 1 else "j"
+        self.vertices = params[2] if len(params) > 2 else "vertices"
+        self.dep_vars: Set[str] = set()
+
+    # -- helpers ------------------------------------------------------------------
+    def _loc(self, node: ast.AST) -> str:
+        return f"{self.filename}:{self.base_line + node.lineno - 1}"
+
+    def _add(self, code: str, message: str, node: ast.AST, severity=None) -> None:
+        self.findings.append(
+            make_finding(code, message, self.subject, self._loc(node), severity)
+        )
+
+    def _resolve_key(self, key: ast.AST) -> Tuple[Optional[Offset], str]:
+        """Resolve a ``(i-1, j)`` style key to an offset, or explain why not."""
+        if not (isinstance(key, ast.Tuple) and len(key.elts) == 2):
+            return None, "index is not a 2-tuple"
+        ci = _linear(key.elts[0], self.pi)
+        cj = _linear(key.elts[1], self.pj)
+        if ci is None or cj is None:
+            return None, "data-dependent index"
+        return (ci, cj), ""
+
+    def _check_offset(self, offset: Offset, node: ast.AST, what: str) -> None:
+        if self.offsets is None:
+            return
+        if offset not in self.offsets:
+            di, dj = offset
+            self._add(
+                "DP201",
+                f"compute() reads ({self.pi}{di:+d}, {self.pj}{dj:+d}) via "
+                f"{what}, but the pattern declares only offsets "
+                f"{sorted(self.offsets)} — an undeclared-dependency race",
+                node,
+            )
+
+    def _note_dynamic(self, node: ast.AST, what: str) -> None:
+        self._add(
+            "DP204",
+            f"{what} uses a data-dependent index that static analysis "
+            "cannot resolve; run with DPX10Config(sanitize=True) to check "
+            "it dynamically",
+            node,
+        )
+
+    # -- visitors ----------------------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # track `dep = dependency_map(vertices)` bindings
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and (
+                (isinstance(value.func, ast.Name) and value.func.id == "dependency_map")
+                or (
+                    isinstance(value.func, ast.Attribute)
+                    and value.func.attr == "dependency_map"
+                )
+            )
+            and value.args
+            and isinstance(value.args[0], ast.Name)
+            and value.args[0].id == self.vertices
+        ):
+            for t in node.targets:
+                if isinstance(t, ast.Name):
+                    self.dep_vars.add(t.id)
+        self._check_shared_write(node.targets, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_shared_write([node.target], node)
+        self.generic_visit(node)
+
+    def _check_shared_write(self, targets: Sequence[ast.AST], node: ast.AST) -> None:
+        for t in targets:
+            root = t
+            via = None
+            while isinstance(root, (ast.Attribute, ast.Subscript)):
+                via = root
+                root = root.value
+            if via is None:
+                continue  # plain local rebinding
+            chain = _attr_chain(root) or (
+                [root.id] if isinstance(root, ast.Name) else []
+            )
+            if chain and chain[0] == "self":
+                self._add(
+                    "DP203",
+                    "compute() writes to shared app state "
+                    f"(self.{'.'.join(chain[1:] + [getattr(via, 'attr', '[...]')]).strip('.')}); "
+                    "workers run compute() concurrently, so the result can "
+                    "depend on execution order",
+                    node,
+                )
+            elif chain and chain[0] not in self.locals_seen:
+                self._add(
+                    "DP203",
+                    f"compute() mutates non-local state through "
+                    f"{chain[0]!r}; shared writes are ordering-dependent",
+                    node,
+                )
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self._add(
+            "DP203",
+            f"compute() declares global {', '.join(node.names)}; global "
+            "mutation from a concurrent recurrence is a data race",
+            node,
+            severity=None,
+        )
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        self._add(
+            "DP203",
+            f"compute() declares nonlocal {', '.join(node.names)}; shared "
+            "closure mutation from a concurrent recurrence is a data race",
+            node,
+        )
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id in self.dep_vars
+            and isinstance(node.ctx, ast.Load)
+        ):
+            offset, why = self._resolve_key(node.slice)
+            if offset is not None:
+                self._check_offset(offset, node, "a dependency-map lookup")
+            elif why == "data-dependent index":
+                self._note_dynamic(node, "a dependency-map lookup")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # dep.get((i-1, j), default)
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "get"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.dep_vars
+            and node.args
+        ):
+            offset, why = self._resolve_key(node.args[0])
+            if offset is not None:
+                self._check_offset(offset, node, "a dependency-map lookup")
+            elif why == "data-dependent index":
+                self._note_dynamic(node, "a dependency-map lookup")
+        # anything.get_vertex(i', j'): a result-view read inside compute()
+        elif isinstance(func, ast.Attribute) and func.attr == "get_vertex":
+            if len(node.args) == 2:
+                ci = _linear(node.args[0], self.pi)
+                cj = _linear(node.args[1], self.pj)
+                if ci is not None and cj is not None:
+                    self._check_offset((ci, cj), node, "a get_vertex() call")
+                    if self.offsets is None:
+                        self._add(
+                            "DP205",
+                            "compute() reads the DAG result view via "
+                            "get_vertex(); such reads bypass the declared "
+                            "dependency list and are only safe for "
+                            "transitively-finished cells",
+                            node,
+                        )
+                else:
+                    self._add(
+                        "DP205",
+                        "compute() calls get_vertex() with an index the "
+                        "linter cannot resolve; reads outside the declared "
+                        "dependency list race with the scheduler",
+                        node,
+                    )
+        # nondeterminism sources
+        chain = _attr_chain(func)
+        if chain:
+            root = chain[0]
+            if root in _NONDET_ROOTS or (
+                len(chain) > 1 and set(chain[1:]) & _NONDET_ATTRS
+            ):
+                self._add(
+                    "DP202",
+                    f"compute() calls {'.'.join(chain)}(); "
+                    "nondeterministic recurrences break recomputation-"
+                    "based fault recovery (recovered cells may differ)",
+                    node,
+                )
+            elif len(chain) == 1 and root in _NONDET_BUILTINS:
+                self._add(
+                    "DP202",
+                    f"compute() calls {root}(); its value varies across "
+                    "processes (PYTHONHASHSEED / address reuse), making "
+                    "recomputation nondeterministic",
+                    node,
+                )
+        self.generic_visit(node)
+
+    # locals tracking (for the module-level-mutation check)
+    def collect_locals(self, fn: ast.FunctionDef) -> None:
+        names: Set[str] = {"self", self.pi, self.pj, self.vertices}
+        for sub in ast.walk(fn):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+                names.add(sub.id)
+            elif isinstance(sub, (ast.For, ast.comprehension)):
+                tgt = sub.target
+                for n in ast.walk(tgt):
+                    if isinstance(n, ast.Name):
+                        names.add(n.id)
+            elif isinstance(sub, ast.FunctionDef) and sub is not fn:
+                names.add(sub.name)
+        self.locals_seen = names
+
+
+def lint_compute(
+    compute_fn,
+    offsets: Optional[Sequence[Offset]] = None,
+    subject: str = "",
+) -> List[Finding]:
+    """Lint one ``compute`` function/method; returns its findings.
+
+    ``offsets`` is the pattern's declared stencil (``None`` for
+    non-stencil patterns: offset checks are skipped, dynamic-index and
+    nondeterminism checks still run).
+    """
+    try:
+        source = inspect.getsource(compute_fn)
+        filename = inspect.getsourcefile(compute_fn) or "<unknown>"
+        base_line = inspect.getsourcelines(compute_fn)[1]
+    except (OSError, TypeError):
+        return [
+            make_finding(
+                "DP106",
+                "compute() source is unavailable; cannot lint",
+                subject,
+            )
+        ]
+    tree = ast.parse(textwrap.dedent(source))
+    fn = next(
+        (n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)), None
+    )
+    if fn is None:  # pragma: no cover - getsource always yields a def
+        return []
+    import os
+
+    linter = _ComputeLinter(
+        fn,
+        subject,
+        os.path.basename(filename),
+        base_line,
+        set(offsets) if offsets is not None else None,
+    )
+    linter.collect_locals(fn)
+    linter.visit(fn)
+    return linter.findings
+
+
+def lint_app(app_or_cls, dag=None, subject: str = "") -> List[Finding]:
+    """Lint an app class/instance against its DAG pattern.
+
+    When ``dag`` is a :class:`StencilDag` (instance or class), its offset
+    set becomes the declared-dependency reference for DP201.
+    """
+    from repro.patterns.base import StencilDag
+
+    cls = app_or_cls if inspect.isclass(app_or_cls) else type(app_or_cls)
+    offsets = None
+    if dag is not None:
+        dag_cls = dag if inspect.isclass(dag) else type(dag)
+        if issubclass(dag_cls, StencilDag):
+            offsets = tuple(dag_cls.offsets)
+    if not subject:
+        subject = f"app:{cls.__name__}"
+    return lint_compute(cls.compute, offsets=offsets, subject=subject)

@@ -1,0 +1,152 @@
+"""Fixture registry for ``python -m repro lint``.
+
+Maps the names the CLI accepts to small, deterministic instances of every
+built-in pattern and application. Unlike the rest of :mod:`repro.analysis`
+this module imports the pattern and app packages, so it must never be
+imported from ``repro.analysis.__init__`` (``repro.core`` modules import
+the sanitizer from there).
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.core.api import DPX10App
+from repro.core.dag import Dag
+from repro.errors import AnalysisError
+
+__all__ = ["pattern_fixture", "app_fixture", "pattern_names", "app_names"]
+
+
+def _pattern_fixtures() -> Dict[str, Callable[[], Dag]]:
+    from repro.patterns import PATTERNS
+    from repro.patterns.knapsack import KnapsackDag
+
+    fixtures: Dict[str, Callable[[], Dag]] = {}
+    for name, cls in PATTERNS.items():
+        if name == "banded":
+            fixtures[name] = lambda cls=cls: cls(12, 12, 3)
+        else:
+            fixtures[name] = lambda cls=cls: cls(12, 12)
+    fixtures["knapsack"] = lambda: KnapsackDag([2, 3, 5, 7], 15)
+    return fixtures
+
+
+def _app_fixtures() -> Dict[str, Callable[[], Tuple[DPX10App, Dag]]]:
+    from repro.apps.banded_alignment import BandedEditDistanceApp
+    from repro.apps.common_substring import CommonSubstringApp
+    from repro.apps.cyk import CNFGrammar, CYKApp
+    from repro.apps.edit_distance import EditDistanceApp
+    from repro.apps.egg_drop import EggDropApp, EggDropDag
+    from repro.apps.knapsack import KnapsackApp
+    from repro.apps.lcs import LCSApp
+    from repro.apps.lps import LPSApp
+    from repro.apps.matrix_chain import MatrixChainApp
+    from repro.apps.mtp import MTPApp
+    from repro.apps.needleman_wunsch import NWApp
+    from repro.apps.smith_waterman import SWApp
+    from repro.apps.unbounded_knapsack import (
+        UnboundedKnapsackApp,
+        UnboundedKnapsackDag,
+    )
+    from repro.apps.viterbi import ViterbiApp
+    from repro.patterns import (
+        BandedDiagonalDag,
+        DiagChainDag,
+        DiagonalDag,
+        FullRowDag,
+        GridDag,
+        IntervalDag,
+        TriangularDag,
+    )
+    from repro.patterns.knapsack import KnapsackDag
+
+    x, y = "GATTACA", "GCATGCT"
+    weights, values, capacity = [2, 3, 5, 7], [3, 4, 8, 11], 15
+
+    def viterbi() -> Tuple[DPX10App, Dag]:
+        log_init = np.log(np.array([0.6, 0.4]))
+        log_trans = np.log(np.array([[0.7, 0.3], [0.4, 0.6]]))
+        log_emit = np.log(np.array([[0.5, 0.5], [0.1, 0.9]]))
+        obs = np.array([0, 1, 0, 1, 1])
+        return (
+            ViterbiApp(log_init, log_trans, log_emit, obs),
+            FullRowDag(len(obs), 2),
+        )
+
+    def mtp() -> Tuple[DPX10App, Dag]:
+        rng = np.random.default_rng(0)
+        w_down = rng.integers(1, 9, size=(7, 8))
+        w_right = rng.integers(1, 9, size=(8, 7))
+        return MTPApp(w_down, w_right), GridDag(8, 8)
+
+    return {
+        "lcs": lambda: (LCSApp(x, y), DiagonalDag(len(x) + 1, len(y) + 1)),
+        "sw": lambda: (SWApp(x, y), DiagonalDag(len(x) + 1, len(y) + 1)),
+        "nw": lambda: (NWApp(x, y), DiagonalDag(len(x) + 1, len(y) + 1)),
+        "edit_distance": lambda: (
+            EditDistanceApp(x, y),
+            DiagonalDag(len(x) + 1, len(y) + 1),
+        ),
+        "banded": lambda: (
+            BandedEditDistanceApp(x, y),
+            BandedDiagonalDag(len(x) + 1, len(y) + 1, 3),
+        ),
+        "lps": lambda: (LPSApp("character"), IntervalDag(9, 9)),
+        "common_substring": lambda: (
+            CommonSubstringApp(x, y),
+            DiagChainDag(len(x) + 1, len(y) + 1),
+        ),
+        "cyk": lambda: (
+            CYKApp(CNFGrammar.balanced_parentheses(), "(()())"),
+            TriangularDag(6, 6),
+        ),
+        "matrix_chain": lambda: (
+            MatrixChainApp([30, 35, 15, 5, 10, 20, 25]),
+            TriangularDag(6, 6),
+        ),
+        "knapsack": lambda: (
+            KnapsackApp(weights, values, capacity),
+            KnapsackDag(weights, capacity),
+        ),
+        "unbounded_knapsack": lambda: (
+            UnboundedKnapsackApp(weights, values, capacity),
+            UnboundedKnapsackDag(weights, capacity),
+        ),
+        "egg_drop": lambda: (EggDropApp(3, 12), EggDropDag(3, 12)),
+        "viterbi": viterbi,
+        "mtp": mtp,
+    }
+
+
+def _lookup(table: Dict[str, Callable], name: str, kind: str):
+    if name not in table:
+        hint = ""
+        close = difflib.get_close_matches(name, table, n=1)
+        if close:
+            hint = f"; did you mean {close[0]!r}?"
+        raise AnalysisError(
+            f"unknown {kind} {name!r}{hint} known: {sorted(table)}"
+        )
+    return table[name]()
+
+
+def pattern_names() -> Tuple[str, ...]:
+    return tuple(sorted(_pattern_fixtures()))
+
+
+def app_names() -> Tuple[str, ...]:
+    return tuple(sorted(_app_fixtures()))
+
+
+def pattern_fixture(name: str) -> Dag:
+    """A small instance of the named built-in pattern."""
+    return _lookup(_pattern_fixtures(), name, "pattern")
+
+
+def app_fixture(name: str) -> Tuple[DPX10App, Dag]:
+    """A small deterministic (app, dag) instance of the named application."""
+    return _lookup(_app_fixtures(), name, "app")

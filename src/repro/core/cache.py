@@ -16,6 +16,7 @@ from __future__ import annotations
 import threading
 from typing import Generic, List, Optional, Tuple, TypeVar
 
+from repro.analysis import sanitize as _sanitize
 from repro.util.validation import require
 
 __all__ = ["RemoteCache"]
@@ -45,6 +46,14 @@ class RemoteCache(Generic[K, V]):
 
     def get(self, key: K) -> Tuple[bool, Optional[V]]:
         """``(True, value)`` on hit; ``(False, None)`` on miss."""
+        if (
+            _sanitize._active_guards
+            and isinstance(key, tuple)
+            and len(key) == 2
+        ):
+            # sanitized run: cached vertex reads issued during a
+            # compute() are checked like store reads
+            _sanitize.check_read(key[0], key[1], source="remote cache")
         with self._lock:
             value = self._map.get(key, _MISS)
             if value is _MISS:

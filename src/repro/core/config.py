@@ -74,6 +74,12 @@ class DPX10Config:
     seed: int = 0
     #: run Dag.validate() before executing (recommended for custom patterns)
     validate: bool = False
+    #: runtime dependency-race sanitizer: while each compute() runs, every
+    #: vertex-store/cache read is cross-checked against the declared
+    #: dependency list and violations raise DependencyRaceError naming the
+    #: cell, offset, and owning/executing place (see repro.analysis). Adds
+    #: a guard around every compute(); keep off when benchmarking.
+    sanitize: bool = False
     #: record a per-vertex execution timeline (see repro.core.trace);
     #: adds measurable per-vertex overhead, keep off when benchmarking
     trace: bool = False

@@ -22,7 +22,17 @@ from repro.dist.region import Region2D
 from repro.errors import DPX10Error, PatternError
 from repro.util.validation import require
 
-__all__ = ["Dag", "ResultView"]
+__all__ = ["Dag", "ResultView", "VALIDATE_ENUMERATION_THRESHOLD"]
+
+#: Cell count above which :meth:`Dag.validate` first tries the O(#offsets)
+#: symbolic stencil verifier (repro.analysis.symbolic) instead of the
+#: exhaustive O(cells x deps) enumeration. 65_536 cells (256 x 256) keeps
+#: enumeration under ~100 ms on commodity hardware; beyond that the
+#: enumeration cost dominates run setup for stencils whose acyclicity is
+#: provable from the offset set alone. Non-stencil patterns, stencils
+#: with overridden dependency methods, and degenerate shapes (an offset
+#: magnitude >= the matrix dimension) always fall back to enumeration.
+VALIDATE_ENUMERATION_THRESHOLD = 65_536
 
 T = TypeVar("T")
 
@@ -190,7 +200,20 @@ class Dag(Generic[T]):
         ``get_anti_dependency`` is the exact inverse of ``get_dependency``,
         and (c) the graph is acyclic and fully schedulable (Kahn's
         algorithm consumes every active cell).
+
+        Above :data:`VALIDATE_ENUMERATION_THRESHOLD` cells, pure stencil
+        patterns are instead proved correct symbolically from their offset
+        set (see :func:`repro.analysis.symbolic.try_symbolic_validate`),
+        making validation O(#offsets) rather than O(cells x deps).
         """
+        if self.size > VALIDATE_ENUMERATION_THRESHOLD:
+            # local import: repro.analysis.symbolic lazily imports the
+            # stencil base class, which imports this module
+            from repro.analysis.symbolic import try_symbolic_validate
+
+            if try_symbolic_validate(self):
+                return
+
         active = set()
         for i, j in self.region:
             if self.is_active(i, j):

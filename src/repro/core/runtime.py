@@ -334,17 +334,20 @@ class DPX10Runtime:
 
             state.trace = ExecutionTrace()
         state._engine = rt.engine
+        # bind eagerly so dag.get_vertex() is reachable during execution
+        # (reads it issues from inside compute() go through the vertex
+        # stores and are therefore visible to the race sanitizer)
+        self._bind_results(state)
         return state
 
     # -- stage 3: bind results ------------------------------------------------------
     def _bind_results(self, state: ExecutionState) -> None:
-        dist = state.dist
-        stores = state.stores
-
+        # read dist/stores through ``state`` on every call: recovery
+        # replaces both, and the view must follow the surviving places
         def getter(i: int, j: int):
-            return stores[dist.place_of(i, j)].get_result(i, j)
+            return state.stores[state.dist.place_of(i, j)].get_result(i, j)
 
         def finished(i: int, j: int) -> bool:
-            return stores[dist.place_of(i, j)].is_finished(i, j)
+            return state.stores[state.dist.place_of(i, j)].is_finished(i, j)
 
         self.dag.bind_results(ResultView(getter, finished))

@@ -23,6 +23,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis import sanitize as _sanitize
 from repro.apgas.place import Place
 from repro.core.dag import Dag
 from repro.dist.dist import Dist
@@ -159,6 +160,10 @@ class VertexStore:
 
     def get_result(self, i: int, j: int) -> Any:
         self._check()
+        if _sanitize._active_guards:
+            # sanitized run: reads issued during a compute() must stay
+            # within that cell's declared dependency list
+            _sanitize.check_read(i, j, owner_place=self.place_id)
         k = self._slot[(i, j)]
         if not self.finished[k]:
             raise DPX10Error(f"vertex ({i}, {j}) is not finished")

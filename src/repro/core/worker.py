@@ -34,12 +34,12 @@ bytecode.
 from __future__ import annotations
 
 import threading
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis import sanitize as _sanitize
 from repro.apgas.failure import FaultInjector
 from repro.apgas.network import NetworkModel
 from repro.apgas.place import PlaceGroup
@@ -52,7 +52,7 @@ from repro.core.trace import ExecutionTrace, TraceEvent
 from repro.core.vertex_store import VertexStore
 from repro.dist.dist import Dist
 from repro.dist.snapshot import SnapshotStore
-from repro.errors import DeadPlaceException, PatternError
+from repro.errors import DeadPlaceException, DependencyRaceError, DPX10Error, PatternError
 from repro.util.rng import seeded_rng
 
 __all__ = ["ExecutionState", "execute_vertex", "run_inline", "run_threaded"]
@@ -93,7 +93,7 @@ class ExecutionState:
     _completions_lock: threading.Lock = field(default_factory=threading.Lock)
     conds: Dict[int, threading.Condition] = field(default_factory=dict)
     abort_event: threading.Event = field(default_factory=threading.Event)
-    _abort_exc: Optional[DeadPlaceException] = None
+    _abort_exc: Optional[DPX10Error] = None
     rngs: Dict[int, np.random.Generator] = field(default_factory=dict)
     # set by the runtime before run_threaded; the inline driver ignores it
     _engine: object = None
@@ -150,7 +150,7 @@ class ExecutionState:
         return len(cells)
 
     # -- abort protocol (threaded engine) ------------------------------------------
-    def record_abort(self, exc: DeadPlaceException) -> None:
+    def record_abort(self, exc: DPX10Error) -> None:
         with self._completions_lock:
             if self._abort_exc is None:
                 self._abort_exc = exc
@@ -160,7 +160,7 @@ class ExecutionState:
                 cond.notify_all()
 
     @property
-    def abort_exc(self) -> Optional[DeadPlaceException]:
+    def abort_exc(self) -> Optional[DPX10Error]:
         return self._abort_exc
 
 
@@ -175,13 +175,22 @@ def execute_vertex(
     i, j = coord
     dag = state.dag
     nbytes = state.config.value_nbytes
+    sanitizing = state.config.sanitize
     t_start = state.trace.now() if state.trace is not None else 0.0
 
-    deps = [d for d in dag.get_dependency(i, j) if dag.is_active(d.i, d.j)]
+    declared = dag.get_dependency(i, j)
+    deps = [d for d in declared if dag.is_active(d.i, d.j)]
     cache = state.caches[exec_place]
     vertices: List[Vertex] = []
     for d in deps:
         dep_home = state.dist.place_of(d.i, d.j)
+        if sanitizing and not state.stores[dep_home].is_finished(d.i, d.j):
+            # a declared dependency that has not finished means the
+            # pattern's anti-dependency under-declares this edge and the
+            # indegree bookkeeping released (i, j) too early
+            raise _sanitize.race_on_unfinished(
+                (i, j), (d.i, d.j), dep_home, exec_place
+            )
         if dep_home == exec_place:
             value = state.stores[dep_home].get_result(d.i, d.j)
         else:
@@ -194,7 +203,13 @@ def execute_vertex(
                 cache.put((d.i, d.j), value)
         vertices.append(Vertex(d.i, d.j, value))
 
-    result = state.app.compute(i, j, vertices)
+    if sanitizing:
+        with _sanitize.compute_guard(
+            (i, j), ((d.i, d.j) for d in declared), exec_place
+        ):
+            result = state.app.compute(i, j, vertices)
+    else:
+        result = state.app.compute(i, j, vertices)
 
     home = state.dist.place_of(i, j)
     store = state.stores[home]
@@ -395,7 +410,9 @@ def run_threaded(state: ExecutionState) -> None:
                     pid if stolen else _choose_exec_place(state, coord, pid)
                 )
                 execute_vertex(state, coord, exec_place)
-            except DeadPlaceException as exc:
+            except (DeadPlaceException, DependencyRaceError) as exc:
+                # a race diagnostic must stop the whole run, not strand
+                # the other workers waiting for this vertex forever
                 state.record_abort(exc)
                 return
 

@@ -21,6 +21,51 @@ class PatternError(DPX10Error):
     """A DAG pattern violated a structural requirement (bounds, inverse)."""
 
 
+class AnalysisError(DPX10Error):
+    """A ``repro.analysis`` pass could not run (not a verdict about the
+    analysed program — findings carry those)."""
+
+
+class DependencyRaceError(DPX10Error):
+    """The runtime sanitizer observed a dependency race.
+
+    Raised by ``DPX10Config(sanitize=True)`` runs when ``compute()``
+    reads a cell outside its declared dependency list (finding code
+    DP301) or when a declared dependency is gathered before it finished
+    (DP302 — the signature of an under-declared anti-dependency). The
+    structured fields name the offending access precisely:
+
+    ``code``
+        ``"DP301"`` or ``"DP302"``.
+    ``cell``
+        The ``(i, j)`` cell that was read.
+    ``reader``
+        The cell whose ``compute()`` performed the read.
+    ``offset``
+        ``cell - reader`` — the undeclared offset.
+    ``owner_place`` / ``exec_place``
+        Where the read cell lives and where the compute ran.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        code: str = "DP301",
+        cell: tuple | None = None,
+        reader: tuple | None = None,
+        offset: tuple | None = None,
+        owner_place: int | None = None,
+        exec_place: int | None = None,
+    ) -> None:
+        self.code = code
+        self.cell = cell
+        self.reader = reader
+        self.offset = offset
+        self.owner_place = owner_place
+        self.exec_place = exec_place
+        super().__init__(message)
+
+
 class DistributionError(DPX10Error):
     """A :class:`~repro.dist.dist.Dist` does not tile its region correctly."""
 

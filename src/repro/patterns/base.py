@@ -9,6 +9,7 @@ so each built-in pattern is just a named offset list.
 
 from __future__ import annotations
 
+import difflib
 from typing import Dict, List, Tuple, Type
 
 from repro.core.api import VertexId
@@ -25,10 +26,25 @@ PATTERNS: Dict[str, Type[Dag]] = {}
 
 
 def register_pattern(name: str):
-    """Class decorator adding a pattern to the library registry."""
+    """Class decorator adding a pattern to the library registry.
+
+    Re-registering the *same* class under its existing name is a no-op,
+    and re-registering a fresh definition of the same class (matching
+    module and qualified name — the module-reload case) refreshes the
+    registry to the newest definition. Registering a genuinely different
+    class under an existing name is still an error.
+    """
 
     def wrap(cls: Type[Dag]) -> Type[Dag]:
-        require(name not in PATTERNS, f"pattern {name!r} already registered", PatternError)
+        prev = PATTERNS.get(name)
+        if prev is not None and prev is not cls:
+            require(
+                prev.__module__ == cls.__module__
+                and prev.__qualname__ == cls.__qualname__,
+                f"pattern {name!r} already registered to "
+                f"{prev.__module__}.{prev.__qualname__}",
+                PatternError,
+            )
         PATTERNS[name] = cls
         cls.pattern_name = name  # type: ignore[attr-defined]
         return cls
@@ -38,11 +54,14 @@ def register_pattern(name: str):
 
 def get_pattern(name: str) -> Type[Dag]:
     """Look up a pattern class by its registry name."""
-    require(
-        name in PATTERNS,
-        f"unknown pattern {name!r}; known: {sorted(PATTERNS)}",
-        PatternError,
-    )
+    if name not in PATTERNS:
+        hint = ""
+        close = difflib.get_close_matches(name, PATTERNS, n=1)
+        if close:
+            hint = f"; did you mean {close[0]!r}?"
+        raise PatternError(
+            f"unknown pattern {name!r}{hint} known: {sorted(PATTERNS)}"
+        )
     return PATTERNS[name]
 
 

@@ -1,0 +1,98 @@
+"""The ``python -m repro lint`` command end to end."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.errors import PatternError
+from repro.patterns.base import get_pattern
+
+FIXTURES = "tests.analysis.fixtures"
+
+
+class TestLintAll:
+    def test_shipped_code_is_clean(self, capsys):
+        assert main(["lint", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "-> ok" in out
+        assert "ERROR" not in out
+
+    def test_default_is_all(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "pattern:diagonal" in out
+        assert "app:lcs" in out
+
+    def test_single_pattern(self, capsys):
+        assert main(["lint", "--pattern", "diagonal"]) == 0
+        out = capsys.readouterr().out
+        assert "wavefront_vector=(1, 1)" in out
+
+    def test_single_app(self, capsys):
+        assert main(["lint", "--app", "knapsack"]) == 0
+        assert "DP204" in capsys.readouterr().out
+
+
+class TestAdversarialExitCodes:
+    @pytest.mark.parametrize(
+        "target, code",
+        [
+            ("cyclic_dag", "DP101"),
+            ("out_of_bounds_dag", "DP102"),
+            ("mismatched_anti_dag", "DP103"),
+            ("undeclared_read_target", "DP201"),
+            ("wrong_offset_target", "DP201"),
+        ],
+    )
+    def test_error_fixture_fails(self, capsys, target, code):
+        rc = main(["lint", "--module", f"{FIXTURES}:{target}"])
+        assert rc == 1
+        assert code in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "target, code",
+        [("nondet_target", "DP202"), ("shared_state_target", "DP203")],
+    )
+    def test_warning_fixture_fails_under_strict(self, capsys, target, code):
+        assert main(["lint", "--module", f"{FIXTURES}:{target}"]) == 0
+        assert code in capsys.readouterr().out
+        assert main(["lint", "--strict", "--module", f"{FIXTURES}:{target}"]) == 1
+
+    def test_unknown_module_target(self, capsys):
+        assert main(["lint", "--module", "no.such.module:thing"]) == 2
+        assert "DP106" in capsys.readouterr().out
+
+    def test_bad_spec(self, capsys):
+        assert main(["lint", "--module", "missing-colon"]) == 2
+
+    def test_unknown_fixture_suggests(self, capsys):
+        assert main(["lint", "--pattern", "diagnal"]) == 2
+        assert "diagonal" in capsys.readouterr().out
+
+
+class TestRegistrySatellites:
+    def test_typo_suggestion(self):
+        with pytest.raises(PatternError, match="did you mean 'diagonal'"):
+            get_pattern("diagnal")
+
+    def test_unknown_without_close_match(self):
+        with pytest.raises(PatternError, match="unknown pattern"):
+            get_pattern("zzzzzz")
+
+    def test_module_reload_is_safe(self):
+        import importlib
+
+        import repro.patterns
+        import repro.patterns.diagonal as diagmod
+        from repro.patterns.base import PATTERNS
+
+        original = diagmod.DiagonalDag
+        try:
+            importlib.reload(diagmod)
+            # no PatternError, and the registry follows the newest class
+            assert PATTERNS["diagonal"] is diagmod.DiagonalDag
+        finally:
+            # restore the original class everywhere: other modules (and
+            # pickle, for the mp engine) still hold references to it
+            diagmod.DiagonalDag = original
+            repro.patterns.DiagonalDag = original
+            PATTERNS["diagonal"] = original

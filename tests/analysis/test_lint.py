@@ -1,0 +1,104 @@
+"""The compute() AST lint: shipped apps are clean, fixtures are flagged."""
+
+import pytest
+
+from repro.analysis import lint_app, lint_compute
+from repro.analysis.findings import Severity
+from repro.analysis.registry import app_fixture, app_names
+
+from tests.analysis.fixtures import (
+    NondeterministicApp,
+    SharedStateApp,
+    UndeclaredReadApp,
+    WrongOffsetApp,
+    undeclared_read_target,
+)
+
+
+def _codes(findings):
+    return {f.code for f in findings}
+
+
+class TestShippedApps:
+    @pytest.mark.parametrize("name", app_names())
+    def test_no_error_findings(self, name):
+        app, dag = app_fixture(name)
+        findings = lint_app(app, dag=dag)
+        errors = [f for f in findings if f.severity >= Severity.ERROR]
+        assert not errors, errors
+
+    def test_knapsack_gets_dynamic_index_note(self):
+        app, dag = app_fixture("knapsack")
+        findings = lint_app(app, dag=dag)
+        assert "DP204" in _codes(findings)
+        assert all(f.severity == Severity.NOTE for f in findings)
+
+
+class TestAdversarialApps:
+    def test_undeclared_get_vertex_read_dp201(self):
+        app, dag = undeclared_read_target()
+        findings = lint_app(app, dag=dag)
+        assert "DP201" in _codes(findings)
+        f = next(f for f in findings if f.code == "DP201")
+        assert "(i-2, j+0)" in f.message
+        assert f.severity == Severity.ERROR
+
+    def test_wrong_offset_subscript_dp201(self):
+        _, dag = undeclared_read_target()
+        findings = lint_app(WrongOffsetApp(), dag=dag)
+        assert "DP201" in _codes(findings)
+
+    def test_nondeterminism_dp202(self):
+        findings = lint_app(NondeterministicApp())
+        assert "DP202" in _codes(findings)
+
+    def test_shared_state_dp203(self):
+        findings = lint_app(SharedStateApp())
+        flagged = [f for f in findings if f.code == "DP203"]
+        # both the self-attribute write and the module-global mutation
+        assert len(flagged) == 2
+
+    def test_declared_offsets_pass(self):
+        app, dag = app_fixture("lcs")
+        findings = lint_app(app, dag=dag)
+        assert "DP201" not in _codes(findings)
+
+
+class TestExamples:
+    def test_custom_pattern_example_lints_clean(self):
+        # the shipped user-facing example must pass its own linter
+        import importlib.util
+        import pathlib
+
+        from repro.analysis import verify_pattern
+
+        path = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "examples"
+            / "knapsack_custom_pattern.py"
+        )
+        spec = importlib.util.spec_from_file_location("knapsack_example", path)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+
+        dag = mod.MyKnapsackDag([1, 2, 3], 6)
+        assert verify_pattern(dag).ok
+        findings = lint_app(mod.MyKnapsackApp, dag=dag)
+        assert not [f for f in findings if f.severity >= Severity.ERROR]
+
+
+class TestLintCompute:
+    def test_unavailable_source_dp106(self):
+        findings = lint_compute(len, offsets=((-1, 0),))
+        assert _codes(findings) == {"DP106"}
+
+    def test_location_points_into_source(self):
+        findings = lint_app(UndeclaredReadApp, dag=None)
+        f = next(f for f in findings if f.code == "DP205")
+        assert "fixtures.py" in (f.location or "")
+
+    def test_no_offsets_skips_offset_checks(self):
+        # without a declared stencil the (i-2, j) subscript is only a
+        # dynamic-index candidate, not a provable violation
+        findings = lint_compute(WrongOffsetApp.compute, offsets=None)
+        assert "DP201" not in _codes(findings)

@@ -1,0 +1,173 @@
+"""The symbolic stencil verifier: ranking vectors, metrics, routing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    enumerate_verify,
+    find_ranking_vector,
+    try_symbolic_validate,
+    verify_pattern,
+    verify_stencil,
+)
+from repro.core.dag import VALIDATE_ENUMERATION_THRESHOLD
+from repro.errors import PatternError
+from repro.patterns import PATTERNS, DiagonalDag, IntervalDag
+from repro.patterns.base import StencilDag
+from repro.patterns.knapsack import KnapsackDag
+
+from tests.analysis.fixtures import (
+    CyclicStencilDag,
+    MismatchedAntiDag,
+    OutOfBoundsDepDag,
+)
+
+
+def _instance(name, cls, h=12, w=12):
+    return cls(h, w, 3) if name == "banded" else cls(h, w)
+
+
+class TestRankingVector:
+    def test_canonical_vectors(self):
+        assert find_ranking_vector(((-1, 0), (0, -1), (-1, -1))) == (1, 1)
+        # interval: down + left + down-left neighbours
+        assert find_ranking_vector(((1, 0), (0, -1), (1, -1))) == (-1, 1)
+        assert find_ranking_vector(((0, -1),)) == (0, 1)  # row chain
+        assert find_ranking_vector(((-1, 0),)) == (1, 0)  # column chain
+
+    def test_cycle_has_no_vector(self):
+        assert find_ranking_vector(((0, 1), (0, -1))) is None
+        assert find_ranking_vector(((1, 0), (-1, 0))) is None
+        assert find_ranking_vector(((1, 1), (-1, -1))) is None
+
+    def test_witness_satisfies_all_offsets(self):
+        offsets = ((-3, 1), (-1, 2), (-2, -1), (-1, 0))
+        d = find_ranking_vector(offsets)
+        assert d is not None
+        assert all(d[0] * di + d[1] * dj < 0 for di, dj in offsets)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-3, 3), st.integers(-3, 3)
+            ).filter(lambda o: o != (0, 0)),
+            min_size=1,
+            max_size=6,
+            unique=True,
+        )
+    )
+    def test_agrees_with_brute_force(self, offsets):
+        """The exact geometric test matches a brute-force vector search."""
+        d = find_ranking_vector(offsets)
+        brute = any(
+            all(a * di + b * dj < 0 for di, dj in offsets)
+            for a in range(-10, 11)
+            for b in range(-10, 11)
+        )
+        if d is not None:
+            assert all(d[0] * di + d[1] * dj < 0 for di, dj in offsets)
+            assert brute
+        else:
+            assert not brute
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-2, 2), st.integers(-2, 2)
+            ).filter(lambda o: o != (0, 0)),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        )
+    )
+    def test_symbolic_acyclic_implies_enumeration_clean(self, offsets):
+        """Soundness: a ranking vector means enumeration finds no cycle."""
+        if find_ranking_vector(offsets) is None:
+            return
+
+        class S(StencilDag):
+            pass
+
+        S.offsets = tuple(offsets)
+        report = enumerate_verify(S(6, 6))
+        assert report.ok, report.findings
+
+
+class TestBuiltinPatterns:
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_every_builtin_passes_symbolically(self, name):
+        report = verify_pattern(_instance(name, PATTERNS[name]))
+        assert report.ok, report.findings
+
+    def test_diagonal_metrics(self):
+        report = verify_stencil(DiagonalDag(12, 12))
+        m = report.metrics
+        assert m["wavefront_vector"] == (1, 1)
+        assert m["wavefront_depth"] == 23  # h + w - 1 anti-diagonals
+        assert m["max_antichain_width"] == 12
+        lo, hi = m["critical_path_bounds"]
+        assert lo <= hi
+
+    def test_interval_metrics(self):
+        report = verify_stencil(IntervalDag(10, 10))
+        assert report.metrics["wavefront_vector"] == (-1, 1)
+        assert report.metrics["wavefront_depth"] == 10
+
+    def test_knapsack_enumerates(self):
+        report = verify_pattern(KnapsackDag([2, 3, 5], 11))
+        assert report.method == "enumeration"
+        assert report.ok
+
+
+class TestAdversarialPatterns:
+    def test_cyclic_stencil_dp101(self):
+        report = verify_pattern(CyclicStencilDag(8, 8))
+        assert not report.ok
+        assert "DP101" in report.codes()
+
+    def test_out_of_bounds_dp102(self):
+        report = verify_pattern(OutOfBoundsDepDag(8, 8))
+        assert not report.ok
+        assert "DP102" in report.codes()
+
+    def test_mismatched_anti_dp103(self):
+        report = verify_pattern(MismatchedAntiDag(8, 8))
+        assert not report.ok
+        assert "DP103" in report.codes()
+
+
+class TestValidateRouting:
+    def test_large_stencil_validates_symbolically(self):
+        # 360_000 cells > threshold: enumeration would take seconds
+        dag = DiagonalDag(600, 600)
+        assert dag.size > VALIDATE_ENUMERATION_THRESHOLD
+        assert try_symbolic_validate(dag)
+        dag.validate()  # must return fast, not raise
+
+    def test_small_stencil_still_enumerates(self):
+        DiagonalDag(10, 10).validate()
+
+    def test_large_cyclic_raises(self):
+        with pytest.raises(PatternError):
+            CyclicStencilDag(600, 600).validate()
+
+    def test_small_cyclic_raises(self):
+        with pytest.raises(PatternError):
+            CyclicStencilDag(8, 8).validate()
+
+    def test_overridden_methods_fall_back(self):
+        # a stencil with a custom anti-dependency cannot be proved
+        # symbolically by construction; routing must refuse the fast path
+        assert not try_symbolic_validate(MismatchedAntiDag(600, 600))
+
+    def test_non_stencil_falls_back(self):
+        assert not try_symbolic_validate(OutOfBoundsDepDag(8, 8))
+
+    def test_degenerate_offsets_fall_back(self):
+        class Wide(StencilDag):
+            offsets = ((0, -40),)
+
+        assert not try_symbolic_validate(Wide(300, 30))

@@ -2,7 +2,6 @@
 
 import threading
 
-import pytest
 
 from repro.apgas.activity import Activity
 from repro.apgas.engine import ThreadedEngine

@@ -1,6 +1,5 @@
 """Tests for the extension applications: banded ED, Viterbi, egg drop."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

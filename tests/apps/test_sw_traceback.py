@@ -1,6 +1,5 @@
 """Tests for the Smith-Waterman alignment traceback."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for the multiprocessing engine (places as real OS processes)."""
 
-import numpy as np
 import pytest
 
 from repro.apgas.failure import FaultPlan

@@ -5,14 +5,13 @@ import pytest
 
 from repro.apgas.network import NetworkModel
 from repro.apgas.place import PlaceGroup
-from repro.core.api import DPX10App, dependency_map
+from repro.core.api import DPX10App
 from repro.core.cache import RemoteCache
 from repro.core.config import DPX10Config
 from repro.core.recovery import recover
 from repro.core.scheduler import make_strategy
 from repro.core.vertex_store import build_stores
 from repro.core.worker import ExecutionState
-from repro.dist.dist import Dist
 from repro.errors import PlaceZeroDeadError
 from repro.patterns.grid import GridDag
 

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.apps.lcs import solve_lcs
 from repro.core.config import DPX10Config

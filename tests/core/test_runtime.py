@@ -4,9 +4,8 @@ import numpy as np
 import pytest
 
 from repro.apgas.failure import FaultPlan
-from repro.core.api import DPX10App, VertexId, dependency_map
+from repro.core.api import DPX10App, dependency_map
 from repro.core.config import DPX10Config
-from repro.core.dag import Dag
 from repro.core.runtime import DPX10Runtime
 from repro.errors import PatternError, PlaceZeroDeadError
 from repro.patterns.grid import GridDag

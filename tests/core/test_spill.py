@@ -4,7 +4,6 @@ import glob
 import os
 
 import numpy as np
-import pytest
 
 from repro.apgas.failure import FaultPlan
 from repro.apgas.place import PlaceGroup

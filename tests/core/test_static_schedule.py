@@ -56,7 +56,6 @@ class TestStaticOrders:
         order_is_topological(dag)
 
     def test_default_is_none(self):
-        from repro.core.api import VertexId
         from repro.core.dag import Dag
 
         class Custom(Dag):

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.apgas.place import PlaceGroup
-from repro.core.vertex_store import VertexStore, build_stores
+from repro.core.vertex_store import build_stores
 from repro.dist.dist import Dist
 from repro.errors import DeadPlaceException, DPX10Error
 from repro.patterns.diagonal import DiagonalDag

@@ -5,7 +5,6 @@ idle places steal ready vertices from the longest queue. Results must be
 unchanged; load balance should improve on skewed DAGs.
 """
 
-import numpy as np
 import pytest
 
 from repro.apps.lcs import solve_lcs

@@ -14,7 +14,6 @@ from repro.core.config import DPX10Config
 from repro.core.scheduler import make_strategy
 from repro.core.vertex_store import build_stores
 from repro.core.worker import ExecutionState, execute_vertex, run_inline, try_steal
-from repro.dist.dist import Dist
 from repro.errors import DeadPlaceException, PatternError
 from repro.patterns.diagonal import DiagonalDag
 from repro.patterns.grid import GridDag

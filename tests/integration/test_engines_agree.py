@@ -19,7 +19,6 @@ from repro.apps.serial import (
     mtp_matrix,
     sw_matrix,
 )
-from repro.apps.smith_waterman import solve_sw
 from repro.core.config import DPX10Config
 
 ENGINES = ["inline", "threaded", "mp"]

@@ -9,12 +9,11 @@ must match cell for cell.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.apgas.failure import FaultPlan
-from repro.core.api import DPX10App, dependency_map
+from repro.core.api import DPX10App
 from repro.core.config import DPX10Config
 from repro.core.runtime import DPX10Runtime
 from repro.patterns.base import StencilDag

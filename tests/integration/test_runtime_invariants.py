@@ -1,7 +1,5 @@
 """Property-based invariants of whole runs under random configurations."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -199,11 +199,23 @@ class TestStencilGuards:
         with pytest.raises(PatternError):
             Dup(2, 2)
 
-    def test_duplicate_registration_rejected(self):
+    def test_same_class_reregistration_is_noop(self):
+        # module reload must not explode: re-registering the same class
+        # (or a fresh definition with the same module/qualname) is allowed
         from repro.patterns.base import register_pattern
 
+        assert register_pattern("grid")(GridDag) is GridDag
+        assert PATTERNS["grid"] is GridDag
+
+    def test_different_class_registration_rejected(self):
+        from repro.patterns.base import StencilDag, register_pattern
+
+        class Imposter(StencilDag):
+            offsets = ((-1, 0),)
+
         with pytest.raises(PatternError):
-            register_pattern("grid")(GridDag)
+            register_pattern("grid")(Imposter)
+        assert PATTERNS["grid"] is GridDag
 
 
 class TestTileDeps:

@@ -5,7 +5,6 @@ acyclicity + schedulability), so the property is simply: every pattern at
 every small size validates, and a few global invariants hold.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Tests for deterministic RNG helpers."""
 
 import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
