@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Check intra-repo Markdown links.
+
+Scans every tracked ``*.md`` file for inline links and validates the ones
+that point inside the repository:
+
+* relative file links (``docs/TILING.md``, ``../README.md``) must exist;
+* fragment-only links (``#section``) and ``file.md#section`` links must
+  match a heading in the target file (GitHub's anchor slug rules,
+  simplified: lowercase, spaces to dashes, punctuation dropped);
+* external links (``http://``, ``https://``, ``mailto:``) are skipped —
+  CI must not depend on the network.
+
+Exit code is non-zero when any link is broken, so the script slots into
+the CI docs job. Run locally with ``python scripts/check_links.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+# inline links [text](target); images share the syntax via a leading !
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def heading_anchors(markdown: str) -> set:
+    """GitHub-style anchor slugs for every heading in ``markdown``."""
+    anchors = set()
+    for heading in HEADING_RE.findall(CODE_FENCE_RE.sub("", markdown)):
+        slug = heading.strip().lower()
+        slug = re.sub(r"[`*_]", "", slug)
+        slug = re.sub(r"[^\w\- ]", "", slug)
+        anchors.add(slug.replace(" ", "-"))
+    return anchors
+
+
+def markdown_files(root: str) -> list:
+    found = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames if not d.startswith(".") and d != "node_modules"
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                found.append(os.path.join(dirpath, name))
+    return sorted(found)
+
+
+def check_file(path: str, root: str) -> list:
+    """Return a list of 'file: broken link' strings for ``path``."""
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    errors = []
+    rel = os.path.relpath(path, root)
+    for target in LINK_RE.findall(CODE_FENCE_RE.sub("", text)):
+        if target.startswith(EXTERNAL):
+            continue
+        file_part, _, fragment = target.partition("#")
+        if file_part:
+            resolved = os.path.normpath(os.path.join(os.path.dirname(path), file_part))
+            if not os.path.exists(resolved):
+                errors.append(f"{rel}: broken link -> {target}")
+                continue
+        else:
+            resolved = path
+        if fragment and resolved.endswith(".md"):
+            with open(resolved, encoding="utf-8") as fh:
+                if fragment.lower() not in heading_anchors(fh.read()):
+                    errors.append(f"{rel}: broken anchor -> {target}")
+    return errors
+
+
+def main() -> int:
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = markdown_files(root)
+    errors = []
+    for path in files:
+        errors.extend(check_file(path, root))
+    for err in errors:
+        print(err)
+    print(f"checked {len(files)} markdown files: {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,8 @@ class LPSApp(DPX10App[int]):
     def __init__(self, s: str) -> None:
         require(len(s) >= 1, "LPS needs a non-empty string")
         self.s = s
+        # character codes as an array, for the vectorized tile kernel
+        self._codes = np.fromiter(map(ord, s), dtype=np.int64, count=len(s))
         self.length: Optional[int] = None
 
     def compute(self, i: int, j: int, vertices: Sequence[Vertex[int]]) -> int:
@@ -48,6 +50,33 @@ class LPSApp(DPX10App[int]):
         if self.s[i] == self.s[j]:
             return dep.get((i + 1, j - 1), 0) + 2
         return max(dep[(i + 1, j)], dep[(i, j - 1)])
+
+    def compute_tile(self, r0, c0, window, oi, oj, h, w) -> bool:
+        """Vectorized tile kernel: one numpy sweep per ``k = j - i`` diagonal.
+
+        All three dependencies of a ``k``-diagonal cell lie on diagonals
+        ``k-1`` and ``k-2``, so ascending ``k`` honors the wavefront.
+        Inactive cells (``i > j``) are never written; the ``(i+1, j-1)``
+        read for ``j = i+1`` lands on one and sees the window's zero —
+        the same "empty inner substring contributes 0" the per-cell
+        recurrence gets from ``dep.get(..., 0)``.
+        """
+        codes = self._codes
+        for k in range(max(0, c0 - (r0 + h - 1)), c0 + w - r0):
+            t = r0 + k - c0  # lj = li + t on this diagonal
+            li = np.arange(max(0, -t), min(h - 1, w - 1 - t) + 1, dtype=np.int64)
+            if li.size == 0:
+                continue
+            wi, wj = oi + li, oj + li + t
+            if k == 0:
+                window[wi, wj] = 1
+                continue
+            gi = r0 + li
+            eq = codes[gi] == codes[gi + k]
+            inner = window[wi + 1, wj - 1] + 2
+            other = np.maximum(window[wi + 1, wj], window[wi, wj - 1])
+            window[wi, wj] = np.where(eq, inner, other)
+        return True
 
     def app_finished(self, dag: Dag[int]) -> None:
         self.length = int(dag.get_vertex(0, dag.width - 1).get_result())

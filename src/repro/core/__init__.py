@@ -21,6 +21,7 @@ from repro.core.scheduler import (
     SchedulingStrategy,
     make_strategy,
 )
+from repro.core.tiling import TiledDag, TileGrid, coarsen, coarsen_offsets
 
 __all__ = [
     "DPX10App",
@@ -36,4 +37,8 @@ __all__ = [
     "RandomScheduling",
     "SchedulingStrategy",
     "make_strategy",
+    "TiledDag",
+    "TileGrid",
+    "coarsen",
+    "coarsen_offsets",
 ]

@@ -106,6 +106,43 @@ class DPX10App(ABC, Generic[T]):
         any vertex, e.g. for backtracking the final answer.
         """
 
+    def compute_tile(
+        self,
+        r0: int,
+        c0: int,
+        window: Any,
+        oi: int,
+        oj: int,
+        h: int,
+        w: int,
+    ) -> bool:
+        """Optional vectorized whole-tile kernel for the tiled engine.
+
+        When ``DPX10Config(tile_shape=...)`` is active, the engine offers
+        each tile to this hook before falling back to per-cell
+        ``compute()`` calls. ``window`` is a 2-D numpy array of
+        ``value_dtype`` covering the tile ``[r0, r0+h) x [c0, c0+w)`` plus
+        its halo: cell ``(i, j)`` lives at ``window[oi + i - r0, oj + j - c0]``.
+        Halo cells (dependencies outside the tile) are pre-filled with
+        their finished values; cells never written (inactive, outside the
+        matrix) read as the dtype's zero. The kernel must fill every
+        active tile cell in ``window[oi:oi+h, oj:oj+w]``, honoring the
+        pattern's intra-tile wavefront order, and return ``True``.
+
+        Return ``False`` (the default) to decline — e.g. for tile shapes
+        or boundary cases the kernel does not handle — and the engine
+        runs the per-cell path for this tile instead. The kernel must
+        compute exactly what ``compute()`` would: tiled and per-vertex
+        execution are required (and property-tested) to agree
+        cell-for-cell.
+
+        Only consulted when ``value_dtype`` is set, the pattern is a pure
+        stencil, and the run is not sanitized (``sanitize=True`` forces
+        the per-cell path so every read stays visible to the race
+        sanitizer).
+        """
+        return False
+
     def init_value(self, i: int, j: int) -> Optional[T]:
         """Initial value for vertices marked inactive by the pattern.
 

@@ -99,6 +99,15 @@ class DPX10Config:
     #: optimization extension; requires the pattern to provide
     #: ``static_order()`` (all stencils, knapsack, full_row, triangular do)
     static_schedule: bool = False
+    #: tile-granular execution: block the matrix into ``(tile_h, tile_w)``
+    #: tiles and schedule, fetch, and place whole tiles instead of single
+    #: cells (see docs/TILING.md). The cell-level pattern is coarsened to a
+    #: tile-level DAG (``Dag.coarsen``, symbolically verified acyclic), a
+    #: tile's remote halo is fetched in one batch per producing place, and
+    #: apps may supply a vectorized ``compute_tile`` kernel. ``None`` and
+    #: ``(1, 1)`` both select the legacy per-vertex path, bit-for-bit.
+    #: Supported by the inline, threaded and mp engines.
+    tile_shape: Optional[tuple[int, int]] = None
     #: let idle workers steal ready vertices from other places' lists.
     #: An extension beyond the paper (its future work cites X10
     #: work-stealing schedulers [24, 25]); results are unchanged, load
@@ -148,6 +157,26 @@ class DPX10Config:
             not (self.static_schedule and self.engine != "inline"),
             "static_schedule requires the inline engine",
         )
+        if self.tile_shape is not None:
+            require(
+                len(tuple(self.tile_shape)) == 2
+                and all(isinstance(t, int) and t >= 1 for t in self.tile_shape),
+                f"tile_shape must be a pair of ints >= 1, got {self.tile_shape!r}",
+            )
+            require(
+                not (self.static_schedule and self.tiling_enabled),
+                "static_schedule and tile_shape are mutually exclusive "
+                "(the tiled engine has its own schedule)",
+            )
+
+    @property
+    def tiling_enabled(self) -> bool:
+        """Whether the tile-granular engine is selected.
+
+        ``tile_shape=(1, 1)`` is the degenerate one-cell tile and routes
+        through the legacy per-vertex path unchanged.
+        """
+        return self.tile_shape is not None and tuple(self.tile_shape) != (1, 1)
 
     def make_dist(self, region: Region2D, alive_place_ids: Sequence[int]) -> Dist:
         """Build the configured distribution over the given alive places."""

@@ -40,15 +40,25 @@ T = TypeVar("T")
 class ResultView(Generic[T]):
     """Read access to computed vertex values, bound to a Dag after a run."""
 
-    def __init__(self, getter, finished_checker) -> None:
+    def __init__(self, getter, finished_checker, bulk_getter=None) -> None:
         self._get = getter
         self._finished = finished_checker
+        self._bulk = bulk_getter
 
     def get(self, i: int, j: int) -> T:
         return self._get(i, j)
 
     def is_finished(self, i: int, j: int) -> bool:
         return self._finished(i, j)
+
+    def as_array(self, fill: object, dtype: object):
+        """The whole matrix in one vectorized gather, or ``None``.
+
+        Runtimes that keep values in arrays supply ``bulk_getter`` so
+        :meth:`Dag.to_array` skips the per-cell loop; ``None`` means the
+        caller must fall back to :meth:`get`.
+        """
+        return self._bulk(fill, dtype) if self._bulk is not None else None
 
 
 class Dag(Generic[T]):
@@ -127,6 +137,34 @@ class Dag(Generic[T]):
         """
         return None
 
+    # -- tile-granular coarsening ---------------------------------------------------
+    def coarsen(self, tile_h: int, tile_w: int) -> "Dag":
+        """Derive the tile-level DAG for ``(tile_h, tile_w)`` blocking.
+
+        Tile ``(ti, tj)`` covers cells ``[ti*tile_h, (ti+1)*tile_h) x
+        [tj*tile_w, (tj+1)*tile_w)`` (clipped at the matrix edge) and
+        depends on every other tile containing a dependency of one of its
+        cells — the cell-level edges hoisted to tile granularity. For
+        stencil patterns the tile DAG is derived symbolically from the
+        offset set and proved acyclic by the ranking-vector verifier;
+        irregular patterns are coarsened by enumeration and Kahn-checked.
+        Raises :class:`~repro.errors.PatternError` when the coarsened
+        graph would contain a cycle (tiling is unsound for that pattern
+        and tile shape).
+
+        >>> from repro.patterns.diagonal import DiagonalDag
+        >>> tiled = DiagonalDag(6, 6).coarsen(3, 3)
+        >>> (tiled.height, tiled.width)
+        (2, 2)
+        >>> sorted((d.i, d.j) for d in tiled.get_dependency(1, 1))
+        [(0, 0), (0, 1), (1, 0)]
+        >>> DiagonalDag(6, 6).coarsen(1, 1).size  # degenerate: one cell per tile
+        36
+        """
+        from repro.core.tiling import coarsen
+
+        return coarsen(self, tile_h, tile_w)
+
     # -- results (bound by the runtime after execution) ---------------------------
     def bind_results(self, view: ResultView[T]) -> None:
         self._results = view
@@ -147,6 +185,10 @@ class Dag(Generic[T]):
         """
         import numpy as np
 
+        if self._results is not None:
+            fast = self._results.as_array(fill, dtype)
+            if fast is not None:
+                return fast
         out = np.full((self.height, self.width), fill, dtype=dtype or object)
         for i in range(self.height):
             for j in range(self.width):

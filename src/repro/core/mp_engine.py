@@ -197,7 +197,22 @@ def run_mp(
     """
     ctx = mp.get_context("fork" if hasattr(os, "fork") else "spawn")
     stats = MPRunStats()
-    levels = _topological_levels(dag)
+    tiled = dag.coarsen(*config.tile_shape) if config.tiling_enabled else None
+    if tiled is None:
+        levels = _topological_levels(dag)
+    else:
+        # tile-granular: level-synchronize over the coarsened DAG, then
+        # expand each tile to its cells in intra-tile wavefront order.
+        # Tiles sharing a level have no tile edge, so every cross-tile
+        # dependency resolves in an earlier level; in-tile dependencies
+        # resolve because the worker computes cells in message order
+        levels = []
+        for tile_level in _topological_levels(tiled):
+            cells: List[Coord] = []
+            for t in tile_level:
+                rows, cols = tiled.cells_of(*t)
+                cells.extend(zip(rows.tolist(), cols.tolist()))
+            levels.append(cells)
     stats.levels = len(levels)
     total_active = sum(len(lv) for lv in levels)
     injector = FaultInjector(list(fault_plans), total_active) if fault_plans else None
@@ -207,11 +222,20 @@ def run_mp(
     }
     try:
         alive = sorted(procs)
+
+        def home_of(c: Coord, d) -> int:
+            # tiled runs own cells at tile granularity (the tile origin's
+            # place), so a tile is never split across processes and its
+            # intra-tile dependencies stay process-local
+            if tiled is None:
+                return d.place_of(*c)
+            return d.place_of(*tiled.grid.origin(*tiled.grid.tile_of(*c)))
+
         owner: Dict[Coord, int] = {}
         dist = config.make_dist(dag.region, alive)
         for i, j in dag.region:
             if dag.is_active(i, j):
-                owner[(i, j)] = dist.place_of(i, j)
+                owner[(i, j)] = home_of((i, j), dist)
         for p in alive:
             procs[p].request(("init", app, dag))
 
@@ -276,7 +300,7 @@ def run_mp(
                     lost = sorted(c for c, p in owner.items() if p in dead)
                     new_dist = config.make_dist(dag.region, survivors)
                     for c in lost:
-                        owner[c] = new_dist.place_of(*c)
+                        owner[c] = home_of(c, new_dist)
                     # recompute the dead partition's finished cells, oldest
                     # levels first, on their new owners
                     lost_set = set(lost)

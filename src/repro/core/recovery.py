@@ -207,4 +207,11 @@ def _install(state: ExecutionState, new_dist: Dist, new_stores: Dict[int, Vertex
     # dist (cannot happen today — recovery only shrinks — but keep the
     # invariant that every dist place has both)
     state.__post_init__()
+    if state.tiles is not None:
+        # tile-granular run: a dead place invalidates its unfinished
+        # tiles; re-home every tile under the new dist and reset tile
+        # indegrees from the surviving cell finish flags. A tile whose
+        # cells were partially discarded re-executes whole — compute()
+        # is pure and set_block never double-counts, so that is safe.
+        state.tiles.rebuild(state)
     return total_active - finished_active

@@ -191,7 +191,17 @@ class DPX10Runtime:
                     )
                 while True:
                     try:
-                        if cfg.engine == "threaded":
+                        if state.tiles is not None:
+                            from repro.core.tiling import (
+                                run_tiled_inline,
+                                run_tiled_threaded,
+                            )
+
+                            if cfg.engine == "threaded":
+                                run_tiled_threaded(state)
+                            else:
+                                run_tiled_inline(state)
+                        elif cfg.engine == "threaded":
                             run_threaded(state)
                         elif static_order is not None:
                             run_static(state, static_order)
@@ -324,6 +334,15 @@ class DPX10Runtime:
             injector=injector,
             total_active=total_active,
         )
+        if cfg.tiling_enabled:
+            # tile-granular execution: coarsen the pattern (verified
+            # acyclic) and schedule tiles instead of cells
+            from repro.core.tiling import TileRunState
+
+            tiled = self.dag.coarsen(*cfg.tile_shape)
+            tiles = TileRunState(tiled)
+            tiles.build(state, fresh=True)
+            state.tiles = tiles
         if cfg.ft_mode == "snapshot":
             from repro.dist.snapshot import SnapshotStore
 
@@ -350,4 +369,23 @@ class DPX10Runtime:
         def finished(i: int, j: int) -> bool:
             return state.stores[state.dist.place_of(i, j)].is_finished(i, j)
 
-        self.dag.bind_results(ResultView(getter, finished))
+        def bulk(fill, dtype):
+            # one vectorized gather per place store; finished-active cells
+            # only, everything else keeps ``fill`` (Dag.to_array semantics)
+            import numpy as np
+
+            dag = self.dag
+            out = np.full((dag.height, dag.width), fill, dtype=dtype or object)
+            for pid in state.dist.place_ids:
+                store = state.stores[pid]
+                n = store.size
+                if n == 0:
+                    continue
+                store._check()
+                rows = np.fromiter((c[0] for c in store.coords), np.int64, count=n)
+                cols = np.fromiter((c[1] for c in store.coords), np.int64, count=n)
+                mask = store.active & store.finished
+                out[rows[mask], cols[mask]] = store.values[mask]
+            return out
+
+        self.dag.bind_results(ResultView(getter, finished, bulk))

@@ -10,6 +10,11 @@ A strategy answers one question: *at which place should this ready vertex's
 ``compute()`` run?* The vertex's result always lives at its home place; a
 non-home choice trades computation placement against the transfers of its
 dependency values (and the write-back of the result).
+
+Under tile-granular execution (``DPX10Config(tile_shape=...)``) the same
+strategies decide placement once per *tile*: ``vid`` is the tile index,
+``home`` the tile's home place, and ``dep_homes`` carries one entry per
+halo cell, so mincomm weighs whole tile edges instead of single values.
 """
 
 from __future__ import annotations
@@ -107,7 +112,17 @@ _STRATEGIES = {
 
 
 def make_strategy(name: str) -> SchedulingStrategy:
-    """Instantiate a strategy by its config name."""
+    """Instantiate a strategy by its config name.
+
+    >>> make_strategy("local").name
+    'local'
+    >>> make_strategy("mincomm").name
+    'mincomm'
+    >>> make_strategy("warp")
+    Traceback (most recent call last):
+    ...
+    repro.errors.ConfigurationError: unknown scheduler 'warp'; known: ['local', 'mincomm', 'random']
+    """
     require(
         name in _STRATEGIES,
         f"unknown scheduler {name!r}; known: {sorted(_STRATEGIES)}",

@@ -1,0 +1,810 @@
+"""Tile-granular execution: coarsen the cell DAG, run whole tiles.
+
+The per-vertex engine pays interpreter-level scheduling, indegree
+bookkeeping and cache-lookup overhead for every cell. Blocked (tiled)
+evaluation is the standard remedy: partition the matrix into
+``tile_h x tile_w`` tiles, hoist the dependencies from cells to tiles
+(Tang's nested-dataflow argument: a DP recurrence stays correct when a
+sub-block waits for the union of its cells' dependencies), and stream the
+tiles along the wavefront — Matsumae & Miyazaki's pipelined blocked GPU
+DP, rendered on the DPX10 DAG-pattern abstraction.
+
+Three layers live here (see docs/TILING.md for the full story):
+
+* **Coarsening** — :func:`coarsen` derives a :class:`TiledDag` from any
+  pattern. For stencils the tile-level offset set is computed in
+  O(#offsets) by the clipping rule (each cell offset ``(di, dj)`` maps to
+  the tile offsets ``[floor(di/th), ceil(di/th)] x [floor(dj/tw),
+  ceil(dj/tw)]`` minus ``(0, 0)``) and proved acyclic by the PR 1
+  ranking-vector verifier; irregular patterns are coarsened by
+  enumeration and Kahn-checked.
+* **Tile scheduling state** — :class:`TileRunState` holds tile indegrees,
+  per-place ready lists and the finished set; recovery rebuilds it from
+  the surviving cell stores (a dead place invalidates *tiles*, not
+  cells).
+* **The tile worker** — :func:`execute_tile` fetches a tile's remote halo
+  in one batched read per producing place (one network message per tile
+  edge), runs the cells in intra-tile wavefront order — through the
+  app's vectorized ``compute_tile`` kernel when it offers one — and
+  writes the results back per home place in bulk.
+
+``DPX10Config(tile_shape=(h, w))`` opts a run in; ``(1, 1)`` and ``None``
+keep the legacy per-vertex path bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.analysis import sanitize as _sanitize
+from repro.analysis.symbolic import find_ranking_vector
+from repro.core.api import DPX10App, Vertex, VertexId
+from repro.core.dag import Dag
+from repro.core.trace import TraceEvent
+from repro.errors import DeadPlaceException, DependencyRaceError, PatternError
+from repro.util.validation import require
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.worker import ExecutionState
+
+__all__ = [
+    "TileGrid",
+    "TiledDag",
+    "TileRunState",
+    "coarsen",
+    "coarsen_offsets",
+    "execute_tile",
+    "run_tiled_inline",
+    "run_tiled_threaded",
+]
+
+Coord = Tuple[int, int]
+Offset = Tuple[int, int]
+
+# matches the per-vertex threaded driver's idle poll (see worker._IDLE_WAIT_S)
+_IDLE_WAIT_S = 0.02
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """Geometry of a ``tile_h x tile_w`` blocking of a ``height x width`` matrix."""
+
+    height: int
+    width: int
+    tile_h: int
+    tile_w: int
+
+    @property
+    def nti(self) -> int:
+        """Tile rows (the last row may be clipped)."""
+        return -(-self.height // self.tile_h)
+
+    @property
+    def ntj(self) -> int:
+        """Tile columns (the last column may be clipped)."""
+        return -(-self.width // self.tile_w)
+
+    def tile_of(self, i: int, j: int) -> Coord:
+        return (i // self.tile_h, j // self.tile_w)
+
+    def origin(self, ti: int, tj: int) -> Coord:
+        return (ti * self.tile_h, tj * self.tile_w)
+
+    def bounds(self, ti: int, tj: int) -> Tuple[int, int, int, int]:
+        """The tile's cell rectangle ``(r0, r1, c0, c1)``, clipped to the matrix."""
+        r0 = ti * self.tile_h
+        c0 = tj * self.tile_w
+        return (
+            r0,
+            min(r0 + self.tile_h, self.height),
+            c0,
+            min(c0 + self.tile_w, self.width),
+        )
+
+
+def coarsen_offsets(
+    offsets: Tuple[Offset, ...], tile_h: int, tile_w: int
+) -> Tuple[Offset, ...]:
+    """Map a cell-offset set to tile granularity (the clipping rule).
+
+    A cell at local position ``(r, c)`` of a tile reaches tile-row offset
+    ``floor((r + di) / tile_h)``; over ``r in [0, tile_h)`` that spans
+    exactly ``[floor(di/tile_h), ceil(di/tile_h)]`` (and likewise for
+    columns). The tile-level offset set is the cross product of those
+    ranges over all offsets, minus ``(0, 0)`` (intra-tile edges are
+    resolved by the intra-tile wavefront order, not the tile DAG).
+    """
+    out: Set[Offset] = set()
+    for di, dj in offsets:
+        for a in range(di // tile_h, -(-di // tile_h) + 1):
+            for b in range(dj // tile_w, -(-dj // tile_w) + 1):
+                if (a, b) != (0, 0):
+                    out.add((a, b))
+    return tuple(sorted(out))
+
+
+class TiledDag(Dag):
+    """The tile-level DAG derived from a base pattern by :func:`coarsen`.
+
+    A full :class:`~repro.core.dag.Dag` over the tile grid — ``validate``,
+    the mp engine's level scheduler, and the tiled runtime all treat it as
+    an ordinary pattern — plus the cell-level services the tile worker
+    needs: :meth:`cells_of` (a tile's active cells in intra-tile wavefront
+    order) and :meth:`halo_of` (the out-of-tile dependency cells).
+    """
+
+    def __init__(
+        self,
+        base: Dag,
+        grid: TileGrid,
+        *,
+        tile_offsets: Optional[Tuple[Offset, ...]] = None,
+        deps: Optional[Dict[Coord, List[Coord]]] = None,
+        anti: Optional[Dict[Coord, List[Coord]]] = None,
+        tile_active: Optional[np.ndarray] = None,
+        base_rank: Optional[Offset] = None,
+    ) -> None:
+        super().__init__(grid.nti, grid.ntj)
+        self.base = base
+        self.grid = grid
+        self.tile_offsets = tile_offsets
+        self._deps = deps
+        self._anti = anti
+        self._tile_active = tile_active
+        self._base_rank = base_rank
+        #: stencil mode: offsets known, halo and order derivable symbolically
+        self.stencil_mode = tile_offsets is not None
+        if self.stencil_mode:
+            offs = tuple(base.offsets)  # type: ignore[attr-defined]
+            self.pads = (
+                max(0, max(-di for di, _ in offs)),
+                max(0, max(di for di, _ in offs)),
+                max(0, max(-dj for _, dj in offs)),
+                max(0, max(dj for _, dj in offs)),
+            )
+        else:
+            self.pads = (0, 0, 0, 0)
+
+    # -- the Dag interface over tiles ----------------------------------------------
+    def is_active(self, ti: int, tj: int) -> bool:
+        return bool(self._tile_active[ti, tj])
+
+    def get_dependency(self, ti: int, tj: int) -> List[VertexId]:
+        if self.stencil_mode:
+            return self._tile_neighbors(ti, tj, +1)
+        return [VertexId(*t) for t in self._deps.get((ti, tj), [])]
+
+    def get_anti_dependency(self, ti: int, tj: int) -> List[VertexId]:
+        if self.stencil_mode:
+            return self._tile_neighbors(ti, tj, -1)
+        return [VertexId(*t) for t in self._anti.get((ti, tj), [])]
+
+    def _tile_neighbors(self, ti: int, tj: int, sign: int) -> List[VertexId]:
+        out: List[VertexId] = []
+        for a, b in self.tile_offsets:
+            ni, nj = ti + sign * a, tj + sign * b
+            if self.contains(ni, nj) and self.is_active(ni, nj):
+                out.append(VertexId(ni, nj))
+        return out
+
+    # -- cell-level services for the tile worker -------------------------------------
+    def _active_mask(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        mask = self.base.is_active_array(rows, cols)
+        if mask is None:
+            base = self.base
+            mask = np.fromiter(
+                (base.is_active(int(i), int(j)) for i, j in zip(rows, cols)),
+                dtype=bool,
+                count=len(rows),
+            )
+        return mask
+
+    def cells_of(self, ti: int, tj: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The tile's active cells ``(rows, cols)`` in a valid intra-tile order.
+
+        Stencil mode sorts by the base pattern's wavefront level
+        ``a*i + b*j`` (the ranking vector proves every dependency edge
+        strictly decreases it, so ascending level is a topological
+        order); irregular patterns run a per-tile Kahn pass.
+        """
+        r0, r1, c0, c1 = self.grid.bounds(ti, tj)
+        base = self.base
+        if self.stencil_mode:
+            ii, jj = np.meshgrid(
+                np.arange(r0, r1, dtype=np.int64),
+                np.arange(c0, c1, dtype=np.int64),
+                indexing="ij",
+            )
+            rows, cols = ii.ravel(), jj.ravel()
+            mask = self._active_mask(rows, cols)
+            rows, cols = rows[mask], cols[mask]
+            a, b = self._base_rank
+            order = np.lexsort((cols, rows, a * rows + b * cols))
+            return rows[order], cols[order]
+        cells = [
+            (i, j)
+            for i in range(r0, r1)
+            for j in range(c0, c1)
+            if base.is_active(i, j)
+        ]
+        cellset = set(cells)
+        indeg = {
+            c: sum(1 for d in base.get_dependency(*c) if (d.i, d.j) in cellset)
+            for c in cells
+        }
+        q: Deque[Coord] = deque(c for c in cells if indeg[c] == 0)
+        order_list: List[Coord] = []
+        while q:
+            c = q.popleft()
+            order_list.append(c)
+            for adep in base.get_anti_dependency(*c):
+                key = (adep.i, adep.j)
+                if key in indeg:
+                    indeg[key] -= 1
+                    if indeg[key] == 0:
+                        q.append(key)
+        if len(order_list) != len(cells):  # pragma: no cover - base DAG is acyclic
+            raise PatternError(
+                f"tile ({ti}, {tj}) has a cyclic intra-tile subgraph"
+            )
+        if not order_list:
+            return np.empty(0, np.int64), np.empty(0, np.int64)
+        arr = np.array(order_list, dtype=np.int64)
+        return arr[:, 0], arr[:, 1]
+
+    def halo_of(self, ti: int, tj: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Active cells outside the tile that its cells depend on.
+
+        These are all finished before the tile is released: each lies in a
+        tile reachable by a coarsened offset, hence in a predecessor of
+        ``(ti, tj)`` in the tile DAG.
+        """
+        r0, r1, c0, c1 = self.grid.bounds(ti, tj)
+        base = self.base
+        if self.stencil_mode:
+            H, W = base.height, base.width
+            pieces: List[Tuple[int, int, int, int]] = []
+            for di, dj in base.offsets:  # type: ignore[attr-defined]
+                sr0, sr1 = max(r0 + di, 0), min(r1 + di, H)
+                sc0, sc1 = max(c0 + dj, 0), min(c1 + dj, W)
+                if sr0 >= sr1 or sc0 >= sc1:
+                    continue
+                # shifted-rect rows above/below the tile: full shifted width
+                if sr0 < r0:
+                    pieces.append((sr0, min(sr1, r0), sc0, sc1))
+                if sr1 > r1:
+                    pieces.append((max(sr0, r1), sr1, sc0, sc1))
+                # rows overlapping the tile: only the columns outside it
+                rr0, rr1 = max(sr0, r0), min(sr1, r1)
+                if rr0 < rr1:
+                    if sc0 < c0:
+                        pieces.append((rr0, rr1, sc0, min(sc1, c0)))
+                    if sc1 > c1:
+                        pieces.append((rr0, rr1, max(sc0, c1), sc1))
+            if not pieces:
+                return np.empty(0, np.int64), np.empty(0, np.int64)
+            rs, cs = [], []
+            for a0, a1, b0, b1 in pieces:
+                ii, jj = np.meshgrid(
+                    np.arange(a0, a1, dtype=np.int64),
+                    np.arange(b0, b1, dtype=np.int64),
+                    indexing="ij",
+                )
+                rs.append(ii.ravel())
+                cs.append(jj.ravel())
+            rows = np.concatenate(rs)
+            cols = np.concatenate(cs)
+            _, idx = np.unique(rows * W + cols, return_index=True)
+            rows, cols = rows[idx], cols[idx]
+            mask = self._active_mask(rows, cols)
+            return rows[mask], cols[mask]
+        seen: Dict[Coord, None] = {}
+        for i in range(r0, r1):
+            for j in range(c0, c1):
+                if not base.is_active(i, j):
+                    continue
+                for d in base.get_dependency(i, j):
+                    if r0 <= d.i < r1 and c0 <= d.j < c1:
+                        continue
+                    if base.is_active(d.i, d.j):
+                        seen[(d.i, d.j)] = None
+        if not seen:
+            return np.empty(0, np.int64), np.empty(0, np.int64)
+        arr = np.array(list(seen), dtype=np.int64)
+        return arr[:, 0], arr[:, 1]
+
+
+def coarsen(base: Dag, tile_h: int, tile_w: int) -> TiledDag:
+    """Build and verify the tile-level DAG (see :meth:`Dag.coarsen`)."""
+    require(
+        isinstance(tile_h, int) and isinstance(tile_w, int) and tile_h >= 1 and tile_w >= 1,
+        f"tile shape must be a pair of ints >= 1, got ({tile_h!r}, {tile_w!r})",
+    )
+    grid = TileGrid(base.height, base.width, tile_h, tile_w)
+    from repro.patterns.base import StencilDag  # local: patterns import core.dag
+
+    stencil_ok = (
+        isinstance(base, StencilDag)
+        and type(base).get_dependency is StencilDag.get_dependency
+        and type(base).get_anti_dependency is StencilDag.get_anti_dependency
+    )
+    if stencil_ok:
+        offsets = tuple(base.offsets)
+        base_rank = find_ranking_vector(offsets)
+        if base_rank is None:
+            raise PatternError(
+                f"{type(base).__name__} offsets {sorted(offsets)} admit no "
+                "ranking vector; the cell DAG itself is cyclic"
+            )
+        toffsets = coarsen_offsets(offsets, tile_h, tile_w)
+        # prune tile offsets that cannot land inside the tile grid — e.g.
+        # with a single tile column (tile_w >= width) every (0, +-1) edge
+        # falls off the grid, which is what legalizes row-strip tiling of
+        # antidiagonal-flavoured patterns
+        toffsets = tuple(
+            (a, b)
+            for a, b in toffsets
+            if abs(a) < grid.nti and abs(b) < grid.ntj
+        )
+        if toffsets and find_ranking_vector(toffsets) is None:
+            raise PatternError(
+                f"tile shape ({tile_h}, {tile_w}) coarsens offsets "
+                f"{sorted(offsets)} to {list(toffsets)}, which admits no "
+                "ranking vector: the tile DAG would be cyclic. Use a tile "
+                "shape that covers the offset reach (see docs/TILING.md)."
+            )
+        tile_active = np.zeros((grid.nti, grid.ntj), dtype=bool)
+        for ti in range(grid.nti):
+            for tj in range(grid.ntj):
+                tile_active[ti, tj] = (
+                    base.active_cells_in_rect(*grid.bounds(ti, tj)) > 0
+                )
+        return TiledDag(
+            base,
+            grid,
+            tile_offsets=toffsets,
+            tile_active=tile_active,
+            base_rank=base_rank,
+        )
+
+    # irregular pattern: enumerate the cell edges and hoist them
+    deps: Dict[Coord, Set[Coord]] = {}
+    anti: Dict[Coord, Set[Coord]] = {}
+    tile_active = np.zeros((grid.nti, grid.ntj), dtype=bool)
+    for i, j in base.region:
+        if not base.is_active(i, j):
+            continue
+        t = grid.tile_of(i, j)
+        tile_active[t] = True
+        for d in base.get_dependency(i, j):
+            if not base.is_active(d.i, d.j):
+                continue
+            td = grid.tile_of(d.i, d.j)
+            if td != t:
+                deps.setdefault(t, set()).add(td)
+                anti.setdefault(td, set()).add(t)
+    tiles = [(int(a), int(b)) for a, b in np.argwhere(tile_active)]
+    indeg = {t: len(deps.get(t, ())) for t in tiles}
+    q: Deque[Coord] = deque(t for t in tiles if indeg[t] == 0)
+    done = 0
+    while q:
+        t = q.popleft()
+        done += 1
+        for s in anti.get(t, ()):
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                q.append(s)
+    if done != len(tiles):
+        raise PatternError(
+            f"tile shape ({tile_h}, {tile_w}) makes the coarsened "
+            f"{type(base).__name__} cyclic: only {done} of {len(tiles)} "
+            "tiles schedulable"
+        )
+    return TiledDag(
+        base,
+        grid,
+        deps={t: sorted(s) for t, s in deps.items()},
+        anti={t: sorted(s) for t, s in anti.items()},
+        tile_active=tile_active,
+    )
+
+
+class TileRunState:
+    """Tile-granular scheduling state shared by the tiled drivers.
+
+    The cell-level :class:`~repro.core.vertex_store.VertexStore` keeps
+    owning values and finish flags (recovery, result binding and snapshots
+    are unchanged); this tracks the *tile* wavefront: indegrees, per-place
+    ready lists and finished tiles. A tile's home place is the home of its
+    origin cell under the current distribution.
+    """
+
+    def __init__(self, tiled: TiledDag) -> None:
+        self.tiled = tiled
+        self.grid = tiled.grid
+        self.home: Dict[Coord, int] = {}
+        self.indegree: Dict[Coord, int] = {}
+        self.finished: Set[Coord] = set()
+        self.ready: Dict[int, Deque[Coord]] = {}
+        self.remaining: Dict[int, int] = {}
+        self.lock = threading.Lock()
+
+    # -- (re)building ---------------------------------------------------------------
+    def build(self, state: "ExecutionState", fresh: bool = True) -> None:
+        """Derive homes, indegrees and ready lists from the current stores.
+
+        ``fresh=True`` (initial build) assumes no active cell is finished
+        yet; recovery calls :meth:`rebuild`, which scans the surviving
+        stores so tiles whose cells were preserved stay finished and
+        partially lost tiles get their indegree reset — the tile-granular
+        analogue of the paper's "reset the indegree" step.
+        """
+        tiled = self.tiled
+        dist = state.dist
+        active_tiles = [
+            (ti, tj)
+            for ti in range(tiled.height)
+            for tj in range(tiled.width)
+            if tiled.is_active(ti, tj)
+        ]
+        self.home = {
+            t: dist.place_of(*self.grid.origin(*t)) for t in active_tiles
+        }
+        unfinished_cells_in: Set[Coord] = set()
+        if not fresh:
+            for pid in dist.place_ids:
+                store = state.stores[pid]
+                mask = store.active & ~store.finished
+                for k in np.nonzero(mask)[0]:
+                    unfinished_cells_in.add(self.grid.tile_of(*store.coords[k]))
+        with self.lock:
+            if fresh:
+                # a tile whose cells are all inactive never made it into
+                # active_tiles; anything here has work (or is a no-op tile
+                # from an over-approximate active_cells_in_rect, which
+                # executes harmlessly as zero cells)
+                self.finished = set()
+            else:
+                self.finished = {
+                    t for t in active_tiles if t not in unfinished_cells_in
+                }
+            self.indegree = {}
+            self.ready = {pid: deque() for pid in dist.place_ids}
+            self.remaining = {pid: 0 for pid in dist.place_ids}
+            for t in active_tiles:
+                if t in self.finished:
+                    continue
+                indeg = sum(
+                    1
+                    for d in tiled.get_dependency(*t)
+                    if (d.i, d.j) not in self.finished
+                )
+                self.indegree[t] = indeg
+                pid = self.home[t]
+                self.remaining[pid] += 1
+                if indeg == 0:
+                    self.ready[pid].append(t)
+
+    def rebuild(self, state: "ExecutionState") -> None:
+        """Recovery hook: re-home tiles and reset tile indegrees."""
+        self.build(state, fresh=False)
+
+    # -- scheduling ------------------------------------------------------------------
+    def pop_ready(self, pid: int) -> Optional[Coord]:
+        try:
+            return self.ready[pid].popleft()
+        except (KeyError, IndexError):
+            return None
+
+    def push_ready(self, state: "ExecutionState", tile: Coord) -> None:
+        """Enqueue a newly schedulable tile at its home place (if alive)."""
+        pid = self.home[tile]
+        if not state.group.is_alive(pid):
+            return
+        self.ready[pid].append(tile)
+        cond = state.conds.get(pid)
+        if cond is not None:
+            with cond:
+                cond.notify()
+
+    def on_tile_finished(self, state: "ExecutionState", tile: Coord) -> None:
+        """Mark finished and release successor tiles whose indegree hits 0."""
+        newly_ready: List[Coord] = []
+        with self.lock:
+            if tile in self.finished:
+                return
+            self.finished.add(tile)
+            pid = self.home[tile]
+            if pid in self.remaining:
+                self.remaining[pid] -= 1
+            for a in self.tiled.get_anti_dependency(*tile):
+                key = (a.i, a.j)
+                if key in self.indegree and key not in self.finished:
+                    self.indegree[key] -= 1
+                    if self.indegree[key] == 0:
+                        newly_ready.append(key)
+        for t in newly_ready:
+            self.push_ready(state, t)
+
+    def place_done(self, pid: int) -> bool:
+        with self.lock:
+            return self.remaining.get(pid, 0) <= 0
+
+    def all_done(self, state: "ExecutionState") -> bool:
+        with self.lock:
+            return all(
+                n <= 0
+                for pid, n in self.remaining.items()
+                if state.group.is_alive(pid)
+            )
+
+
+# -- the tile worker ------------------------------------------------------------------
+def _kernel_eligible(state: "ExecutionState") -> bool:
+    """Whether the app's vectorized ``compute_tile`` may replace the cell loop."""
+    app = state.app
+    return (
+        state.tiles.tiled.stencil_mode
+        and app.value_dtype is not None
+        and type(app).compute_tile is not DPX10App.compute_tile
+        and not state.config.sanitize
+    )
+
+
+def execute_tile(
+    state: "ExecutionState", tile: Coord, exec_place: Optional[int] = None
+) -> None:
+    """Run one tile end to end: halo fetch, compute, write-back, notify.
+
+    ``exec_place=None`` asks the scheduling strategy for a placement (one
+    decision per tile, costed on the tile's halo edges); a stolen tile
+    passes the thief's place explicitly.
+    """
+    ts: TileRunState = state.tiles
+    tiled = ts.tiled
+    base = tiled.base
+    cfg = state.config
+    app = state.app
+    ti, tj = tile
+    r0, r1, c0, c1 = ts.grid.bounds(ti, tj)
+    trace = state.trace
+    t_start = trace.now() if trace is not None else 0.0
+
+    rows, cols = tiled.cells_of(ti, tj)
+    hrows, hcols = tiled.halo_of(ti, tj)
+    n = len(rows)
+
+    # group the halo per producing place: one fetch per tile edge
+    pof = state.dist.place_of
+    nbytes = cfg.value_nbytes
+    halo_by_place: Dict[int, List[Coord]] = {}
+    for c in zip(hrows.tolist(), hcols.tolist()):
+        halo_by_place.setdefault(pof(*c), []).append(c)
+
+    home_place = ts.home[tile]
+    if exec_place is None:
+        dep_homes = [p for p, cs in halo_by_place.items() for _ in cs]
+        exec_place = state.strategy.choose_place(
+            tile,
+            home_place,
+            dep_homes,
+            state.group.alive_ids(),
+            state.rngs[home_place],
+            nbytes,
+        )
+
+    halo_values: Dict[Coord, object] = {}
+    cache = state.caches[exec_place]
+    for producer, coords in halo_by_place.items():
+        if producer == exec_place:
+            halo_values.update(
+                zip(coords, state.stores[producer].get_block(coords))
+            )
+            continue
+        hits, missing = cache.get_many(coords)
+        halo_values.update(hits)
+        if missing:
+            # one batched remote fetch for this tile edge; raises
+            # DeadPlaceException if the producing place died
+            vals = state.stores[producer].get_block(missing)
+            state.network.record(producer, exec_place, nbytes * len(missing))
+            cache.put_many(zip(missing, vals))
+            halo_values.update(zip(missing, vals))
+
+    out_vals = None
+    if n and _kernel_eligible(state):
+        pt, pb, pl, pr = tiled.pads
+        wr0, wr1 = max(0, r0 - pt), min(base.height, r1 + pb)
+        wc0, wc1 = max(0, c0 - pl), min(base.width, c1 + pr)
+        window = np.zeros((wr1 - wr0, wc1 - wc0), dtype=app.value_dtype)
+        if len(hrows):
+            hvals = np.fromiter(
+                (halo_values[c] for c in zip(hrows.tolist(), hcols.tolist())),
+                dtype=app.value_dtype,
+                count=len(hrows),
+            )
+            window[hrows - wr0, hcols - wc0] = hvals
+        if app.compute_tile(r0, c0, window, r0 - wr0, c0 - wc0, r1 - r0, c1 - c0):
+            out_vals = window[rows - wr0, cols - wc0]
+
+    if out_vals is None and n:
+        # generic path: per-cell compute() in intra-tile wavefront order
+        sanitizing = cfg.sanitize
+        local: Dict[Coord, object] = {}
+        out: List[object] = []
+        get_dep = base.get_dependency
+        is_act = base.is_active
+        for i, j in zip(rows.tolist(), cols.tolist()):
+            declared = get_dep(i, j)
+            verts: List[Vertex] = []
+            for d in declared:
+                key = (d.i, d.j)
+                if not is_act(*key):
+                    continue
+                if key in local:
+                    verts.append(Vertex(d.i, d.j, local[key]))
+                else:
+                    verts.append(Vertex(d.i, d.j, halo_values[key]))
+            if sanitizing:
+                with _sanitize.compute_guard(
+                    (i, j), ((d.i, d.j) for d in declared), exec_place
+                ):
+                    value = app.compute(i, j, verts)
+            else:
+                value = app.compute(i, j, verts)
+            local[(i, j)] = value
+            out.append(value)
+        out_vals = out
+
+    # write results back to the cells' home stores, batched per place
+    if n:
+        by_home: Dict[int, Tuple[List[Coord], List[object]]] = {}
+        for c, v in zip(zip(rows.tolist(), cols.tolist()), out_vals):
+            p = pof(*c)
+            bucket = by_home.get(p)
+            if bucket is None:
+                bucket = ([], [])
+                by_home[p] = bucket
+            bucket[0].append(c)
+            bucket[1].append(v)
+        for p, (coords, vals) in by_home.items():
+            state.stores[p].set_block(coords, vals)
+            if p != exec_place:
+                state.network.record(exec_place, p, nbytes * len(coords))
+
+    with state._completions_lock:
+        state.executed_by[exec_place] = state.executed_by.get(exec_place, 0) + n
+        prev = state.completions
+        state.completions += n
+        completed = state.completions
+    if (
+        cfg.ft_mode == "snapshot"
+        and cfg.snapshot_interval > 0
+        and completed // cfg.snapshot_interval > prev // cfg.snapshot_interval
+    ):
+        state.take_snapshot()
+    if (
+        cfg.on_progress is not None
+        and cfg.progress_interval > 0
+        and completed // cfg.progress_interval > prev // cfg.progress_interval
+    ):
+        cfg.on_progress(completed, state.total_active)
+
+    if trace is not None:
+        trace.record(
+            TraceEvent(
+                r0, c0, home_place, exec_place, t_start, trace.now(),
+                tile=tile, cells=n,
+            )
+        )
+
+    if state.injector is not None:
+        victims = state.injector.poll_completions(completed)
+        if victims:
+            for victim in victims:
+                state.group.kill(victim)
+            raise DeadPlaceException(victims[0])
+
+    ts.on_tile_finished(state, tile)
+
+
+def try_steal_tile(state: "ExecutionState", thief: int) -> Optional[Coord]:
+    """Steal a ready tile for an idle place (``work_stealing`` only)."""
+    if not state.config.work_stealing:
+        return None
+    ts: TileRunState = state.tiles
+    best, best_len = None, 0
+    for pid in state.dist.place_ids:
+        if pid == thief or not state.group.is_alive(pid):
+            continue
+        qlen = len(ts.ready[pid])
+        if qlen > best_len:
+            best, best_len = pid, qlen
+    if best is None:
+        return None
+    try:
+        return ts.ready[best].pop()
+    except IndexError:  # raced with the owner
+        return None
+
+
+# -- drivers --------------------------------------------------------------------------
+def run_tiled_inline(state: "ExecutionState") -> None:
+    """Deterministic tiled driver: round-robin one tile per place per sweep."""
+    ts: TileRunState = state.tiles
+    place_ids = list(state.dist.place_ids)
+    while True:
+        progressed = False
+        for pid in place_ids:
+            if not state.group.is_alive(pid):
+                continue
+            tile = ts.pop_ready(pid)
+            if tile is None:
+                tile = try_steal_tile(state, pid)
+                if tile is None:
+                    continue
+                execute_tile(state, tile, exec_place=pid)
+                progressed = True
+                continue
+            progressed = True
+            execute_tile(state, tile)
+        if ts.all_done(state):
+            return
+        if not progressed:
+            raise PatternError(
+                "deadlock: unfinished tiles remain but none are schedulable "
+                "(the coarsened DAG's dependencies are inconsistent)"
+            )
+
+
+def run_tiled_threaded(state: "ExecutionState") -> None:
+    """Concurrent tiled driver: one worker activity per place.
+
+    The same structure as the per-vertex ``run_threaded`` — per-place
+    condition-variable wakeups, the global abort latch for faults — with
+    tiles as the unit of work and termination when every tile homed at
+    the place has finished.
+    """
+    from repro.apgas.activity import Activity
+    from repro.apgas.engine import ExecutionEngine  # avoid import cycle at top
+
+    engine: ExecutionEngine = state._engine  # type: ignore[assignment]
+    ts: TileRunState = state.tiles
+    stealing = state.config.work_stealing
+
+    def done_for(pid: int) -> bool:
+        if not stealing:
+            return ts.place_done(pid)
+        return ts.all_done(state)
+
+    def worker(pid: int) -> None:
+        cond = state.conds[pid]
+        while not state.abort_event.is_set():
+            stolen = False
+            tile = ts.pop_ready(pid)
+            if tile is None and stealing:
+                tile = try_steal_tile(state, pid)
+                stolen = tile is not None
+            if tile is None:
+                if done_for(pid):
+                    return
+                with cond:
+                    cond.wait(timeout=_IDLE_WAIT_S)
+                continue
+            try:
+                execute_tile(state, tile, exec_place=pid if stolen else None)
+            except (DeadPlaceException, DependencyRaceError) as exc:
+                state.record_abort(exc)
+                return
+
+    for pid in state.dist.place_ids:
+        if state.group.is_alive(pid):
+            engine.submit(Activity(pid, worker, (pid,)))
+    engine.run_all()
+    if state.abort_exc is not None:
+        raise state.abort_exc

@@ -16,14 +16,22 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["TraceEvent", "ExecutionTrace"]
 
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One ``compute()`` invocation."""
+    """One ``compute()`` invocation — or one whole tile under the tiled engine.
+
+    Per-vertex execution records one event per cell with ``tile=None``.
+    The tiled engine (``DPX10Config(tile_shape=...)``) records one event
+    per *tile*: ``(i, j)`` is the tile's origin cell, ``cells`` the number
+    of cells it computed, and ``tile`` the tile's ``(ti, tj)`` grid
+    coordinate — so the Gantt/utilization analyses keep working unchanged
+    while per-tile attribution stays available.
+    """
 
     i: int
     j: int
@@ -31,6 +39,10 @@ class TraceEvent:
     exec_place: int
     start: float
     end: float
+    #: tile grid coordinate when the event covers a whole tile
+    tile: Optional[Tuple[int, int]] = None
+    #: cells computed by this event (1 for per-vertex events)
+    cells: int = 1
 
     @property
     def duration(self) -> float:
@@ -72,9 +84,23 @@ class ExecutionTrace:
             return 0.0
         return max(e.end for e in events) - min(e.start for e in events)
 
+    def tile_events(self) -> List[TraceEvent]:
+        """Only the events recorded at tile granularity (tiled engine runs)."""
+        return [e for e in self.events if e.tile is not None]
+
     # -- analyses -----------------------------------------------------------------
     def utilization(self) -> Dict[int, float]:
-        """Busy-time fraction per execution place over the trace span."""
+        """Busy-time fraction per execution place over the trace span.
+
+        The span is first-start to last-end; each place's busy time is the
+        sum of its event durations, capped at 1.0:
+
+        >>> t = ExecutionTrace()
+        >>> t.record(TraceEvent(0, 0, 0, 0, start=0.0, end=1.0))
+        >>> t.record(TraceEvent(0, 1, 1, 1, start=0.0, end=0.5))
+        >>> t.utilization()
+        {0: 1.0, 1: 0.5}
+        """
         events = self.events
         span = self.span
         if not events or span == 0:

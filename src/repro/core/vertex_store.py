@@ -196,6 +196,47 @@ class VertexStore:
             self.indegree[k] -= 1
             return self.indegree[k] == 0 and not self.finished[k]
 
+    # -- tile-granular bulk accessors (the tiled engine's data plane) ---------------
+    def get_block(self, coords) -> List[Any]:
+        """Values of many finished cells in one liveness-checked call.
+
+        The tiled engine fetches a tile's halo with one ``get_block`` per
+        producing place instead of one ``get_result`` per cell. Raises if
+        any requested cell is unfinished (a tile was released too early —
+        the tile-DAG analogue of a dependency race).
+        """
+        self._check()
+        slot = self._slot
+        ks = [slot[c] for c in coords]
+        if ks and not self.finished[ks].all():
+            bad = next(c for c, k in zip(coords, ks) if not self.finished[k])
+            raise DPX10Error(f"vertex {bad} is not finished")
+        values = self.values
+        return [values[k] for k in ks]
+
+    def set_block(self, coords, block_values) -> int:
+        """Store and finish many cells under one lock; returns newly finished.
+
+        The tiled engine writes a whole tile's results back per home place
+        with this, instead of ``set_result`` + ``mark_finished`` per cell.
+        Already-finished cells are overwritten with the (identical —
+        ``compute()`` is pure) value and not double-counted, which is what
+        makes post-recovery re-execution of partially finished tiles safe.
+        """
+        self._check()
+        slot = self._slot
+        ks = np.fromiter((slot[c] for c in coords), dtype=np.int64, count=len(coords))
+        with self.lock:
+            if self.values.dtype == object:
+                for k, v in zip(ks, block_values):
+                    self.values[k] = v
+            else:
+                self.values[ks] = block_values
+            newly = int((~self.finished[ks] & self.active[ks]).sum())
+            self.finished[ks] = True
+            self.finished_active += newly
+        return newly
+
     def all_done(self) -> bool:
         self._check()
         with self.lock:

@@ -90,6 +90,9 @@ class ExecutionState:
     total_active: int = 0
     #: per-vertex timeline sink (config.trace=True)
     trace: Optional["ExecutionTrace"] = None
+    #: tile-granular scheduling state (config.tile_shape); None on the
+    #: legacy per-vertex path. See repro.core.tiling.TileRunState.
+    tiles: Optional[object] = None
     _completions_lock: threading.Lock = field(default_factory=threading.Lock)
     conds: Dict[int, threading.Condition] = field(default_factory=dict)
     abort_event: threading.Event = field(default_factory=threading.Event)

@@ -10,7 +10,10 @@ DOCTEST_MODULES = [
     "repro.apgas.runtime",
     "repro.bench.formatting",
     "repro.bench.sweep",
+    "repro.core.dag",
     "repro.core.runtime",
+    "repro.core.scheduler",
+    "repro.core.trace",
     "repro.util.timer",
 ]
 
