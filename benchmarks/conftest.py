@@ -3,13 +3,21 @@
 Scale selection: ``REPRO_SCALE=small`` (default, seconds per figure) or
 ``REPRO_SCALE=paper`` (the paper's 10^8-10^9-vertex sweeps, minutes).
 Rendered series tables are written to ``results/`` next to this file.
+
+Every benchmark session additionally refreshes ``BENCH_obs.json`` at the
+repo root: a quick instrumented SW + LPS tiled run with the metrics
+snapshot attached, so perf drift *and* instrument drift show up in the
+same diff. Set ``REPRO_SKIP_OBS_SNAPSHOT=1`` to skip it.
 """
 
+import json
 import os
+import time
 
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+OBS_SNAPSHOT = os.path.join(os.path.dirname(__file__), "..", "BENCH_obs.json")
 
 
 @pytest.fixture(scope="session")
@@ -24,3 +32,54 @@ def scale() -> str:
 def results_dir() -> str:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     return RESULTS_DIR
+
+
+def write_obs_snapshot(path: str = OBS_SNAPSHOT, size: int = 256) -> dict:
+    """Run quick instrumented SW/LPS sweeps and write the perf snapshot."""
+    from repro.apps.lps import solve_lps
+    from repro.apps.smith_waterman import solve_sw
+    from repro.core.config import DPX10Config
+    from repro.util.rng import seeded_rng
+    from repro.util.timer import Timer
+
+    rng = seeded_rng(0, "bench-obs")
+    s1 = "".join(rng.choice(list("ACGT"), size=size))
+    s2 = "".join(rng.choice(list("ACGT"), size=size))
+    s = "".join(rng.choice(list("abcd"), size=size))
+
+    def run(solver, *args, tile_shape):
+        config = DPX10Config(
+            nplaces=4, engine="threaded", tile_shape=tile_shape, metrics=True
+        )
+        with Timer() as t:
+            _, report = solver(*args, config)
+        return {
+            "seconds": t.elapsed,
+            "completions": report.completions,
+            "metrics": report.metrics,
+        }
+
+    doc = {
+        "size": size,
+        "runs": {
+            "sw_per_vertex": run(solve_sw, s1, s2, tile_shape=None),
+            "sw_tiled_64": run(solve_sw, s1, s2, tile_shape=(64, 64)),
+            "lps_per_vertex": run(solve_lps, s, tile_shape=None),
+            "lps_tiled_64": run(solve_lps, s, tile_shape=(64, 64)),
+        },
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if exitstatus != 0 or os.environ.get("REPRO_SKIP_OBS_SNAPSHOT"):
+        return
+    start = time.perf_counter()
+    write_obs_snapshot()
+    session.config.pluginmanager.get_plugin("terminalreporter").write_line(
+        f"wrote {os.path.relpath(OBS_SNAPSHOT)} "
+        f"({time.perf_counter() - start:.1f}s)"
+    )

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Validate an exported Chrome trace file (CI's observability smoke gate).
+
+Checks the structural contract that Perfetto / ``chrome://tracing`` and
+``repro.obs.export.trace_from_chrome`` both rely on:
+
+* the document is an object with a ``traceEvents`` list;
+* every event has ``name`` (str), ``ph`` (str), ``pid``/``tid`` (int);
+* duration events (``"ph": "X"``) carry numeric ``ts`` and ``dur >= 0``;
+* ``otherData.format`` is ``dpx10-trace`` with a known version;
+* if a metrics snapshot rides along, every instrument entry has the
+  ``kind`` / ``labelnames`` / ``values`` shape ``MetricsRegistry.merge``
+  accepts.
+
+Usage: ``python scripts/check_trace_schema.py trace.json [more.json ...]``
+Exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List
+
+KNOWN_PHASES = {"X", "M", "B", "E", "i", "C"}
+KNOWN_KINDS = {"counter", "gauge", "histogram"}
+
+
+def check_file(path: str) -> List[str]:
+    errors: List[str] = []
+
+    def err(msg: str) -> None:
+        errors.append(f"{path}: {msg}")
+
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable ({exc})"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: traceEvents must be a list"]
+
+    for k, ev in enumerate(events):
+        where = f"traceEvents[{k}]"
+        if not isinstance(ev, dict):
+            err(f"{where}: not an object")
+            continue
+        if not isinstance(ev.get("name"), str):
+            err(f"{where}: missing string 'name'")
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or not ph:
+            err(f"{where}: missing string 'ph'")
+            continue
+        if ph not in KNOWN_PHASES:
+            err(f"{where}: unknown phase {ph!r}")
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                err(f"{where}: missing int {field!r}")
+        if ph == "X":
+            ts, dur = ev.get("ts"), ev.get("dur")
+            if not isinstance(ts, (int, float)):
+                err(f"{where}: X event missing numeric 'ts'")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                err(f"{where}: X event needs 'dur' >= 0, got {dur!r}")
+
+    other = doc.get("otherData", {})
+    if not isinstance(other, dict):
+        err("otherData must be an object")
+        other = {}
+    if other.get("format") != "dpx10-trace":
+        err(f"otherData.format must be 'dpx10-trace', got {other.get('format')!r}")
+    if other.get("version") != 1:
+        err(f"otherData.version must be 1, got {other.get('version')!r}")
+
+    metrics = other.get("metrics", {})
+    if not isinstance(metrics, dict):
+        err("otherData.metrics must be an object")
+        metrics = {}
+    for name, entry in metrics.items():
+        where = f"metrics[{name!r}]"
+        if not isinstance(entry, dict):
+            err(f"{where}: not an object")
+            continue
+        if entry.get("kind") not in KNOWN_KINDS:
+            err(f"{where}: kind must be one of {sorted(KNOWN_KINDS)}")
+        if not isinstance(entry.get("labelnames"), list):
+            err(f"{where}: labelnames must be a list")
+        values = entry.get("values")
+        if not isinstance(values, list):
+            err(f"{where}: values must be a list")
+            continue
+        for row in values:
+            if (
+                not isinstance(row, list)
+                or len(row) != 2
+                or not isinstance(row[0], list)
+            ):
+                err(f"{where}: each value row must be [label_values, value]")
+                break
+
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    failures = 0
+    for path in argv:
+        errors = check_file(path)
+        if errors:
+            failures += 1
+            for e in errors:
+                print(f"FAIL {e}")
+        else:
+            with open(path, encoding="utf-8") as fh:
+                n = len(json.load(fh).get("traceEvents", []))
+            print(f"ok   {path}: {n} events")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -83,6 +83,15 @@ class DPX10Config:
     #: record a per-vertex execution timeline (see repro.core.trace);
     #: adds measurable per-vertex overhead, keep off when benchmarking
     trace: bool = False
+    #: enable the metrics registry (repro.obs): named counters/gauges/
+    #: histograms scraped from the runtime, exportable as Prometheus text
+    #: and embedded in trace exports. Collection is pull-based, so the
+    #: per-vertex hot path is unchanged; disabled (default) costs nothing.
+    metrics: bool = False
+    #: use this repro.obs.metrics.MetricsRegistry instead of creating one
+    #: (implies metrics=True); lets a live dashboard or an external
+    #: scraper watch the run while it executes
+    metrics_registry: Optional[object] = None
     #: called as ``on_progress(completions, total_active)`` every
     #: ``progress_interval`` completions (0 disables). Completions are
     #: monotone across recoveries, so they can exceed the total under

@@ -44,6 +44,7 @@ from repro.errors import (
     DPX10Error,
     PlaceZeroDeadError,
 )
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.util.logging import get_logger
 
 __all__ = ["run_mp", "MPRunStats"]
@@ -66,13 +67,37 @@ class MPRunStats:
         self.per_place_executed: Dict[int, int] = {}
         self.levels = 0
         self.final_alive_places = 0
+        #: compute-loop seconds measured inside each surviving place
+        #: process (shipped back as a metrics snapshot on the reply
+        #: channel at collect time; dead places' accounting is lost)
+        self.worker_compute_seconds: Dict[int, float] = {}
 
 
 def _worker_main(place_id: int, conn) -> None:
     """The place process: owns values for its coords, serves the master."""
+    import time
+
     app: Optional[DPX10App] = None
     dag: Optional[Dag] = None
     values: Dict[Coord, Any] = {}
+    # the worker's own registry: per-process accounting that ships back to
+    # the master as a snapshot over the reply channel ("stats" request)
+    registry = MetricsRegistry()
+    compute_seconds = registry.counter(
+        "dpx10_mp_worker_compute_seconds_total",
+        "seconds spent in the compute loop, per place process",
+        ("place",),
+    ).labels(place_id)
+    cells_computed = registry.counter(
+        "dpx10_mp_worker_cells_total",
+        "cells computed per place process",
+        ("place",),
+    ).labels(place_id)
+    levels_served = registry.counter(
+        "dpx10_mp_worker_levels_total",
+        "level batches served per place process",
+        ("place",),
+    ).labels(place_id)
     try:
         while True:
             msg = conn.recv()
@@ -85,6 +110,7 @@ def _worker_main(place_id: int, conn) -> None:
                 # compute the given cells; boundary holds remote dep values
                 _, cells, boundary = msg
                 assert app is not None and dag is not None
+                t0 = time.perf_counter()
                 for i, j in cells:
                     deps = [
                         d
@@ -97,12 +123,17 @@ def _worker_main(place_id: int, conn) -> None:
                         value = values.get(key, boundary.get(key))
                         verts.append(Vertex(d.i, d.j, value))
                     values[(i, j)] = app.compute(i, j, verts)
+                compute_seconds.inc(time.perf_counter() - t0)
+                cells_computed.inc(len(cells))
+                levels_served.inc()
                 conn.send(("done", len(cells)))
             elif kind == "fetch":
                 _, coords = msg
                 conn.send(("values", {c: values[c] for c in coords}))
             elif kind == "collect":
                 conn.send(("values", dict(values)))
+            elif kind == "stats":
+                conn.send(("stats", registry.collect()))
             elif kind == "stop":
                 conn.send(("bye",))
                 return
@@ -185,15 +216,51 @@ def _topological_levels(dag: Dag) -> List[List[Coord]]:
     return levels
 
 
+def _publish_master_metrics(registry: MetricsRegistry, stats: MPRunStats) -> None:
+    """Record the master-side accounting as named instruments."""
+    registry.counter(
+        "dpx10_net_messages_total", "cross-place messages relayed by the master"
+    ).set(stats.network_messages)
+    registry.counter(
+        "dpx10_net_bytes_total", "cross-place bytes relayed by the master"
+    ).set(stats.network_bytes)
+    registry.counter(
+        "dpx10_completions_total", "vertex completions (monotone across recoveries)"
+    ).set(stats.completions)
+    executed = registry.counter(
+        "dpx10_vertices_computed_total",
+        "vertices computed per place",
+        ("place",),
+    )
+    for p, n in sorted(stats.per_place_executed.items()):
+        executed.labels(p).set(n)
+    registry.gauge(
+        "dpx10_places_alive", "place processes alive at run end"
+    ).set(stats.final_alive_places)
+    registry.counter(
+        "dpx10_mp_levels_total", "bulk-synchronous levels driven by the master"
+    ).set(stats.levels)
+    registry.counter(
+        "dpx10_recoveries_total",
+        "fault recoveries performed",
+        ("mechanism",),
+    ).labels("recovery").set(stats.recoveries)
+
+
 def run_mp(
     app: DPX10App,
     dag: Dag,
     config: DPX10Config,
     fault_plans: Sequence[FaultPlan] = (),
+    registry: MetricsRegistry = NULL_REGISTRY,
 ) -> Tuple[Dict[Coord, Any], MPRunStats]:
     """Execute the application on real place processes.
 
     Returns the complete ``{coord: value}`` result map plus run stats.
+    Each place process keeps its own metrics registry; at gather time the
+    master requests a snapshot over the reply channel and merges it into
+    ``registry`` (counters add, histograms add bucket-wise), so
+    per-process accounting survives the address-space boundary.
     """
     ctx = mp.get_context("fork" if hasattr(os, "fork") else "spawn")
     stats = MPRunStats()
@@ -309,16 +376,25 @@ def run_mp(
                         if redo:
                             compute_level(redo)
 
-        # gather everything for result binding
+        # gather everything for result binding, plus each surviving
+        # worker's metrics snapshot (the cross-process metric merge)
         results: Dict[Coord, Any] = {}
         for p in sorted(procs):
             if procs[p].alive:
                 reply = procs[p].request(("collect",))
                 results.update(reply[1])
+                snapshot = procs[p].request(("stats",))[1]
+                registry.merge(snapshot)
+                for label_values, seconds in snapshot.get(
+                    "dpx10_mp_worker_compute_seconds_total", {}
+                ).get("values", []):
+                    stats.worker_compute_seconds[int(label_values[0])] = seconds
         missing = [c for c in owner if c not in results]
         if missing:
             raise DPX10Error(f"{len(missing)} vertices missing after run")
         stats.final_alive_places = sum(1 for pr in procs.values() if pr.alive)
+        if registry.enabled:
+            _publish_master_metrics(registry, stats)
         return results, stats
     finally:
         for proc in procs.values():

@@ -35,11 +35,36 @@ from repro.core.vertex_store import VertexStore, build_stores
 from repro.core.worker import ExecutionState
 from repro.dist.dist import Dist
 from repro.errors import PlaceZeroDeadError
+from repro.obs.metrics import DEFAULT_SECONDS_BUCKETS
 from repro.util.timer import Timer
 
 __all__ = ["RecoveryStats", "recover", "recover_from_snapshot"]
 
 Coord = Tuple[int, int]
+
+
+def _record_metrics(state: ExecutionState, stats: RecoveryStats) -> None:
+    """Publish one recovery pass to the run's metrics registry."""
+    metrics = state.metrics
+    if not metrics.enabled:
+        return
+    metrics.counter(
+        "dpx10_recoveries_total", "fault recoveries performed", ("mechanism",)
+    ).labels(stats.mechanism).inc()
+    metrics.histogram(
+        "dpx10_recovery_seconds",
+        "wall time of one recovery pass",
+        buckets=DEFAULT_SECONDS_BUCKETS,
+    ).observe(stats.wall_time)
+    cells = metrics.counter(
+        "dpx10_recovery_cells_total",
+        "finished cells handled during recovery, by action",
+        ("action",),
+    )
+    cells.labels("preserved").inc(stats.preserved_in_place)
+    cells.labels("copied").inc(stats.copied)
+    cells.labels("discarded").inc(stats.discarded)
+    cells.labels("restored").inc(stats.restored_from_snapshot)
 
 
 @dataclass
@@ -117,6 +142,7 @@ def recover(state: ExecutionState) -> RecoveryStats:
         )
 
     stats.wall_time = timer.elapsed
+    _record_metrics(state, stats)
     return stats
 
 
@@ -162,6 +188,7 @@ def recover_from_snapshot(state: ExecutionState) -> RecoveryStats:
         stats.lost_on_dead = max(0, state.completions - len(cells))
 
     stats.wall_time = timer.elapsed
+    _record_metrics(state, stats)
     return stats
 
 

@@ -30,6 +30,7 @@ from repro.core.config import DPX10Config
 from repro.core.dag import Dag, ResultView
 from repro.core.recovery import RecoveryStats, recover, recover_from_snapshot
 from repro.core.trace import ExecutionTrace
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.core.scheduler import make_strategy
 from repro.core.vertex_store import build_stores
 from repro.core.worker import ExecutionState, run_inline, run_static, run_threaded
@@ -70,6 +71,10 @@ class RunReport:
     snapshot_cells_copied: int = 0
     #: per-vertex timeline (config.trace=True only)
     trace: Optional["ExecutionTrace"] = None
+    #: metrics snapshot from the repro.obs registry (config.metrics=True
+    #: only): {name: {kind, help, labelnames, values}} — see
+    #: repro.obs.metrics.MetricsRegistry.collect
+    metrics: Optional[Dict[str, dict]] = None
 
     @property
     def recomputed(self) -> int:
@@ -150,6 +155,15 @@ class DPX10Runtime:
         self.fault_plans = list(fault_plans)
         self.network = network if network is not None else NetworkModel()
         self._report: Optional[RunReport] = None
+        # the observability registry: an injected one (live dashboards),
+        # a fresh one (config.metrics), or the shared no-op
+        cfg = self.config
+        if cfg.metrics_registry is not None:
+            self.metrics: MetricsRegistry = cfg.metrics_registry
+        elif cfg.metrics:
+            self.metrics = MetricsRegistry()
+        else:
+            self.metrics = NULL_REGISTRY
 
     @property
     def report(self) -> Optional[RunReport]:
@@ -181,9 +195,10 @@ class DPX10Runtime:
                     state.dist.kind,
                     cfg.engine,
                 )
-                static_order = (
-                    self.dag.static_order() if cfg.static_schedule else None
-                )
+                with self._phase(state, "schedule"):
+                    static_order = (
+                        self.dag.static_order() if cfg.static_schedule else None
+                    )
                 if cfg.static_schedule and static_order is None:
                     raise ConfigurationError(
                         f"{type(self.dag).__name__} provides no static_order(); "
@@ -191,22 +206,23 @@ class DPX10Runtime:
                     )
                 while True:
                     try:
-                        if state.tiles is not None:
-                            from repro.core.tiling import (
-                                run_tiled_inline,
-                                run_tiled_threaded,
-                            )
+                        with self._phase(state, "execute"):
+                            if state.tiles is not None:
+                                from repro.core.tiling import (
+                                    run_tiled_inline,
+                                    run_tiled_threaded,
+                                )
 
-                            if cfg.engine == "threaded":
-                                run_tiled_threaded(state)
+                                if cfg.engine == "threaded":
+                                    run_tiled_threaded(state)
+                                else:
+                                    run_tiled_inline(state)
+                            elif cfg.engine == "threaded":
+                                run_threaded(state)
+                            elif static_order is not None:
+                                run_static(state, static_order)
                             else:
-                                run_tiled_inline(state)
-                        elif cfg.engine == "threaded":
-                            run_threaded(state)
-                        elif static_order is not None:
-                            run_static(state, static_order)
-                        else:
-                            run_inline(state)
+                                run_inline(state)
                         break
                     except DeadPlaceException as exc:
                         logger.warning(
@@ -217,10 +233,11 @@ class DPX10Runtime:
                         )
                         if not rt.group.is_alive(0):
                             raise PlaceZeroDeadError()
-                        if cfg.ft_mode == "snapshot":
-                            stats = recover_from_snapshot(state)
-                        else:
-                            stats = recover(state)
+                        with self._phase(state, "recovery", "recovery"):
+                            if cfg.ft_mode == "snapshot":
+                                stats = recover_from_snapshot(state)
+                            else:
+                                stats = recover(state)
                         recovery_stats.append(stats)
                         logger.info(
                             "recovered onto places %s: %d preserved, %d copied, "
@@ -259,8 +276,22 @@ class DPX10Runtime:
             ),
             trace=state.trace,
         )
+        if self.metrics.enabled:
+            self.metrics.gauge(
+                "dpx10_run_wall_seconds", "wall time of the last run()"
+            ).set(timer.elapsed)
+            report.metrics = self.metrics.collect()
         self._report = report
         return report
+
+    @staticmethod
+    def _phase(state: ExecutionState, name: str, category: str = "phase"):
+        """A trace span for a runtime phase, or a no-op when not tracing."""
+        if state.trace is not None:
+            return state.trace.phase(name, category)
+        from contextlib import nullcontext
+
+        return nullcontext()
 
     # -- the multiprocessing path ---------------------------------------------------
     def _run_mp(self) -> RunReport:
@@ -269,7 +300,11 @@ class DPX10Runtime:
 
         with Timer() as timer:
             results, stats = run_mp(
-                self.app, self.dag, self.config, self.fault_plans
+                self.app,
+                self.dag,
+                self.config,
+                self.fault_plans,
+                registry=self.metrics,
             )
             dag = self.dag
 
@@ -292,21 +327,32 @@ class DPX10Runtime:
             per_place_executed=dict(stats.per_place_executed),
             final_alive_places=stats.final_alive_places,
         )
+        if self.metrics.enabled:
+            self.metrics.gauge(
+                "dpx10_run_wall_seconds", "wall time of the last run()"
+            ).set(timer.elapsed)
+            report.metrics = self.metrics.collect()
         self._report = report
         return report
 
     # -- stage 1: distribute & initialize -----------------------------------------
     def _initialize(self, rt: GlobalRuntime) -> ExecutionState:
         cfg = self.config
-        dist = cfg.make_dist(self.dag.region, rt.group.alive_ids())
-        stores = build_stores(
-            rt.group,
-            self.dag,
-            dist,
-            self.app.value_dtype,
-            self.app.init_value,
-            spill_dir=cfg.spill_dir,
-        )
+        from contextlib import nullcontext
+
+        # the trace exists before partitioning so the "partition" phase
+        # span covers distribution + store construction
+        trace = ExecutionTrace() if cfg.trace else None
+        with trace.phase("partition") if trace is not None else nullcontext():
+            dist = cfg.make_dist(self.dag.region, rt.group.alive_ids())
+            stores = build_stores(
+                rt.group,
+                self.dag,
+                dist,
+                self.app.value_dtype,
+                self.app.init_value,
+                spill_dir=cfg.spill_dir,
+            )
         ready: Dict[int, Deque[Coord]] = {
             pid: deque(stores[pid].zero_indegree_unfinished())
             for pid in dist.place_ids
@@ -348,16 +394,74 @@ class DPX10Runtime:
 
             state.snapshots = SnapshotStore()
             state.take_snapshot()  # the initial (empty) checkpoint
-        if cfg.trace:
-            from repro.core.trace import ExecutionTrace
-
-            state.trace = ExecutionTrace()
+        state.trace = trace
+        state.metrics = self.metrics
+        self._register_collectors(state, rt)
         state._engine = rt.engine
         # bind eagerly so dag.get_vertex() is reachable during execution
         # (reads it issues from inside compute() go through the vertex
         # stores and are therefore visible to the race sanitizer)
         self._bind_results(state)
         return state
+
+    def _register_collectors(self, state: ExecutionState, rt: GlobalRuntime) -> None:
+        """Publish the runtime's live accounting as named instruments.
+
+        Collection is pull-based: the components keep their tight local
+        counters (cache hits, network bytes, executed-by maps) and this
+        collector scrapes them into the registry at every ``collect()`` —
+        the instrumented hot paths pay nothing.
+        """
+        reg = self.metrics
+        if not reg.enabled:
+            return
+        cache_hits = reg.counter(
+            "dpx10_cache_hits_total", "remote-vertex cache hits", ("place",)
+        )
+        cache_misses = reg.counter(
+            "dpx10_cache_misses_total", "remote-vertex cache misses", ("place",)
+        )
+        net_messages = reg.counter(
+            "dpx10_net_messages_total", "cross-place messages"
+        )
+        net_bytes = reg.counter(
+            "dpx10_net_bytes_total", "cross-place payload bytes"
+        )
+        executed = reg.counter(
+            "dpx10_vertices_computed_total",
+            "compute() cells by execution place",
+            ("place",),
+        )
+        completions = reg.counter(
+            "dpx10_completions_total",
+            "total compute() cells, including post-fault recomputation",
+        )
+        active = reg.gauge("dpx10_vertices_active", "active vertices in the DAG")
+        alive = reg.gauge("dpx10_places_alive", "places currently alive")
+        snaps = reg.counter(
+            "dpx10_snapshots_taken_total", "periodic snapshots taken"
+        )
+        snap_cells = reg.counter(
+            "dpx10_snapshot_cells_total", "cells copied into snapshots"
+        )
+        network = self.network
+
+        def scrape(_reg: MetricsRegistry) -> None:
+            for pid, cache in list(state.caches.items()):
+                cache_hits.labels(pid).set(cache.hits)
+                cache_misses.labels(pid).set(cache.misses)
+            net_messages.set(network.stats.messages)
+            net_bytes.set(network.stats.bytes)
+            for pid, n in list(state.executed_by.items()):
+                executed.labels(pid).set(n)
+            completions.set(state.completions)
+            active.set(state.total_active)
+            alive.set(rt.group.alive_count())
+            if state.snapshots is not None:
+                snaps.set(state.snapshots.snapshots_taken)
+                snap_cells.set(state.snapshots.cells_copied_total)
+
+        reg.register_collector(scrape)
 
     # -- stage 3: bind results ------------------------------------------------------
     def _bind_results(self, state: ExecutionState) -> None:

@@ -45,7 +45,8 @@ from repro.analysis import sanitize as _sanitize
 from repro.analysis.symbolic import find_ranking_vector
 from repro.core.api import DPX10App, Vertex, VertexId
 from repro.core.dag import Dag
-from repro.core.trace import TraceEvent
+from repro.core.trace import Span, TraceEvent
+from repro.obs.metrics import DEFAULT_BYTES_BUCKETS
 from repro.errors import DeadPlaceException, DependencyRaceError, PatternError
 from repro.util.validation import require
 
@@ -600,6 +601,9 @@ def execute_tile(
 
     halo_values: Dict[Coord, object] = {}
     cache = state.caches[exec_place]
+    metrics = state.metrics
+    remote_fetch_bytes = 0
+    fetch_start = trace.now() if trace is not None else 0.0
     for producer, coords in halo_by_place.items():
         if producer == exec_place:
             halo_values.update(
@@ -612,9 +616,29 @@ def execute_tile(
             # one batched remote fetch for this tile edge; raises
             # DeadPlaceException if the producing place died
             vals = state.stores[producer].get_block(missing)
-            state.network.record(producer, exec_place, nbytes * len(missing))
+            fetched_bytes = nbytes * len(missing)
+            state.network.record(producer, exec_place, fetched_bytes)
             cache.put_many(zip(missing, vals))
             halo_values.update(zip(missing, vals))
+            remote_fetch_bytes += fetched_bytes
+            if metrics.enabled:
+                metrics.counter(
+                    "dpx10_halo_fetches_total",
+                    "batched remote halo fetches (one per tile edge)",
+                    ("place",),
+                ).labels(exec_place).inc()
+                metrics.histogram(
+                    "dpx10_halo_fetch_bytes",
+                    "bytes moved per batched halo fetch",
+                    buckets=DEFAULT_BYTES_BUCKETS,
+                ).observe(fetched_bytes)
+    if remote_fetch_bytes and trace is not None:
+        trace.record_span(
+            Span(
+                "halo fetch", fetch_start, trace.now(),
+                category="halo", place=exec_place,
+            )
+        )
 
     out_vals = None
     if n and _kernel_eligible(state):
@@ -682,6 +706,12 @@ def execute_tile(
         prev = state.completions
         state.completions += n
         completed = state.completions
+    if metrics.enabled:
+        metrics.counter(
+            "dpx10_tiles_executed_total",
+            "tiles executed per place",
+            ("place",),
+        ).labels(exec_place).inc()
     if (
         cfg.ft_mode == "snapshot"
         and cfg.snapshot_interval > 0

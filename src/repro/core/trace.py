@@ -1,4 +1,4 @@
-"""Execution tracing: per-vertex timeline for profiling and visualization.
+"""Execution tracing: per-vertex timeline plus phase-level spans.
 
 Enable with ``DPX10Config(trace=True)``; the runtime then records one
 :class:`TraceEvent` per ``compute()`` invocation (coordinates, home and
@@ -7,18 +7,27 @@ analyses a performance engineer reaches for first: per-place utilization,
 a completion-rate profile (the wavefront breathing in and out), and an
 ASCII Gantt rendering.
 
+On top of the per-vertex/tile events sits a **span layer**: coarse
+:class:`Span` intervals for the runtime's phases (partition, schedule,
+execute, halo fetch, recovery) recorded via :meth:`ExecutionTrace.phase`.
+Spans live in their own list — ``len(trace)`` and ``trace.events`` keep
+their historical meaning — and ride along into the Chrome-trace / JSONL
+exporters (:mod:`repro.obs.export`).
+
 Tracing costs two ``perf_counter`` calls and one append per vertex — keep
 it off for benchmarking runs.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["TraceEvent", "ExecutionTrace"]
+__all__ = ["TraceEvent", "Span", "ExecutionTrace"]
 
 
 @dataclass(frozen=True)
@@ -49,11 +58,33 @@ class TraceEvent:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class Span:
+    """One phase-level interval (coarser than a vertex/tile event).
+
+    ``place`` is the place the phase ran at, or ``-1`` for runtime-global
+    phases (partition, schedule, recovery). ``category`` groups spans for
+    the exporters: ``"phase"`` for run stages, ``"halo"`` for tile halo
+    fetches, ``"recovery"`` for rebuild passes.
+    """
+
+    name: str
+    start: float
+    end: float
+    category: str = "phase"
+    place: int = -1
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
 class ExecutionTrace:
     """Thread-safe event sink plus post-run analyses."""
 
     def __init__(self) -> None:
         self._events: List[TraceEvent] = []
+        self._spans: List[Span] = []
         self._lock = threading.Lock()
         self._t0 = time.perf_counter()
 
@@ -66,11 +97,36 @@ class ExecutionTrace:
         with self._lock:
             self._events.append(event)
 
+    def record_span(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    @contextmanager
+    def phase(self, name: str, category: str = "phase", place: int = -1):
+        """Record the ``with`` body as one :class:`Span`:
+
+        >>> t = ExecutionTrace()
+        >>> with t.phase("partition"):
+        ...     pass
+        >>> [s.name for s in t.spans]
+        ['partition']
+        """
+        start = self.now()
+        try:
+            yield self
+        finally:
+            self.record_span(Span(name, start, self.now(), category, place))
+
     # -- access ------------------------------------------------------------------
     @property
     def events(self) -> List[TraceEvent]:
         with self._lock:
             return list(self._events)
+
+    @property
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
 
     def __len__(self) -> int:
         with self._lock:
@@ -129,6 +185,13 @@ class ExecutionTrace:
             counts[e.exec_place] = counts.get(e.exec_place, 0) + 1
         return dict(sorted(counts.items()))
 
+    def phase_totals(self) -> Dict[str, float]:
+        """Total seconds per span name (empty when no spans recorded)."""
+        totals: Dict[str, float] = {}
+        for s in self.spans:
+            totals[s.name] = totals.get(s.name, 0.0) + s.duration
+        return dict(sorted(totals.items()))
+
     def render_gantt(self, width: int = 60) -> str:
         """ASCII activity chart: one row per place, '#' where busy."""
         events = self.events
@@ -143,9 +206,13 @@ class ExecutionTrace:
             for e in events:
                 if e.exec_place != p:
                     continue
+                # column k covers scaled time [k, k+1): paint the columns
+                # the half-open interval [start, end) overlaps. An event
+                # ending exactly on a column boundary must not bleed into
+                # the next column (zero-duration events still paint one).
                 a = int((e.start - t0) / span * width)
-                b = int((e.end - t0) / span * width)
-                for k in range(max(0, a), min(width, b + 1)):
+                b = math.ceil((e.end - t0) / span * width) - 1
+                for k in range(max(0, a), min(width, max(b, a) + 1)):
                     cells[k] = "#"
             rows.append(f"place {p:3d} |{''.join(cells)}|")
         header = f"{'':9s} +{'-' * width}+  span={span * 1e3:.1f}ms"

@@ -50,6 +50,7 @@ from repro.core.dag import Dag
 from repro.core.scheduler import SchedulingStrategy
 from repro.core.trace import ExecutionTrace, TraceEvent
 from repro.core.vertex_store import VertexStore
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.dist.dist import Dist
 from repro.dist.snapshot import SnapshotStore
 from repro.errors import DeadPlaceException, DependencyRaceError, DPX10Error, PatternError
@@ -90,6 +91,9 @@ class ExecutionState:
     total_active: int = 0
     #: per-vertex timeline sink (config.trace=True)
     trace: Optional["ExecutionTrace"] = None
+    #: metrics registry (repro.obs); the shared no-op NULL_REGISTRY unless
+    #: config.metrics opted the run in
+    metrics: MetricsRegistry = NULL_REGISTRY
     #: tile-granular scheduling state (config.tile_shape); None on the
     #: legacy per-vertex path. See repro.core.tiling.TileRunState.
     tiles: Optional[object] = None

@@ -1,0 +1,275 @@
+"""Trace exporters: Chrome trace-event JSON, JSONL streams, and loaders.
+
+Three interchange formats for one :class:`~repro.core.trace.ExecutionTrace`
+(plus an optional metrics snapshot from
+:meth:`~repro.obs.metrics.MetricsRegistry.collect`):
+
+* **Chrome trace-event JSON** (:func:`chrome_trace` /
+  :func:`write_chrome_trace`) — the ``{"traceEvents": [...]}`` object
+  format loadable in Perfetto or ``chrome://tracing``. Vertex/tile events
+  and spans become complete (``"ph": "X"``) events; places become named
+  threads of process 0; runtime-global phase spans live in process 1
+  ("runtime"). The metrics snapshot and run accounting ride in
+  ``otherData`` so a trace file is a self-contained post-mortem.
+* **JSONL** (:func:`write_jsonl` / :func:`read_jsonl`) — one JSON object
+  per line (``event`` / ``span`` / ``metrics`` records), append-friendly
+  and greppable.
+* **Loaders** (:func:`load_chrome_trace`, :func:`trace_from_chrome`,
+  :func:`read_jsonl`) — both formats round-trip back into an
+  ``ExecutionTrace`` so every analysis (utilization, Gantt, wavefront
+  profile) works on a file exactly as on a live trace.
+
+``scripts/check_trace_schema.py`` validates exported Chrome traces in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.trace import ExecutionTrace, Span, TraceEvent
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "trace_from_chrome",
+    "write_jsonl",
+    "read_jsonl",
+]
+
+#: pid of place-level events (one named tid per place)
+PLACES_PID = 0
+#: pid of runtime-global phase spans
+RUNTIME_PID = 1
+#: tid used inside RUNTIME_PID for phase spans
+PHASE_TID = 0
+
+
+def _event_name(e: TraceEvent) -> str:
+    if e.tile is not None:
+        return f"tile ({e.tile[0]},{e.tile[1]})"
+    return f"cell ({e.i},{e.j})"
+
+
+def chrome_trace(
+    trace: ExecutionTrace,
+    metrics: Optional[Dict[str, dict]] = None,
+    report: Optional[Dict[str, object]] = None,
+) -> dict:
+    """Build the Chrome trace-event object for one traced run.
+
+    Timestamps are microseconds relative to the trace origin (the
+    trace-event format's native unit).
+    """
+    events: List[dict] = []
+    places = sorted(
+        {e.exec_place for e in trace.events}
+        | {s.place for s in trace.spans if s.place >= 0}
+    )
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": PLACES_PID,
+            "tid": 0,
+            "args": {"name": "places"},
+        }
+    )
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": RUNTIME_PID,
+            "tid": PHASE_TID,
+            "args": {"name": "runtime"},
+        }
+    )
+    for p in places:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": PLACES_PID,
+                "tid": p,
+                "args": {"name": f"place {p}"},
+            }
+        )
+    for e in trace.events:
+        args = {"i": e.i, "j": e.j, "home_place": e.home_place, "cells": e.cells}
+        if e.tile is not None:
+            args["tile"] = list(e.tile)
+        events.append(
+            {
+                "name": _event_name(e),
+                "cat": "tile" if e.tile is not None else "vertex",
+                "ph": "X",
+                "ts": e.start * 1e6,
+                "dur": max(0.0, e.duration) * 1e6,
+                "pid": PLACES_PID,
+                "tid": e.exec_place,
+                "args": args,
+            }
+        )
+    for s in trace.spans:
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.category,
+                "ph": "X",
+                "ts": s.start * 1e6,
+                "dur": max(0.0, s.duration) * 1e6,
+                "pid": RUNTIME_PID if s.place < 0 else PLACES_PID,
+                "tid": PHASE_TID if s.place < 0 else s.place,
+                "args": {"place": s.place},
+            }
+        )
+    other: Dict[str, object] = {"format": "dpx10-trace", "version": 1}
+    if metrics:
+        other["metrics"] = metrics
+    if report:
+        other["report"] = report
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(
+    path: str,
+    trace: ExecutionTrace,
+    metrics: Optional[Dict[str, dict]] = None,
+    report: Optional[Dict[str, object]] = None,
+) -> dict:
+    doc = chrome_trace(trace, metrics=metrics, report=report)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+    return doc
+
+
+def trace_from_chrome(doc: dict) -> Tuple[ExecutionTrace, Dict[str, dict]]:
+    """Rebuild ``(ExecutionTrace, metrics_snapshot)`` from a Chrome trace
+    object produced by :func:`chrome_trace`."""
+    trace = ExecutionTrace()
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") != "X":
+            continue
+        start = ev["ts"] / 1e6
+        end = start + ev.get("dur", 0) / 1e6
+        cat = ev.get("cat", "")
+        if cat in ("vertex", "tile"):
+            args = ev.get("args", {})
+            trace.record(
+                TraceEvent(
+                    i=int(args.get("i", 0)),
+                    j=int(args.get("j", 0)),
+                    home_place=int(args.get("home_place", ev["tid"])),
+                    exec_place=int(ev["tid"]),
+                    start=start,
+                    end=end,
+                    tile=tuple(args["tile"]) if args.get("tile") else None,
+                    cells=int(args.get("cells", 1)),
+                )
+            )
+        else:
+            trace.record_span(
+                Span(
+                    name=ev.get("name", "span"),
+                    start=start,
+                    end=end,
+                    category=cat or "phase",
+                    place=int(ev.get("args", {}).get("place", -1)),
+                )
+            )
+    metrics = doc.get("otherData", {}).get("metrics", {})
+    return trace, metrics
+
+
+def load_chrome_trace(path: str) -> Tuple[ExecutionTrace, Dict[str, dict]]:
+    with open(path, encoding="utf-8") as fh:
+        return trace_from_chrome(json.load(fh))
+
+
+# -- JSONL ---------------------------------------------------------------------------
+def write_jsonl(
+    path: str,
+    trace: ExecutionTrace,
+    metrics: Optional[Dict[str, dict]] = None,
+) -> int:
+    """Write one JSON object per line; returns the number of lines."""
+    lines = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for e in trace.events:
+            rec = {
+                "type": "event",
+                "i": e.i,
+                "j": e.j,
+                "home_place": e.home_place,
+                "exec_place": e.exec_place,
+                "start": e.start,
+                "end": e.end,
+                "cells": e.cells,
+            }
+            if e.tile is not None:
+                rec["tile"] = list(e.tile)
+            fh.write(json.dumps(rec) + "\n")
+            lines += 1
+        for s in trace.spans:
+            fh.write(
+                json.dumps(
+                    {
+                        "type": "span",
+                        "name": s.name,
+                        "category": s.category,
+                        "place": s.place,
+                        "start": s.start,
+                        "end": s.end,
+                    }
+                )
+                + "\n"
+            )
+            lines += 1
+        if metrics:
+            fh.write(json.dumps({"type": "metrics", "data": metrics}) + "\n")
+            lines += 1
+    return lines
+
+
+def read_jsonl(path: str) -> Tuple[ExecutionTrace, Dict[str, dict]]:
+    """Rebuild ``(ExecutionTrace, metrics_snapshot)`` from a JSONL export."""
+    trace = ExecutionTrace()
+    metrics: Dict[str, dict] = {}
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            kind = rec.get("type")
+            if kind == "event":
+                trace.record(
+                    TraceEvent(
+                        i=rec["i"],
+                        j=rec["j"],
+                        home_place=rec["home_place"],
+                        exec_place=rec["exec_place"],
+                        start=rec["start"],
+                        end=rec["end"],
+                        tile=tuple(rec["tile"]) if rec.get("tile") else None,
+                        cells=rec.get("cells", 1),
+                    )
+                )
+            elif kind == "span":
+                trace.record_span(
+                    Span(
+                        name=rec["name"],
+                        start=rec["start"],
+                        end=rec["end"],
+                        category=rec.get("category", "phase"),
+                        place=rec.get("place", -1),
+                    )
+                )
+            elif kind == "metrics":
+                metrics = rec.get("data", {})
+    return trace, metrics

@@ -1,0 +1,116 @@
+"""Round-trip tests for the Chrome-trace and JSONL exporters."""
+
+import json
+
+from repro.core.trace import ExecutionTrace, Span, TraceEvent
+from repro.obs.export import (
+    chrome_trace,
+    load_chrome_trace,
+    read_jsonl,
+    trace_from_chrome,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def sample_trace() -> ExecutionTrace:
+    t = ExecutionTrace()
+    t.record(TraceEvent(0, 0, 0, 0, 0.0, 0.5))
+    t.record(TraceEvent(0, 1, 0, 1, 0.5, 1.0))
+    t.record(TraceEvent(8, 8, 1, 1, 1.0, 1.5, tile=(1, 1), cells=64))
+    t.record_span(Span("partition", 0.0, 0.1))
+    t.record_span(Span("halo fetch", 0.9, 1.0, category="halo", place=1))
+    return t
+
+
+def sample_metrics() -> dict:
+    reg = MetricsRegistry()
+    reg.counter("dpx10_cache_hits_total", "hits", ("place",)).labels(0).inc(5)
+    reg.histogram("dpx10_halo_fetch_bytes", "bytes", buckets=(64, 1024)).observe(128)
+    return reg.collect()
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        doc = chrome_trace(sample_trace(), metrics=sample_metrics())
+        assert doc["otherData"]["format"] == "dpx10-trace"
+        x_events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(x_events) == 5  # 3 events + 2 spans
+        # process_name x2 + thread_name per place {0, 1}
+        assert len(meta) == 4
+        assert all(e["dur"] >= 0 for e in x_events)
+
+    def test_round_trip_same_counts_and_values(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        original = sample_trace()
+        metrics = sample_metrics()
+        write_chrome_trace(path, original, metrics=metrics, report={"completions": 3})
+        loaded, loaded_metrics = load_chrome_trace(path)
+        assert len(loaded.events) == len(original.events)
+        assert len(loaded.spans) == len(original.spans)
+        assert loaded_metrics == metrics
+        # event identity survives (timestamps round-trip through microseconds)
+        assert {(e.i, e.j, e.exec_place) for e in loaded.events} == {
+            (e.i, e.j, e.exec_place) for e in original.events
+        }
+        tiles = loaded.tile_events()
+        assert len(tiles) == 1 and tiles[0].cells == 64
+        halo = [s for s in loaded.spans if s.category == "halo"]
+        assert halo and halo[0].place == 1
+
+    def test_analyses_work_on_loaded_trace(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(path, sample_trace())
+        loaded, _ = load_chrome_trace(path)
+        assert loaded.utilization()
+        assert "place " in loaded.render_gantt(width=20)
+        assert loaded.phase_totals()["partition"] > 0
+
+    def test_empty_trace(self, tmp_path):
+        path = str(tmp_path / "empty.json")
+        doc = write_chrome_trace(path, ExecutionTrace())
+        assert all(e["ph"] == "M" for e in doc["traceEvents"])
+        loaded, metrics = load_chrome_trace(path)
+        assert len(loaded) == 0 and loaded.spans == [] and metrics == {}
+
+    def test_trace_from_chrome_ignores_foreign_phases(self):
+        doc = chrome_trace(sample_trace())
+        doc["traceEvents"].append(
+            {"name": "marker", "ph": "i", "ts": 0, "pid": 0, "tid": 0}
+        )
+        loaded, _ = trace_from_chrome(doc)
+        assert len(loaded.events) == 3
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        original = sample_trace()
+        metrics = sample_metrics()
+        lines = write_jsonl(path, original, metrics=metrics)
+        # one line per event, per span, plus the metrics record
+        assert lines == len(original.events) + len(original.spans) + 1
+        with open(path) as fh:
+            assert sum(1 for _ in fh) == lines
+        loaded, loaded_metrics = read_jsonl(path)
+        assert len(loaded.events) == len(original.events)
+        assert len(loaded.spans) == len(original.spans)
+        assert loaded_metrics == metrics
+        assert loaded.events[2].tile == (1, 1)
+
+    def test_every_line_is_json(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl(path, sample_trace(), metrics=sample_metrics())
+        with open(path) as fh:
+            kinds = [json.loads(line)["type"] for line in fh]
+        assert kinds.count("event") == 3
+        assert kinds.count("span") == 2
+        assert kinds.count("metrics") == 1
+
+    def test_empty_trace_no_metrics(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        assert write_jsonl(path, ExecutionTrace()) == 0
+        loaded, metrics = read_jsonl(path)
+        assert len(loaded) == 0 and metrics == {}

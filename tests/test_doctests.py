@@ -14,6 +14,8 @@ DOCTEST_MODULES = [
     "repro.core.runtime",
     "repro.core.scheduler",
     "repro.core.trace",
+    "repro.obs.dashboard",
+    "repro.obs.metrics",
     "repro.util.timer",
 ]
 
