@@ -36,6 +36,7 @@ from repro.apps.unbounded_knapsack import (
     UnboundedKnapsackDag,
     solve_unbounded_knapsack,
 )
+from repro.chaos.schedule import ChaosSchedule
 from repro.core.api import DPX10App, Vertex, VertexId, dependency_map
 from repro.core.config import DPX10Config
 from repro.core.dag import Dag
@@ -47,6 +48,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "FaultPlan",
+    "ChaosSchedule",
     "BandedEditDistanceApp",
     "solve_banded_edit_distance",
     "CommonSubstringApp",

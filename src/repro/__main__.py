@@ -288,6 +288,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_obs_parser(sub)
 
+    from repro.chaos.cli import add_chaos_parser
+
+    add_chaos_parser(sub)
+
     for fig in ("fig10", "fig11", "fig12", "fig13"):
         p = sub.add_parser(fig, help=f"regenerate the paper's {fig} series")
         p.add_argument("--scale", choices=["small", "paper"], default="small")

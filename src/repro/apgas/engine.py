@@ -21,7 +21,7 @@ import threading
 from abc import ABC, abstractmethod
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.apgas.activity import Activity
 from repro.apgas.place import PlaceGroup
@@ -38,6 +38,12 @@ class ExecutionEngine(ABC):
 
     def __init__(self, group: PlaceGroup) -> None:
         self.group = group
+        #: observer invoked with the place id whenever an activity starts
+        #: (after the liveness check). The chaos layer hooks this to
+        #: jitter a throttled place's activity startup; tracing tools can
+        #: hook it to watch scheduling. Must be cheap and thread-safe —
+        #: the threaded engine calls it concurrently.
+        self.on_activity_start: Optional[Callable[[int], None]] = None
 
     @abstractmethod
     def submit(self, activity: Activity) -> None:
@@ -60,6 +66,8 @@ class ExecutionEngine(ABC):
         place = self.group[activity.place_id]
         place.check_alive()
         place.activities_run += 1
+        if self.on_activity_start is not None:
+            self.on_activity_start(activity.place_id)
 
     @staticmethod
     def _pick_error(errors: List[BaseException]) -> Optional[BaseException]:

@@ -86,6 +86,17 @@ class FaultInjector:
         with self._lock:
             return len(self._count_plans) + len(self._time_plans)
 
+    def resolved_thresholds(self) -> List[tuple[int, int]]:
+        """Pending count triggers as ``(threshold, place_id)`` pairs.
+
+        ``at_fraction`` plans appear with their resolved completion
+        threshold (``int(fraction * total_work)`` — 0.0 resolves to 0 and
+        fires on the first poll, 1.0 to ``total_work`` and fires only on
+        the final completion).
+        """
+        with self._lock:
+            return [(t, plan.place_id) for t, plan in self._count_plans]
+
     def poll_completions(self, completed: int) -> List[int]:
         """Return place ids whose count trigger has been reached."""
         fired: List[int] = []

@@ -30,6 +30,9 @@ class NetworkStats:
 
     messages: int = 0
     bytes: int = 0
+    #: message retransmissions (timeouts / modelled drops); stays 0 on a
+    #: healthy network, feeds ``dpx10_msg_retries_total``
+    retries: int = 0
     by_pair: Dict[Tuple[int, int], int] = field(default_factory=dict)
 
     def record(self, src: int, dst: int, nbytes: int) -> None:
@@ -71,6 +74,11 @@ class NetworkModel:
         with self._lock:
             self.stats.record(src, dst, nbytes)
         return self.transfer_cost(nbytes)
+
+    def record_retry(self) -> None:
+        """Count one retransmission (a lost or timed-out message)."""
+        with self._lock:
+            self.stats.retries += 1
 
     def reset(self) -> None:
         with self._lock:

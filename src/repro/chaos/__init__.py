@@ -1,0 +1,55 @@
+"""Chaos engineering for the DPX10 runtime.
+
+The paper's robustness claim — rebuild the distributed array over the
+survivors, restore or recompute, resume — is only ever exercised by one
+clean, pre-planned kill in the original evaluation. This package turns
+that into an adversarial, *replayable* fault space:
+
+* :mod:`repro.chaos.schedule` — :class:`ChaosSchedule`, a seeded composite
+  of kill events, kills fired *while a recovery pass is in flight*,
+  near-simultaneous multi-place deaths, slow-place throttles, and message
+  chaos; fully determined by one RNG seed and JSON round-trippable;
+* :mod:`repro.chaos.network` — :class:`ChaosNetwork` (modelled delay /
+  drop / duplication over :class:`~repro.apgas.network.NetworkModel`) and
+  :class:`ChaosPipe` (real delay / drop / duplication / reordering on the
+  mp engine's master-side message pipes);
+* :mod:`repro.chaos.controller` — the per-run :class:`ChaosController`
+  that the runtime, workers and recovery consult;
+* :mod:`repro.chaos.harness` — the differential harness: run app x engine
+  x tile-shape configs under seeded schedules and diff every result cell
+  against the serial reference;
+* :mod:`repro.chaos.shrink` — ddmin schedule shrinking to a minimal
+  reproducing fault sequence, written to a replay file.
+
+CLI: ``python -m repro chaos run|shrink|replay`` (see docs/CHAOS.md).
+"""
+
+from repro.chaos.controller import ChaosController
+from repro.chaos.harness import CaseResult, CaseSpec, run_case, sweep
+from repro.chaos.network import ChaosNetwork, ChaosPipe
+from repro.chaos.schedule import (
+    ChaosSchedule,
+    KillSpec,
+    MessageChaos,
+    RecoveryKillSpec,
+    ThrottleSpec,
+)
+from repro.chaos.shrink import load_replay, shrink_case, write_replay
+
+__all__ = [
+    "ChaosController",
+    "ChaosNetwork",
+    "ChaosPipe",
+    "ChaosSchedule",
+    "CaseResult",
+    "CaseSpec",
+    "KillSpec",
+    "MessageChaos",
+    "RecoveryKillSpec",
+    "ThrottleSpec",
+    "load_replay",
+    "run_case",
+    "shrink_case",
+    "sweep",
+    "write_replay",
+]

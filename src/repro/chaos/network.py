@@ -1,0 +1,152 @@
+"""Chaos at the message layer.
+
+Two wrappers, one per transport reality:
+
+* :class:`ChaosNetwork` — subclasses :class:`~repro.apgas.network.
+  NetworkModel` for the in-process engines, where the "network" is an
+  accounting model: a dropped transfer is modelled as a retransmit
+  (the message is recorded twice and the retry counted), a delayed one
+  adds ``delay_s`` to the modelled cost. Values are never corrupted —
+  places share one address space — so results stay exact while the
+  traffic statistics and modelled time reflect the loss.
+* :class:`ChaosPipe` — wraps one master-side ``multiprocessing``
+  connection of the mp engine and injects *real* faults: requests and
+  replies are dropped, duplicated, delayed (a true ``sleep``) and
+  reordered. The mp engine survives because every message carries a
+  sequence number, requests are idempotently deduplicated worker-side,
+  and the master retries with backoff on a per-message timeout
+  (see :mod:`repro.core.mp_engine`).
+
+Both are driven by a seeded RNG so a given schedule replays exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Optional
+
+from repro.apgas.network import NetworkModel
+from repro.chaos.schedule import MessageChaos
+from repro.util.rng import seeded_rng
+
+__all__ = ["ChaosNetwork", "ChaosPipe", "DROPPED"]
+
+#: sentinel returned by :meth:`ChaosPipe.recv` for a reply that was
+#: "lost on the wire" — the caller treats it exactly like silence and
+#: falls through to its timeout/retry path
+DROPPED = object()
+
+
+class ChaosNetwork(NetworkModel):
+    """A lossy, laggy postal model for the in-process engines."""
+
+    def __init__(
+        self,
+        chaos: MessageChaos,
+        seed: int = 0,
+        *,
+        alpha: Optional[float] = None,
+        beta: Optional[float] = None,
+        record_event: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        kwargs = {}
+        if alpha is not None:
+            kwargs["alpha"] = alpha
+        if beta is not None:
+            kwargs["beta"] = beta
+        super().__init__(**kwargs)
+        self.chaos = chaos
+        self._rng = seeded_rng(seed, "chaos-network")
+        self._record_event = record_event or (lambda kind: None)
+
+    def record(self, src: int, dst: int, nbytes: int) -> float:
+        cost = super().record(src, dst, nbytes)
+        if src == dst:
+            return cost
+        c = self.chaos
+        if c.p_delay and self._rng.random() < c.p_delay:
+            self._record_event("msg_delay")
+            cost += c.delay_s
+        if c.p_drop and self._rng.random() < c.p_drop:
+            # the transfer was lost and retransmitted: pay for it twice
+            self._record_event("msg_drop")
+            self.record_retry()
+            cost += super().record(src, dst, nbytes) + c.backoff_s
+        if c.p_dup and self._rng.random() < c.p_dup:
+            # a duplicate delivery consumes bandwidth but nothing waits on it
+            self._record_event("msg_dup")
+            super().record(src, dst, nbytes)
+        return cost
+
+
+class ChaosPipe:
+    """A misbehaving wrapper over one master-side mp connection.
+
+    Outgoing messages may be dropped (never sent), duplicated (sent
+    twice) or delayed (a real sleep before the send). Incoming replies
+    may be swapped with the next queued reply (reordering) or dropped —
+    :meth:`recv` returns :data:`DROPPED`, which the mp engine's reply
+    loop treats as silence, letting its timeout/retry machinery take
+    over. ``poll``/``fileno``/``close`` delegate, so the wrapper is a
+    drop-in for the raw connection. The underlying connection stays
+    reachable as :attr:`raw` for chaos-free teardown.
+    """
+
+    def __init__(
+        self,
+        conn,
+        chaos: MessageChaos,
+        seed: int = 0,
+        *,
+        record_event: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.raw = conn
+        self.chaos = chaos
+        self._rng = seeded_rng(seed, "chaos-pipe")
+        self._record_event = record_event or (lambda kind: None)
+        self._stash: deque = deque()
+
+    # -- outgoing ---------------------------------------------------------------
+    def send(self, msg) -> None:
+        c = self.chaos
+        if c.p_delay and self._rng.random() < c.p_delay:
+            self._record_event("msg_delay")
+            time.sleep(c.delay_s)
+        if c.p_drop and self._rng.random() < c.p_drop:
+            self._record_event("msg_drop")
+            return  # lost on the wire
+        self.raw.send(msg)
+        if c.p_dup and self._rng.random() < c.p_dup:
+            self._record_event("msg_dup")
+            self.raw.send(msg)
+
+    # -- incoming ---------------------------------------------------------------
+    def poll(self, timeout: float = 0.0) -> bool:
+        if self._stash:
+            return True
+        return self.raw.poll(timeout)
+
+    def recv(self):
+        if self._stash:
+            msg = self._stash.popleft()
+        else:
+            msg = self.raw.recv()
+            c = self.chaos
+            if c.p_reorder and self._rng.random() < c.p_reorder and self.raw.poll(0):
+                # swap with the next already-queued reply
+                self._record_event("msg_reorder")
+                self._stash.append(msg)
+                msg = self.raw.recv()
+        c = self.chaos
+        if c.p_drop and self._rng.random() < c.p_drop:
+            self._record_event("msg_drop")
+            return DROPPED
+        return msg
+
+    # -- passthrough -------------------------------------------------------------
+    def fileno(self) -> int:  # pragma: no cover - select() compatibility
+        return self.raw.fileno()
+
+    def close(self) -> None:
+        self.raw.close()

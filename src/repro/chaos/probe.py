@@ -1,0 +1,117 @@
+"""A pattern-generic differential probe application.
+
+The shipped apps cover a handful of patterns; the chaos battery needs a
+correctness oracle for *every* built-in pattern under every engine.
+:class:`ChaosProbeApp` is that app: a hash-like recurrence defined on any
+DAG shape whose per-cell value mixes the cell coordinate with its
+dependency values through **commutative** modular arithmetic, so the
+result is independent of dependency gather order, scheduling, tiling and
+engine — but sensitive to any wrong, missing or stale dependency value.
+
+:func:`probe_oracle` evaluates the identical recurrence serially with a
+plain Kahn topological sweep (no runtime machinery), in the spirit of
+``repro.apps.serial``.
+
+``buggy_recompute=True`` plants an artificial wrong-answer bug: any cell
+computed more than once *in the same process* (i.e. recomputed after a
+fault) returns a perturbed value. Chaos schedules with at least one
+effective kill expose it; fault-free runs pass. The shrinker acceptance
+test uses it to prove minimal reproducing schedules are found.
+
+Module-level and closure-free, so it pickles across the mp engine's
+process boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.api import DPX10App, Vertex
+from repro.core.dag import Dag
+
+__all__ = ["ChaosProbeApp", "probe_oracle"]
+
+Coord = Tuple[int, int]
+
+_P = 1_000_000_007
+
+
+def _mix(i: int, j: int, salt: int, values: Sequence[int]) -> int:
+    """The probe recurrence: commutative over ``values``."""
+    base = (i * 1_000_003 + j * 7_919 + salt * 104_729 + 17) % _P
+    s = 0
+    prod = 1
+    for v in values:
+        v = int(v) % _P
+        s = (s + v) % _P
+        prod = (prod * (v + 7)) % _P
+    return (base + s + prod) % _P
+
+
+class ChaosProbeApp(DPX10App[int]):
+    """Order-insensitive hash recurrence over an arbitrary pattern."""
+
+    value_dtype = np.int64
+
+    def __init__(self, salt: int = 0, buggy_recompute: bool = False) -> None:
+        self.salt = salt
+        self.buggy_recompute = buggy_recompute
+        self._seen: Dict[Coord, int] = {}
+        self.checksum: int = 0
+
+    def compute(self, i: int, j: int, vertices: Sequence[Vertex[int]]) -> int:
+        result = _mix(i, j, self.salt, [v.get_result() for v in vertices])
+        if self.buggy_recompute:
+            n = self._seen.get((i, j), 0)
+            self._seen[(i, j)] = n + 1
+            if n:  # recomputation after a fault returns a corrupted value
+                result = (result + 1) % _P
+        return result
+
+    def app_finished(self, dag: Dag[int]) -> None:
+        acc = 0
+        for i, j in dag.region:
+            if dag.is_active(i, j):
+                acc = (acc * 31 + int(dag.get_vertex(i, j).get_result())) % _P
+        self.checksum = acc
+
+
+def probe_oracle(dag: Dag, salt: int = 0) -> Dict[Coord, int]:
+    """Serial reference for :class:`ChaosProbeApp` over ``dag``.
+
+    A dependency-counting Kahn sweep using only the pattern's declared
+    edges — no distribution, scheduling, caching or recovery code.
+    """
+    active = [(i, j) for i, j in dag.region if dag.is_active(i, j)]
+    active_set = set(active)
+    values: Dict[Coord, int] = {}
+    indeg: Dict[Coord, int] = {}
+    for i, j in active:
+        indeg[(i, j)] = sum(
+            1 for d in dag.get_dependency(i, j) if (d.i, d.j) in active_set
+        )
+    frontier = [c for c in active if indeg[c] == 0]
+    while frontier:
+        nxt = []
+        for i, j in frontier:
+            deps = [
+                values[(d.i, d.j)]
+                for d in dag.get_dependency(i, j)
+                if (d.i, d.j) in active_set
+            ]
+            values[(i, j)] = _mix(i, j, salt, deps)
+            for a in dag.get_anti_dependency(i, j):
+                key = (a.i, a.j)
+                if key in indeg:
+                    indeg[key] -= 1
+                    if indeg[key] == 0:
+                        nxt.append(key)
+        frontier = nxt
+    if len(values) != len(active):
+        raise ValueError(
+            f"probe oracle stalled: {len(values)}/{len(active)} cells "
+            "(cyclic pattern?)"
+        )
+    return values

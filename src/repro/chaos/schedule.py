@@ -1,0 +1,314 @@
+"""Seeded, replayable chaos schedules.
+
+A :class:`ChaosSchedule` is a declarative composite of fault events over
+one run:
+
+* :class:`KillSpec` — kill a place once the global completion counter
+  reaches a threshold (the injector path, same as a user
+  :class:`~repro.apgas.failure.FaultPlan`). Two kills sharing a threshold
+  model near-simultaneous node deaths;
+* :class:`RecoveryKillSpec` — kill a place *while a recovery pass is in
+  flight*, after a given amount of recovery progress (salvaged cells on
+  the in-process engines, recomputed cells on the mp engine);
+* :class:`ThrottleSpec` — a slow place: every vertex executed there pays
+  a small real sleep, perturbing thread interleavings and wavefront
+  pacing without changing any value;
+* :class:`MessageChaos` — delay / drop / duplication / reordering
+  probabilities for the message layer (:mod:`repro.chaos.network`), plus
+  the retry/timeout budget the mp pipe uses to survive them.
+
+Everything is derived from a single RNG seed by :meth:`ChaosSchedule.
+generate`, serializes to a plain JSON dict (:meth:`to_dict` /
+:meth:`from_dict`) for replay files, and decomposes into an event list
+(:meth:`events` / :meth:`from_events`) for the ddmin shrinker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.apgas.failure import FaultPlan
+from repro.util.rng import seeded_rng
+from repro.util.validation import require
+
+__all__ = [
+    "KillSpec",
+    "RecoveryKillSpec",
+    "ThrottleSpec",
+    "MessageChaos",
+    "ChaosSchedule",
+]
+
+
+@dataclass(frozen=True)
+class KillSpec:
+    """Kill ``place_id`` when the completion counter reaches the threshold."""
+
+    place_id: int
+    after_completions: int
+
+    def __post_init__(self) -> None:
+        require(self.place_id >= 0, "place_id must be >= 0")
+        require(self.after_completions >= 0, "after_completions must be >= 0")
+
+
+@dataclass(frozen=True)
+class RecoveryKillSpec:
+    """Kill ``place_id`` during recovery pass ``during_pass`` (1-based),
+    once that pass has made ``after_progress`` units of progress (salvaged
+    cells on inline/threaded, recomputed cells on mp)."""
+
+    place_id: int
+    during_pass: int = 1
+    after_progress: int = 0
+
+    def __post_init__(self) -> None:
+        require(self.place_id >= 0, "place_id must be >= 0")
+        require(self.during_pass >= 1, "during_pass is 1-based")
+        require(self.after_progress >= 0, "after_progress must be >= 0")
+
+
+@dataclass(frozen=True)
+class ThrottleSpec:
+    """Every vertex executed at ``place_id`` sleeps ``sleep_s`` seconds."""
+
+    place_id: int
+    sleep_s: float = 0.0005
+
+    def __post_init__(self) -> None:
+        require(self.place_id >= 0, "place_id must be >= 0")
+        require(0.0 <= self.sleep_s <= 0.1, "sleep_s must be in [0, 0.1]")
+
+
+@dataclass(frozen=True)
+class MessageChaos:
+    """Message-layer perturbation probabilities and the survival budget.
+
+    The probabilities are applied per message by :class:`~repro.chaos.
+    network.ChaosPipe` (real pipes, mp engine) and, in modelled form, by
+    :class:`~repro.chaos.network.ChaosNetwork` (in-process engines). The
+    timeout/retry fields configure the mp pipe's retry-with-backoff and
+    are honoured even when all probabilities are zero.
+    """
+
+    p_drop: float = 0.0
+    p_dup: float = 0.0
+    p_delay: float = 0.0
+    p_reorder: float = 0.0
+    #: real (mp) or modelled (inline/threaded) delay per delayed message
+    delay_s: float = 0.002
+    #: master-side wait for one reply before resending the request
+    timeout_s: float = 0.25
+    #: resend attempts before the place is declared dead
+    max_retries: int = 10
+    #: base backoff between resends (doubles per attempt)
+    backoff_s: float = 0.005
+
+    def __post_init__(self) -> None:
+        for name in ("p_drop", "p_dup", "p_delay", "p_reorder"):
+            p = getattr(self, name)
+            require(0.0 <= p <= 1.0, f"{name} must be in [0, 1], got {p}")
+        require(self.delay_s >= 0.0, "delay_s must be >= 0")
+        require(self.timeout_s > 0.0, "timeout_s must be > 0")
+        require(self.max_retries >= 1, "max_retries must be >= 1")
+        require(self.backoff_s >= 0.0, "backoff_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """One run's worth of composable fault events, from one seed."""
+
+    seed: int = 0
+    kills: Tuple[KillSpec, ...] = ()
+    recovery_kills: Tuple[RecoveryKillSpec, ...] = ()
+    throttles: Tuple[ThrottleSpec, ...] = ()
+    message: Optional[MessageChaos] = None
+
+    def __post_init__(self) -> None:
+        # tolerate lists from JSON loaders / callers
+        object.__setattr__(self, "kills", tuple(self.kills))
+        object.__setattr__(self, "recovery_kills", tuple(self.recovery_kills))
+        object.__setattr__(self, "throttles", tuple(self.throttles))
+
+    # -- runtime views --------------------------------------------------------
+    def fault_plans(self) -> List[FaultPlan]:
+        """The kill events as injector-ready :class:`FaultPlan` objects."""
+        return [
+            FaultPlan(k.place_id, after_completions=k.after_completions)
+            for k in self.kills
+        ]
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.kills or self.recovery_kills or self.throttles or self.message
+        )
+
+    # -- event-list view (for the shrinker) -----------------------------------
+    def events(self) -> List[tuple]:
+        """Flatten into atomic, individually removable events.
+
+        Each event is ``(kind, spec)`` with kind in ``kill`` /
+        ``recovery_kill`` / ``throttle`` / ``message``. ``from_events``
+        inverts this.
+        """
+        out: List[tuple] = [("kill", k) for k in self.kills]
+        out += [("recovery_kill", r) for r in self.recovery_kills]
+        out += [("throttle", t) for t in self.throttles]
+        if self.message is not None:
+            out.append(("message", self.message))
+        return out
+
+    @classmethod
+    def from_events(cls, events: Sequence[tuple], seed: int = 0) -> "ChaosSchedule":
+        kills, rkills, throttles, message = [], [], [], None
+        for kind, spec in events:
+            if kind == "kill":
+                kills.append(spec)
+            elif kind == "recovery_kill":
+                rkills.append(spec)
+            elif kind == "throttle":
+                throttles.append(spec)
+            elif kind == "message":
+                message = spec
+            else:
+                raise ValueError(f"unknown chaos event kind {kind!r}")
+        return cls(
+            seed=seed,
+            kills=tuple(kills),
+            recovery_kills=tuple(rkills),
+            throttles=tuple(throttles),
+            message=message,
+        )
+
+    # -- JSON round trip (replay files) ---------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "kills": [asdict(k) for k in self.kills],
+            "recovery_kills": [asdict(r) for r in self.recovery_kills],
+            "throttles": [asdict(t) for t in self.throttles],
+            "message": asdict(self.message) if self.message else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosSchedule":
+        return cls(
+            seed=int(data.get("seed", 0)),
+            kills=tuple(KillSpec(**k) for k in data.get("kills", [])),
+            recovery_kills=tuple(
+                RecoveryKillSpec(**r) for r in data.get("recovery_kills", [])
+            ),
+            throttles=tuple(
+                ThrottleSpec(**t) for t in data.get("throttles", [])
+            ),
+            message=(
+                MessageChaos(**data["message"]) if data.get("message") else None
+            ),
+        )
+
+    def describe(self) -> str:
+        """One line per event, for harness output and failure reports."""
+        lines = []
+        for k in self.kills:
+            lines.append(f"kill place {k.place_id} after {k.after_completions} completions")
+        for r in self.recovery_kills:
+            lines.append(
+                f"kill place {r.place_id} during recovery pass {r.during_pass} "
+                f"after {r.after_progress} cells"
+            )
+        for t in self.throttles:
+            lines.append(f"throttle place {t.place_id} by {t.sleep_s * 1e3:.2f}ms/vertex")
+        if self.message is not None:
+            m = self.message
+            lines.append(
+                f"message chaos: drop {m.p_drop:.2f} dup {m.p_dup:.2f} "
+                f"delay {m.p_delay:.2f} reorder {m.p_reorder:.2f}"
+            )
+        return "\n".join(lines) if lines else "(empty schedule)"
+
+    # -- generation ------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        nplaces: int,
+        total_work: int,
+        *,
+        intensity: float = 1.0,
+        message_chaos: bool = False,
+    ) -> "ChaosSchedule":
+        """Compose a random schedule, fully determined by ``seed``.
+
+        Draws cascading kills (distinct thresholds), near-simultaneous
+        multi-place deaths (shared threshold), kills during a recovery
+        pass, and slow-place throttles. Place 0 is never targeted — the
+        generated space is the *survivable* fault space; the place-0 and
+        total-loss cases are covered by dedicated regression tests.
+        ``intensity`` scales event counts; ``message_chaos`` attaches a
+        :class:`MessageChaos` block (mp runs).
+        """
+        require(nplaces >= 1, "nplaces must be >= 1")
+        require(total_work >= 1, "total_work must be >= 1")
+        require(intensity >= 0.0, "intensity must be >= 0")
+        rng = seeded_rng(seed, "chaos-schedule")
+        victims = list(range(1, nplaces))
+        kills: List[KillSpec] = []
+        rkills: List[RecoveryKillSpec] = []
+        throttles: List[ThrottleSpec] = []
+
+        if victims:
+            max_kills = min(len(victims), 3)
+            n_kills = int(rng.integers(0, max_kills + 1))
+            n_kills = min(len(victims), max(0, round(n_kills * intensity)))
+            chosen = list(rng.choice(victims, size=n_kills, replace=False))
+            thresholds = [int(rng.integers(1, total_work + 1)) for _ in chosen]
+            if len(thresholds) >= 2 and rng.random() < 0.35:
+                # near-simultaneous multi-place death: share one threshold
+                thresholds[1] = thresholds[0]
+            kills = [
+                KillSpec(int(p), t) for p, t in zip(chosen, thresholds)
+            ]
+            survivors_after = [v for v in victims if v not in {k.place_id for k in kills}]
+            if kills and rng.random() < 0.4 * min(1.0, intensity):
+                # a place dying while the recovery for an earlier kill is
+                # still in flight — the hard case the paper never tests
+                pool = survivors_after or victims
+                rkills = [
+                    RecoveryKillSpec(
+                        int(rng.choice(pool)),
+                        during_pass=1,
+                        after_progress=int(rng.integers(0, max(1, total_work // 2))),
+                    )
+                ]
+            if rng.random() < 0.4 * min(1.0, intensity):
+                throttles = [
+                    ThrottleSpec(
+                        int(rng.choice(victims)),
+                        sleep_s=float(rng.uniform(1e-4, 1.5e-3)),
+                    )
+                ]
+
+        message = None
+        if message_chaos:
+            message = MessageChaos(
+                p_drop=float(rng.uniform(0.0, 0.2)),
+                p_dup=float(rng.uniform(0.0, 0.2)),
+                p_delay=float(rng.uniform(0.0, 0.3)),
+                p_reorder=float(rng.uniform(0.0, 0.3)),
+                delay_s=0.001,
+                timeout_s=0.1,
+                max_retries=12,
+                backoff_s=0.002,
+            )
+        return cls(
+            seed=seed,
+            kills=tuple(kills),
+            recovery_kills=tuple(rkills),
+            throttles=tuple(throttles),
+            message=message,
+        )
+
+    def with_message(self, message: Optional[MessageChaos]) -> "ChaosSchedule":
+        return replace(self, message=message)

@@ -1,0 +1,146 @@
+"""Shrink a failing chaos trial to a minimal reproducing fault sequence.
+
+Given a (spec, schedule) pair whose trial fails, :func:`shrink_case`
+searches for the smallest sub-schedule that still fails: the schedule is
+flattened into atomic events (each kill, each recovery kill, each
+throttle, the message block), a ddmin pass removes event *chunks* of
+shrinking size, and a final greedy pass guarantees 1-minimality — no
+single remaining event can be dropped. Every candidate is re-run through
+the real harness, so the result is a genuinely reproducing schedule, not
+a syntactic guess.
+
+The minimal trial is written to a **replay file**: a small JSON document
+holding the case spec, the shrunk schedule, and the failure summary.
+``python -m repro chaos replay <file>`` re-runs it; ``tests/chaos``
+asserts a planted bug shrinks to <= 3 events.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, List, Optional, Tuple
+
+from repro.chaos.harness import CaseResult, CaseSpec, run_case
+from repro.chaos.schedule import ChaosSchedule
+
+__all__ = ["shrink_case", "shrink_schedule", "write_replay", "load_replay"]
+
+#: schema tag in replay files, bumped on incompatible layout changes
+_REPLAY_VERSION = 1
+
+
+def shrink_schedule(
+    schedule: ChaosSchedule,
+    fails: Callable[[ChaosSchedule], bool],
+    *,
+    max_trials: int = 200,
+) -> Tuple[ChaosSchedule, int]:
+    """ddmin + greedy minimization of ``schedule`` under ``fails``.
+
+    Returns ``(minimal, trials_used)``. ``fails`` must be deterministic
+    for the guarantee to mean anything — seeded schedules on the inline
+    engine are. The input schedule is assumed failing (asserted).
+    """
+    events = schedule.events()
+    seed = schedule.seed
+
+    trials = 0
+
+    def check(evs: List[tuple]) -> bool:
+        nonlocal trials
+        trials += 1
+        return fails(ChaosSchedule.from_events(evs, seed=seed))
+
+    assert check(events), "shrink_schedule needs a failing schedule"
+
+    # ddmin: remove complements of chunks, halving granularity
+    n = 2
+    while len(events) >= 2 and trials < max_trials:
+        chunk = max(1, len(events) // n)
+        reduced = False
+        start = 0
+        while start < len(events) and trials < max_trials:
+            candidate = events[:start] + events[start + chunk:]
+            if candidate and check(candidate):
+                events = candidate
+                n = max(2, n - 1)
+                reduced = True
+                start = 0
+            else:
+                start += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            n = min(len(events), n * 2)
+
+    # greedy pass: certify 1-minimality (each event is load-bearing)
+    changed = True
+    while changed and trials < max_trials:
+        changed = False
+        for k in range(len(events)):
+            if len(events) == 1:
+                break
+            candidate = events[:k] + events[k + 1:]
+            if check(candidate):
+                events = candidate
+                changed = True
+                break
+
+    return ChaosSchedule.from_events(events, seed=seed), trials
+
+
+def shrink_case(
+    spec: CaseSpec,
+    schedule: ChaosSchedule,
+    *,
+    max_trials: int = 200,
+) -> Tuple[ChaosSchedule, int]:
+    """Minimize a failing trial's schedule by re-running the harness."""
+
+    def fails(candidate: ChaosSchedule) -> bool:
+        return not run_case(spec, candidate).ok
+
+    return shrink_schedule(schedule, fails, max_trials=max_trials)
+
+
+def write_replay(
+    path: str,
+    spec: CaseSpec,
+    schedule: ChaosSchedule,
+    result: Optional[CaseResult] = None,
+) -> None:
+    """Store one (shrunk) failing trial as a JSON replay file."""
+    doc = {
+        "version": _REPLAY_VERSION,
+        "spec": spec.to_dict(),
+        "schedule": schedule.to_dict(),
+    }
+    if result is not None:
+        doc["failure"] = {
+            "error": result.error,
+            "mismatch_count": result.mismatch_count,
+            "mismatches": [
+                [list(coord), exp, got]
+                for coord, exp, got in result.mismatches
+            ],
+            "completions": result.completions,
+            "recoveries": result.recoveries,
+        }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_replay(path: str) -> Tuple[CaseSpec, ChaosSchedule]:
+    """Read a replay file back into a runnable (spec, schedule) pair."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    version = doc.get("version")
+    if version != _REPLAY_VERSION:
+        raise ValueError(
+            f"unsupported replay file version {version!r} in {path}"
+        )
+    return (
+        CaseSpec.from_dict(doc["spec"]),
+        ChaosSchedule.from_dict(doc["schedule"]),
+    )

@@ -117,6 +117,15 @@ class DPX10Config:
     #: ``(1, 1)`` both select the legacy per-vertex path, bit-for-bit.
     #: Supported by the inline, threaded and mp engines.
     tile_shape: Optional[tuple[int, int]] = None
+    #: chaos-engineering schedule (see repro.chaos): a seeded composite of
+    #: kills, mid-recovery kills, slow-place throttles and message chaos.
+    #: ``None`` (default) injects nothing. Accepts a
+    #: repro.chaos.schedule.ChaosSchedule; its kill events merge with any
+    #: explicit ``fault_plans``, its throttles/recovery kills drive the
+    #: ChaosController, and its ``message`` block perturbs the mp message
+    #: pipes (real delay/drop/dup/reorder) or the in-process NetworkModel
+    #: (modelled). Results must be — and are tested to be — unchanged.
+    chaos: Optional[object] = None
     #: let idle workers steal ready vertices from other places' lists.
     #: An extension beyond the paper (its future work cites X10
     #: work-stealing schedulers [24, 25]); results are unchanged, load
@@ -166,6 +175,15 @@ class DPX10Config:
             not (self.static_schedule and self.engine != "inline"),
             "static_schedule requires the inline engine",
         )
+        if self.chaos is not None:
+            # imported lazily: repro.chaos depends on repro.core for its
+            # harness, so the config layer cannot import it at module scope
+            from repro.chaos.schedule import ChaosSchedule
+
+            require(
+                isinstance(self.chaos, ChaosSchedule),
+                f"chaos must be a repro.chaos.ChaosSchedule, got {type(self.chaos).__name__}",
+            )
         if self.tile_shape is not None:
             require(
                 len(tuple(self.tile_shape)) == 2

@@ -20,6 +20,18 @@ GIL across processes). This is a bulk-synchronous rendering of the same
 DAG; per-vertex scheduling strategies and the FIFO cache are inline/
 threaded-engine concepts and do not apply here.
 
+**Message hardening.** Every request carries a monotone per-pipe sequence
+number and every reply echoes it. Workers deduplicate by sequence number
+— a request seen twice (a duplicated or retried message) is answered from
+a small reply cache without re-executing — and the master waits on a
+per-message timeout, resending the *same* envelope with exponential
+backoff before declaring the place dead. Replies whose sequence number
+does not match the request in flight are stale duplicates and are
+discarded. On a healthy pipe none of this machinery fires (the master
+blocks exactly as a plain ``recv`` would); under ``repro.chaos`` message
+chaos (drop / duplicate / delay / reorder injected by
+:class:`~repro.chaos.network.ChaosPipe`) it is what keeps the run exact.
+
 Selected with ``DPX10Config(engine="mp")``. Sizes up to ~10^5 vertices
 are practical; the per-level pickling round-trip dominates beyond that.
 Because apps and DAGs cross the pipe, both must be picklable —
@@ -31,9 +43,10 @@ from __future__ import annotations
 import os
 import pickle
 import signal
+import time
 import multiprocessing as mp
 from collections import defaultdict
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.apgas.failure import FaultInjector, FaultPlan
 from repro.core.api import DPX10App, Vertex
@@ -54,6 +67,10 @@ logger = get_logger("core.mp_engine")
 Coord = Tuple[int, int]
 
 _JOIN_TIMEOUT_S = 10.0
+#: worker-side reply cache depth: how many past sequence numbers a place
+#: can still answer idempotently (covers any realistic retry window —
+#: the master has at most one request in flight per pipe)
+_REPLY_CACHE = 64
 
 
 class MPRunStats:
@@ -63,6 +80,9 @@ class MPRunStats:
         self.completions = 0
         self.network_bytes = 0
         self.network_messages = 0
+        #: request retransmissions after a reply timeout (chaos drops, or
+        #: a genuinely slow place); 0 on a healthy run
+        self.msg_retries = 0
         self.recoveries = 0
         self.per_place_executed: Dict[int, int] = {}
         self.levels = 0
@@ -74,12 +94,18 @@ class MPRunStats:
 
 
 def _worker_main(place_id: int, conn) -> None:
-    """The place process: owns values for its coords, serves the master."""
-    import time
+    """The place process: owns values for its coords, serves the master.
 
+    Every incoming message is ``(seq, kind, *payload)``; every reply is
+    ``(seq, *body)``. Replies for the last :data:`_REPLY_CACHE` sequence
+    numbers are cached so a retried or duplicated request is answered
+    idempotently — in particular a duplicated ``compute`` never runs the
+    user's kernel twice.
+    """
     app: Optional[DPX10App] = None
     dag: Optional[Dag] = None
     values: Dict[Coord, Any] = {}
+    replied: Dict[int, tuple] = {}
     # the worker's own registry: per-process accounting that ships back to
     # the master as a snapshot over the reply channel ("stats" request)
     registry = MetricsRegistry()
@@ -98,17 +124,31 @@ def _worker_main(place_id: int, conn) -> None:
         "level batches served per place process",
         ("place",),
     ).labels(place_id)
+    dedup_hits = registry.counter(
+        "dpx10_mp_worker_dedup_total",
+        "duplicate requests answered from the reply cache, per place",
+        ("place",),
+    ).labels(place_id)
     try:
         while True:
             msg = conn.recv()
-            kind = msg[0]
+            seq, kind = msg[0], msg[1]
+            cached = replied.get(seq)
+            if cached is not None:
+                # a duplicate delivery (chaos dup, or a master retry whose
+                # original did arrive): resend the cached reply verbatim
+                dedup_hits.inc()
+                conn.send(cached)
+                if kind == "stop":
+                    return
+                continue
             if kind == "init":
-                _, app, dag = msg
+                _, _, app, dag = msg
                 values = {}
-                conn.send(("ok",))
+                reply = (seq, "ok")
             elif kind == "compute":
                 # compute the given cells; boundary holds remote dep values
-                _, cells, boundary = msg
+                _, _, cells, boundary = msg
                 assert app is not None and dag is not None
                 t0 = time.perf_counter()
                 for i, j in cells:
@@ -126,30 +166,73 @@ def _worker_main(place_id: int, conn) -> None:
                 compute_seconds.inc(time.perf_counter() - t0)
                 cells_computed.inc(len(cells))
                 levels_served.inc()
-                conn.send(("done", len(cells)))
+                reply = (seq, "done", len(cells))
             elif kind == "fetch":
-                _, coords = msg
-                conn.send(("values", {c: values[c] for c in coords}))
+                _, _, coords = msg
+                reply = (seq, "values", {c: values[c] for c in coords})
             elif kind == "collect":
-                conn.send(("values", dict(values)))
+                reply = (seq, "values", dict(values))
             elif kind == "stats":
-                conn.send(("stats", registry.collect()))
+                reply = (seq, "stats", registry.collect())
             elif kind == "stop":
-                conn.send(("bye",))
+                conn.send((seq, "bye"))
                 return
             else:  # pragma: no cover - protocol guard
-                conn.send(("error", f"unknown message {kind!r}"))
+                conn.send((seq, "error", f"unknown message {kind!r}"))
                 return
+            replied[seq] = reply
+            if len(replied) > _REPLY_CACHE:
+                del replied[min(replied)]
+            conn.send(reply)
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown races
         return
 
 
 class _PlaceProc:
-    """Master-side handle for one place process."""
+    """Master-side handle for one place process.
 
-    def __init__(self, place_id: int, ctx) -> None:
+    Owns the per-pipe sequence counter and the retry-with-backoff reply
+    loop. With ``message=None`` (no chaos) the pipe is raw and
+    :meth:`recv_reply` blocks exactly like a plain ``recv``; with a
+    :class:`~repro.chaos.schedule.MessageChaos` the connection is wrapped
+    in a :class:`~repro.chaos.network.ChaosPipe` and the timeout/retry
+    budget from the chaos block is enforced per message.
+    """
+
+    def __init__(
+        self,
+        place_id: int,
+        ctx,
+        *,
+        message=None,
+        chaos_seed: int = 0,
+        record_event: Optional[Callable[[str], None]] = None,
+        on_retry: Optional[Callable[[], None]] = None,
+    ) -> None:
         self.place_id = place_id
-        self.conn, child = ctx.Pipe()
+        self.raw, child = ctx.Pipe()
+        if message is not None:
+            from repro.chaos.network import DROPPED, ChaosPipe
+
+            self.conn = ChaosPipe(
+                self.raw,
+                message,
+                seed=chaos_seed * 1_000_003 + place_id,
+                record_event=record_event,
+            )
+            self._dropped: object = DROPPED
+            self.timeout_s: Optional[float] = message.timeout_s
+            self.max_retries = message.max_retries
+            self.backoff_s = message.backoff_s
+        else:
+            self.conn = self.raw
+            self._dropped = object()  # never matches a real reply
+            self.timeout_s = None
+            self.max_retries = 1
+            self.backoff_s = 0.0
+        self._on_retry = on_retry or (lambda: None)
+        self._seq = 0
+        self._pending: Optional[tuple] = None
         self.proc = ctx.Process(
             target=_worker_main, args=(place_id, child), daemon=True
         )
@@ -157,16 +240,85 @@ class _PlaceProc:
         child.close()
         self.alive = True
 
-    def request(self, msg: tuple) -> tuple:
-        """Send and await a reply; raises DPX10Error if the process died."""
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _died(self, exc: BaseException) -> None:
+        self.alive = False
+        raise DPX10Error(f"place {self.place_id} process died") from exc
+
+    # -- the hardened request/reply protocol -----------------------------------
+    def send_request(self, body: tuple) -> None:
+        """Send one sequence-numbered request (reply via recv_reply)."""
+        msg = (self._next_seq(),) + body
+        self._pending = msg
         try:
             self.conn.send(msg)
-            reply = self.conn.recv()
-            return reply
-        except (BrokenPipeError, EOFError, OSError) as exc:
-            self.alive = False
-            raise DPX10Error(f"place {self.place_id} process died") from exc
+        except (BrokenPipeError, OSError) as exc:
+            self._died(exc)
 
+    def recv_reply(self) -> tuple:
+        """Await the reply to the last request; retry with backoff.
+
+        Replies carrying a stale sequence number (late duplicates of an
+        earlier exchange) are discarded. A chaos-dropped reply surfaces
+        as the DROPPED sentinel and is treated as silence, feeding the
+        timeout path. After ``max_retries`` timed-out attempts the place
+        is declared dead.
+        """
+        assert self._pending is not None, "recv_reply without send_request"
+        seq = self._pending[0]
+        attempts = 0
+        while True:
+            if self.timeout_s is None:
+                # chaos-free: block forever, as a plain pipe recv would
+                try:
+                    reply = self.conn.recv()
+                except (EOFError, OSError) as exc:
+                    self._died(exc)
+                if reply is self._dropped or reply[0] != seq:
+                    continue
+                self._pending = None
+                return tuple(reply[1:])
+            deadline = time.monotonic() + self.timeout_s
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    if not self.conn.poll(remaining):
+                        break
+                    reply = self.conn.recv()
+                except (EOFError, OSError) as exc:
+                    self._died(exc)
+                if reply is self._dropped or reply[0] != seq:
+                    continue  # lost on the wire / stale duplicate
+                self._pending = None
+                return tuple(reply[1:])
+            attempts += 1
+            if attempts >= self.max_retries or not self.proc.is_alive():
+                self._died(
+                    TimeoutError(
+                        f"no reply from place {self.place_id} after "
+                        f"{attempts} attempts"
+                    )
+                )
+            # resend the SAME envelope: the worker's reply cache makes
+            # the retry idempotent whichever side lost the message
+            self._on_retry()
+            time.sleep(self.backoff_s * (2 ** (attempts - 1)))
+            try:
+                self.conn.send(self._pending)
+            except (BrokenPipeError, OSError) as exc:
+                self._died(exc)
+
+    def request(self, body: tuple) -> tuple:
+        """Send and await a reply; raises DPX10Error if the place died."""
+        self.send_request(body)
+        return self.recv_reply()
+
+    # -- lifecycle ---------------------------------------------------------------
     def kill(self) -> None:
         if self.proc.pid is not None:
             os.kill(self.proc.pid, signal.SIGKILL)
@@ -177,8 +329,14 @@ class _PlaceProc:
         if not self.alive:
             return
         try:
-            self.conn.send(("stop",))
-            self.conn.recv()
+            # teardown bypasses the chaos wrapper: stop must not be
+            # dropped, and stale duplicate replies are drained here
+            seq = self._next_seq()
+            self.raw.send((seq, "stop"))
+            while True:
+                reply = self.raw.recv()
+                if reply[0] == seq:
+                    break
         except (BrokenPipeError, EOFError, OSError):
             pass
         self.proc.join(timeout=_JOIN_TIMEOUT_S)
@@ -225,6 +383,10 @@ def _publish_master_metrics(registry: MetricsRegistry, stats: MPRunStats) -> Non
         "dpx10_net_bytes_total", "cross-place bytes relayed by the master"
     ).set(stats.network_bytes)
     registry.counter(
+        "dpx10_msg_retries_total",
+        "message retransmissions (timeouts / modelled drops)",
+    ).set(stats.msg_retries)
+    registry.counter(
         "dpx10_completions_total", "vertex completions (monotone across recoveries)"
     ).set(stats.completions)
     executed = registry.counter(
@@ -253,6 +415,7 @@ def run_mp(
     config: DPX10Config,
     fault_plans: Sequence[FaultPlan] = (),
     registry: MetricsRegistry = NULL_REGISTRY,
+    chaos=None,
 ) -> Tuple[Dict[Coord, Any], MPRunStats]:
     """Execute the application on real place processes.
 
@@ -261,6 +424,12 @@ def run_mp(
     master requests a snapshot over the reply channel and merges it into
     ``registry`` (counters add, histograms add bucket-wise), so
     per-process accounting survives the address-space boundary.
+
+    ``chaos`` is an optional :class:`~repro.chaos.controller.
+    ChaosController`: its kill plans merge into the fault injector, its
+    recovery-kill triggers are polled between recovery redo batches, its
+    throttles slow a place's level batches, and its message block wraps
+    every master-side pipe in a :class:`~repro.chaos.network.ChaosPipe`.
     """
     ctx = mp.get_context("fork" if hasattr(os, "fork") else "spawn")
     stats = MPRunStats()
@@ -282,10 +451,27 @@ def run_mp(
             levels.append(cells)
     stats.levels = len(levels)
     total_active = sum(len(lv) for lv in levels)
-    injector = FaultInjector(list(fault_plans), total_active) if fault_plans else None
+    all_plans = list(fault_plans)
+    if chaos is not None:
+        all_plans += chaos.fault_plans()
+    injector = FaultInjector(all_plans, total_active) if all_plans else None
+
+    message = chaos.message if chaos is not None else None
+    record_event = chaos.record if chaos is not None else None
+
+    def on_retry() -> None:
+        stats.msg_retries += 1
 
     procs: Dict[int, _PlaceProc] = {
-        p: _PlaceProc(p, ctx) for p in range(config.nplaces)
+        p: _PlaceProc(
+            p,
+            ctx,
+            message=message,
+            chaos_seed=chaos.schedule.seed if chaos is not None else 0,
+            record_event=record_event,
+            on_retry=on_retry,
+        )
+        for p in range(config.nplaces)
     }
     try:
         alive = sorted(procs)
@@ -305,6 +491,14 @@ def run_mp(
                 owner[(i, j)] = home_of((i, j), dist)
         for p in alive:
             procs[p].request(("init", app, dag))
+
+        #: topological depth of every active cell — recovery keys its
+        #: redo batches on this so dependencies always recompute first
+        depth_of: Dict[Coord, int] = {
+            c: d for d, lv in enumerate(levels) for c in lv
+        }
+        #: every cell whose value currently lives on an alive place
+        computed: Set[Coord] = set()
 
         def compute_level(cells: List[Coord]) -> None:
             """One bulk-synchronous step over the alive places."""
@@ -332,49 +526,95 @@ def run_mp(
                     )
                     stats.network_bytes += nbytes
                     stats.network_messages += 1
+            if chaos is not None and chaos.has_throttles:
+                for p in by_place:
+                    chaos.throttle_batch(p, len(by_place[p]))
             for p, own_cells in by_place.items():
-                procs[p].conn.send(("compute", own_cells, boundary.get(p, {})))
+                procs[p].send_request(
+                    ("compute", own_cells, boundary.get(p, {}))
+                )
             for p in by_place:
-                try:
-                    reply = procs[p].conn.recv()
-                except (EOFError, OSError) as exc:
-                    procs[p].alive = False
-                    raise DPX10Error(f"place {p} died mid-level") from exc
+                reply = procs[p].recv_reply()
                 assert reply[0] == "done"
                 stats.per_place_executed[p] = (
                     stats.per_place_executed.get(p, 0) + reply[1]
                 )
             stats.completions += len(cells)
+            computed.update(cells)
+
+        def handle_victims(
+            victims: Sequence[int], pending: Dict[int, Set[Coord]]
+        ) -> None:
+            """Kill the victims, re-home their cells, queue lost work.
+
+            ``pending`` maps topological depth to the set of finished
+            cells that must recompute; the drain loop below consumes it
+            in ascending depth order so dependencies always exist before
+            their consumers ask for them.
+            """
+            if 0 in victims or not procs[0].alive:
+                raise PlaceZeroDeadError()
+            for v in set(victims):
+                if procs[v].alive:
+                    logger.warning("SIGKILL place %d process", v)
+                    procs[v].kill()
+            dead = {p for p in procs if not procs[p].alive}
+            survivors = [p for p in sorted(procs) if procs[p].alive]
+            if not survivors:
+                raise AllPlacesDeadError("every place process died")
+            new_dist = config.make_dist(dag.region, survivors)
+            for c, p in owner.items():
+                if p in dead:
+                    owner[c] = home_of(c, new_dist)
+                    if c in computed:
+                        computed.discard(c)
+                        pending.setdefault(depth_of[c], set()).add(c)
+
+        def poll_faults() -> List[int]:
+            """Injector kills due at the current completion count."""
+            if injector is None:
+                return []
+            victims = injector.poll_completions(stats.completions)
+            if victims and chaos is not None:
+                chaos.record("kill", len(victims))
+            return victims
+
+        def recover(first_victims: List[int]) -> None:
+            """Section VI-D against real corpses, chaos-aware.
+
+            Drains the lost finished cells in topological-depth order,
+            polling the injector and the chaos controller's mid-recovery
+            kill triggers between batches: a place dying *while this
+            recovery is in flight* simply folds its lost cells into the
+            same drain, which terminates because the alive set strictly
+            shrinks (ending, at worst, in PlaceZeroDeadError or
+            AllPlacesDeadError — never a hang).
+            """
+            stats.recoveries += 1
+            if chaos is not None:
+                chaos.begin_recovery_pass()
+            pending: Dict[int, Set[Coord]] = {}
+            handle_victims(first_victims, pending)
+            progress = 0
+            while pending:
+                d = min(pending)
+                batch = sorted(pending.pop(d))
+                compute_level(batch)
+                progress += len(batch)
+                more: List[int] = []
+                if chaos is not None:
+                    more += chaos.poll_recovery(progress)
+                more += poll_faults()
+                if more:
+                    handle_victims(more, pending)
 
         level_idx = 0
         while level_idx < len(levels):
             compute_level(levels[level_idx])
             level_idx += 1
-            if injector is not None:
-                victims = injector.poll_completions(stats.completions)
-                if victims:
-                    if 0 in victims or not procs[0].alive:
-                        raise PlaceZeroDeadError()
-                    for v in victims:
-                        logger.warning("SIGKILL place %d process", v)
-                        procs[v].kill()
-                    # -- recovery (section VI-D against real corpses) --------
-                    stats.recoveries += 1
-                    dead = set(victims)
-                    survivors = [p for p in sorted(procs) if procs[p].alive]
-                    if not survivors:
-                        raise AllPlacesDeadError("every place process died")
-                    lost = sorted(c for c, p in owner.items() if p in dead)
-                    new_dist = config.make_dist(dag.region, survivors)
-                    for c in lost:
-                        owner[c] = home_of(c, new_dist)
-                    # recompute the dead partition's finished cells, oldest
-                    # levels first, on their new owners
-                    lost_set = set(lost)
-                    for lv in levels[:level_idx]:
-                        redo = [c for c in lv if c in lost_set]
-                        if redo:
-                            compute_level(redo)
+            victims = poll_faults()
+            if victims:
+                recover(victims)
 
         # gather everything for result binding, plus each surviving
         # worker's metrics snapshot (the cross-process metric merge)

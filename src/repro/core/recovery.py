@@ -34,9 +34,12 @@ from collections import deque
 from repro.core.vertex_store import VertexStore, build_stores
 from repro.core.worker import ExecutionState
 from repro.dist.dist import Dist
-from repro.errors import PlaceZeroDeadError
+from repro.errors import DeadPlaceException, PlaceZeroDeadError, RecoveryError
 from repro.obs.metrics import DEFAULT_SECONDS_BUCKETS
+from repro.util.logging import get_logger
 from repro.util.timer import Timer
+
+logger = get_logger("core.recovery")
 
 __all__ = ["RecoveryStats", "recover", "recover_from_snapshot"]
 
@@ -84,11 +87,61 @@ class RecoveryStats:
     wall_time: float = 0.0
 
 
+def _restartable(state: ExecutionState, pass_fn) -> RecoveryStats:
+    """Run one recovery pass, restarting it if a place dies mid-pass.
+
+    A chaos schedule (or, in principle, real hardware) can kill another
+    place *while the recovery pass is in flight* — surfacing as a
+    :class:`DeadPlaceException` from a salvage read or a chaos trigger.
+    The pass is idempotent until it installs the new state, so the safe
+    response is to recompute dead/alive from scratch and start over. Each
+    restart strictly shrinks the alive set, so at most ``group.size``
+    attempts terminate — ending, if everything died, in a clean
+    :class:`UnrecoverableError` subclass rather than a hang.
+    """
+    controller = state.chaos
+    if controller is not None:
+        controller.begin_recovery_pass()
+    for _ in range(state.group.size + 1):
+        try:
+            return pass_fn(state)
+        except DeadPlaceException as exc:
+            if not state.group.is_alive(0):
+                raise PlaceZeroDeadError() from exc
+            state.group.require_any_alive()
+            logger.warning(
+                "place %d died while recovery was in flight; restarting "
+                "the pass over the new survivor set",
+                exc.place_id,
+            )
+    raise RecoveryError(
+        "recovery could not stabilize: places kept dying faster than "
+        "passes completed"
+    )
+
+
+def _poll_mid_recovery_chaos(state: ExecutionState, progress: int) -> None:
+    """Fire any armed mid-recovery kill; raises DeadPlaceException."""
+    controller = state.chaos
+    if controller is None:
+        return
+    victims = controller.poll_recovery(progress)
+    if victims:
+        for victim in victims:
+            state.group.kill(victim)
+        raise DeadPlaceException(victims[0])
+
+
 def recover(state: ExecutionState) -> RecoveryStats:
     """Rebuild ``state`` (dist, stores, ready lists) over surviving places.
 
-    Mutates ``state`` in place and returns the pass statistics.
+    Mutates ``state`` in place and returns the pass statistics. Restarts
+    itself if yet another place dies while the pass is in flight.
     """
+    return _restartable(state, _recover_once)
+
+
+def _recover_once(state: ExecutionState) -> RecoveryStats:
     group = state.group
     group.require_any_alive()
     if not group.is_alive(0):
@@ -105,13 +158,16 @@ def recover(state: ExecutionState) -> RecoveryStats:
         config = state.config
         new_dist = config.make_dist(dag.region, alive)
 
-        # salvage finished results still reachable on surviving places
+        # salvage finished results still reachable on surviving places;
+        # every salvaged cell is a unit of recovery progress for armed
+        # mid-recovery chaos kills (which abort and restart this pass)
         preserved: Dict[Coord, Tuple[object, int]] = {}
         for pid in old_dist.place_ids:
             if not group.is_alive(pid):
                 continue
             for coord, value in old_stores[pid].finished_items():
                 preserved[coord] = (value, pid)
+                _poll_mid_recovery_chaos(state, len(preserved))
 
         new_stores: Dict[int, VertexStore] = build_stores(
             group,
@@ -152,8 +208,13 @@ def recover_from_snapshot(state: ExecutionState) -> RecoveryStats:
     Everything computed since the last ``snapshot()`` is lost — including
     results still sitting on perfectly healthy places — which is exactly
     the trade-off the paper's new method avoids. Restores are costed as
-    transfers from stable storage (modelled at place 0).
+    transfers from stable storage (modelled at place 0). Restarts itself
+    if another place dies while the pass is in flight.
     """
+    return _restartable(state, _recover_from_snapshot_once)
+
+
+def _recover_from_snapshot_once(state: ExecutionState) -> RecoveryStats:
     group = state.group
     group.require_any_alive()
     if not group.is_alive(0):

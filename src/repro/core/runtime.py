@@ -59,6 +59,8 @@ class RunReport:
     recovery_stats: List[RecoveryStats] = field(default_factory=list)
     network_messages: int = 0
     network_bytes: int = 0
+    #: message retransmissions (mp timeouts / modelled chaos drops)
+    msg_retries: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     per_place_activities: Dict[int, int] = field(default_factory=dict)
@@ -117,6 +119,7 @@ class RunReport:
             "recoveries": self.recoveries,
             "network_messages": self.network_messages,
             "network_bytes": self.network_bytes,
+            "msg_retries": self.msg_retries,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
@@ -153,7 +156,6 @@ class DPX10Runtime:
         self.dag = dag
         self.config = config if config is not None else DPX10Config()
         self.fault_plans = list(fault_plans)
-        self.network = network if network is not None else NetworkModel()
         self._report: Optional[RunReport] = None
         # the observability registry: an injected one (live dashboards),
         # a fresh one (config.metrics), or the shared no-op
@@ -164,6 +166,32 @@ class DPX10Runtime:
             self.metrics = MetricsRegistry()
         else:
             self.metrics = NULL_REGISTRY
+        # the chaos controller (config.chaos): its kill events merge with
+        # fault_plans, its throttles/recovery kills hook the worker and
+        # recovery paths, and its message block perturbs the network
+        self.chaos = None
+        if cfg.chaos is not None and not cfg.chaos.is_empty:
+            from repro.chaos.controller import ChaosController
+
+            self.chaos = ChaosController(cfg.chaos, metrics=self.metrics)
+        if network is not None:
+            self.network = network
+        elif (
+            self.chaos is not None
+            and self.chaos.message is not None
+            and cfg.engine != "mp"
+        ):
+            # in-process engines: message chaos is modelled on the postal
+            # network (the mp engine instead perturbs its real pipes)
+            from repro.chaos.network import ChaosNetwork
+
+            self.network = ChaosNetwork(
+                self.chaos.message,
+                seed=cfg.chaos.seed,
+                record_event=self.chaos.record,
+            )
+        else:
+            self.network = NetworkModel()
 
     @property
     def report(self) -> Optional[RunReport]:
@@ -184,6 +212,10 @@ class DPX10Runtime:
             threads_per_place=cfg.threads_per_place,
             network=self.network,
         )
+        if self.chaos is not None and self.chaos.has_throttles:
+            # throttled places also start their worker activities late,
+            # perturbing the initial interleaving (results are unchanged)
+            rt.engine.on_activity_start = self.chaos.on_execute
         recovery_stats: List[RecoveryStats] = []
         try:
             with Timer() as timer:
@@ -263,6 +295,7 @@ class DPX10Runtime:
             recovery_stats=recovery_stats,
             network_messages=self.network.stats.messages,
             network_bytes=self.network.stats.bytes,
+            msg_retries=self.network.stats.retries,
             cache_hits=sum(c.hits for c in state.caches.values()),
             cache_misses=sum(c.misses for c in state.caches.values()),
             per_place_activities={p.id: p.activities_run for p in rt.group},
@@ -305,6 +338,7 @@ class DPX10Runtime:
                 self.config,
                 self.fault_plans,
                 registry=self.metrics,
+                chaos=self.chaos,
             )
             dag = self.dag
 
@@ -324,6 +358,7 @@ class DPX10Runtime:
             recoveries=stats.recoveries,
             network_messages=stats.network_messages,
             network_bytes=stats.network_bytes,
+            msg_retries=stats.msg_retries,
             per_place_executed=dict(stats.per_place_executed),
             final_alive_places=stats.final_alive_places,
         )
@@ -361,10 +396,11 @@ class DPX10Runtime:
             pid: RemoteCache(cfg.cache_size) for pid in range(rt.group.size)
         }
         total_active = sum(s.active_count for s in stores.values())
+        all_plans = list(self.fault_plans)
+        if self.chaos is not None:
+            all_plans += self.chaos.fault_plans()
         injector = (
-            FaultInjector(self.fault_plans, total_active)
-            if self.fault_plans
-            else None
+            FaultInjector(all_plans, total_active) if all_plans else None
         )
         state = ExecutionState(
             app=self.app,
@@ -396,6 +432,7 @@ class DPX10Runtime:
             state.take_snapshot()  # the initial (empty) checkpoint
         state.trace = trace
         state.metrics = self.metrics
+        state.chaos = self.chaos
         self._register_collectors(state, rt)
         state._engine = rt.engine
         # bind eagerly so dag.get_vertex() is reachable during execution
@@ -427,6 +464,10 @@ class DPX10Runtime:
         net_bytes = reg.counter(
             "dpx10_net_bytes_total", "cross-place payload bytes"
         )
+        net_retries = reg.counter(
+            "dpx10_msg_retries_total",
+            "message retransmissions (timeouts / modelled drops)",
+        )
         executed = reg.counter(
             "dpx10_vertices_computed_total",
             "compute() cells by execution place",
@@ -452,6 +493,7 @@ class DPX10Runtime:
                 cache_misses.labels(pid).set(cache.misses)
             net_messages.set(network.stats.messages)
             net_bytes.set(network.stats.bytes)
+            net_retries.set(network.stats.retries)
             for pid, n in list(state.executed_by.items()):
                 executed.labels(pid).set(n)
             completions.set(state.completions)

@@ -97,6 +97,10 @@ class ExecutionState:
     #: tile-granular scheduling state (config.tile_shape); None on the
     #: legacy per-vertex path. See repro.core.tiling.TileRunState.
     tiles: Optional[object] = None
+    #: chaos controller (config.chaos); None on undisturbed runs. The
+    #: worker consults it for slow-place throttles, recovery for
+    #: mid-recovery kill triggers. See repro.chaos.controller.
+    chaos: Optional[object] = None
     _completions_lock: threading.Lock = field(default_factory=threading.Lock)
     conds: Dict[int, threading.Condition] = field(default_factory=dict)
     abort_event: threading.Event = field(default_factory=threading.Event)
@@ -183,6 +187,10 @@ def execute_vertex(
     dag = state.dag
     nbytes = state.config.value_nbytes
     sanitizing = state.config.sanitize
+    if state.chaos is not None:
+        # slow-place throttle: a real (tiny) sleep at the execution place,
+        # perturbing interleavings without touching any value
+        state.chaos.on_execute(exec_place)
     t_start = state.trace.now() if state.trace is not None else 0.0
 
     declared = dag.get_dependency(i, j)
@@ -255,6 +263,8 @@ def execute_vertex(
             # Resilient X10's dead-place signal
             for victim in victims:
                 state.group.kill(victim)
+                if state.chaos is not None:
+                    state.chaos.record("kill")
             raise DeadPlaceException(victims[0])
 
     if notify:

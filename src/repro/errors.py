@@ -96,11 +96,21 @@ class DeadPlaceException(DPX10Error):
         super().__init__(message or f"place {place_id} is dead")
 
 
-class AllPlacesDeadError(RecoveryError):
+class UnrecoverableError(RecoveryError):
+    """A failure the runtime cannot recover from.
+
+    Raised (via its subclasses) instead of hanging or retrying when no
+    viable recovery exists: place 0 died, or every place is gone. Chaos
+    schedules that push the runtime past its fault budget must end in
+    this, never in a deadlock.
+    """
+
+
+class AllPlacesDeadError(UnrecoverableError):
     """No alive place remains; recovery is impossible."""
 
 
-class PlaceZeroDeadError(RecoveryError):
+class PlaceZeroDeadError(UnrecoverableError):
     """Place 0 died.
 
     The paper notes a limitation of Resilient X10: execution aborts if

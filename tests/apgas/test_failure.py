@@ -1,5 +1,7 @@
 """Tests for fault plans and the fault injector."""
 
+import threading
+
 import pytest
 
 from repro.apgas.failure import FaultInjector, FaultPlan
@@ -59,3 +61,70 @@ class TestFaultInjector:
         assert inj.poll_completions(1) == [1]
         assert inj.poll_time(2.0) == [0]
         assert inj.pending == 0
+
+    def test_same_threshold_plans_both_fire(self):
+        inj = FaultInjector(
+            [
+                FaultPlan(1, after_completions=5),
+                FaultPlan(2, after_completions=5),
+            ],
+            total_work=10,
+        )
+        assert sorted(inj.poll_completions(5)) == [1, 2]
+        assert inj.pending == 0
+
+
+class TestFractionBoundaries:
+    def test_fraction_zero_resolves_to_zero_and_fires_first_poll(self):
+        inj = FaultInjector([FaultPlan(1, at_fraction=0.0)], total_work=10)
+        assert inj.resolved_thresholds() == [(0, 1)]
+        assert inj.poll_completions(0) == [1]
+
+    def test_fraction_one_fires_only_at_final_completion(self):
+        inj = FaultInjector([FaultPlan(2, at_fraction=1.0)], total_work=10)
+        assert inj.resolved_thresholds() == [(10, 2)]
+        assert inj.poll_completions(9) == []
+        assert inj.poll_completions(10) == [2]
+
+    def test_resolved_thresholds_shrink_as_plans_fire(self):
+        inj = FaultInjector(
+            [FaultPlan(1, at_fraction=0.2), FaultPlan(2, at_fraction=0.8)],
+            total_work=10,
+        )
+        assert inj.resolved_thresholds() == [(2, 1), (8, 2)]
+        inj.poll_completions(2)
+        assert inj.resolved_thresholds() == [(8, 2)]
+
+
+class TestConcurrentPolling:
+    def test_each_plan_fires_exactly_once_across_pollers(self):
+        # many threads racing poll_completions with a monotone counter:
+        # the union of everything fired must contain each plan once
+        plans = [FaultPlan(p, after_completions=p * 10) for p in range(1, 9)]
+        inj = FaultInjector(plans, total_work=100)
+        fired: list = []
+        fired_lock = threading.Lock()
+        barrier = threading.Barrier(4)
+
+        def poller():
+            barrier.wait()
+            for completed in range(0, 101):
+                victims = inj.poll_completions(completed)
+                if victims:
+                    with fired_lock:
+                        fired.extend(victims)
+
+        threads = [threading.Thread(target=poller) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(fired) == list(range(1, 9))
+        assert inj.pending == 0
+
+    def test_monotonicity_not_required_of_callers(self):
+        # a poller reporting an older count must not re-fire or unfire
+        inj = FaultInjector([FaultPlan(1, after_completions=5)], total_work=10)
+        assert inj.poll_completions(7) == [1]
+        assert inj.poll_completions(3) == []
+        assert inj.poll_completions(7) == []

@@ -1,0 +1,134 @@
+"""The shrinker acceptance: a planted bug yields a tiny, replayable repro.
+
+``buggy-probe`` plants the wrong-answer bug the ISSUE prescribes (any
+cell recomputed after a fault returns a corrupted value), so any schedule
+with one effective kill exposes it. The shrinker must reduce a noisy
+failing schedule to <= 3 events that still reproduce deterministically,
+and the replay file must round-trip losslessly.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos.harness import CaseSpec, run_case
+from repro.chaos.schedule import (
+    ChaosSchedule,
+    KillSpec,
+    MessageChaos,
+    RecoveryKillSpec,
+    ThrottleSpec,
+)
+from repro.chaos.shrink import (
+    load_replay,
+    shrink_case,
+    shrink_schedule,
+    write_replay,
+)
+
+BUGGY = CaseSpec(app="buggy-probe", pattern="diagonal", engine="inline")
+
+#: a deliberately noisy schedule: one load-bearing kill among bystanders
+NOISY = ChaosSchedule(
+    seed=0,
+    kills=(KillSpec(1, after_completions=55),),
+    throttles=(ThrottleSpec(2, 0.0002), ThrottleSpec(1, 0.0003)),
+    message=MessageChaos(p_delay=0.1),
+)
+
+
+def test_planted_bug_fails_under_kills_and_passes_clean():
+    assert not run_case(BUGGY, NOISY).ok
+    # without faults nothing recomputes, so the planted bug stays dormant
+    assert run_case(BUGGY, ChaosSchedule(seed=0)).ok
+
+
+def test_shrinks_planted_bug_to_three_events_or_fewer():
+    minimal, trials = shrink_case(BUGGY, NOISY)
+    assert len(minimal.events()) <= 3
+    assert trials <= 200
+    # the minimal schedule still reproduces, deterministically
+    a = run_case(BUGGY, minimal)
+    b = run_case(BUGGY, minimal)
+    assert not a.ok and not b.ok
+    assert a.mismatches == b.mismatches
+    assert a.mismatch_count == b.mismatch_count
+
+
+def test_shrunk_schedule_is_one_minimal():
+    minimal, _ = shrink_case(BUGGY, NOISY)
+    events = minimal.events()
+    for k in range(len(events)):
+        candidate = ChaosSchedule.from_events(
+            events[:k] + events[k + 1:], seed=minimal.seed
+        )
+        if candidate.is_empty:
+            continue
+        assert run_case(BUGGY, candidate).ok, (
+            f"event {events[k]} is not load-bearing"
+        )
+
+
+def test_shrink_schedule_finds_the_load_bearing_event():
+    # synthetic predicate: only the recovery kill of place 3 matters
+    schedule = ChaosSchedule(
+        seed=1,
+        kills=(KillSpec(1, 10), KillSpec(2, 20)),
+        recovery_kills=(RecoveryKillSpec(3),),
+        throttles=(ThrottleSpec(1),),
+    )
+
+    def fails(candidate):
+        return any(r.place_id == 3 for r in candidate.recovery_kills)
+
+    minimal, trials = shrink_schedule(schedule, fails)
+    assert minimal.events() == [("recovery_kill", RecoveryKillSpec(3))]
+    assert trials < 50
+
+
+def test_shrink_rejects_passing_schedule():
+    with pytest.raises(AssertionError):
+        shrink_schedule(ChaosSchedule(seed=0, kills=(KillSpec(1, 5),)), lambda c: False)
+
+
+def test_replay_file_round_trip(tmp_path):
+    path = tmp_path / "replay.json"
+    result = run_case(BUGGY, NOISY)
+    assert not result.ok
+    write_replay(str(path), BUGGY, NOISY, result)
+
+    doc = json.loads(path.read_text())
+    assert doc["version"] == 1
+    assert doc["failure"]["mismatch_count"] == result.mismatch_count
+
+    spec, schedule = load_replay(str(path))
+    assert spec == BUGGY
+    assert schedule == NOISY
+    # the reloaded pair reproduces the stored failure
+    replayed = run_case(spec, schedule)
+    assert not replayed.ok
+    assert replayed.mismatch_count == result.mismatch_count
+
+
+def test_replay_rejects_unknown_version(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"version": 99, "spec": {}, "schedule": {}}))
+    with pytest.raises(ValueError):
+        load_replay(str(path))
+
+
+def test_shrink_demo_cli(tmp_path, capsys):
+    # the CLI's --demo path is the ISSUE's acceptance check end to end
+    from repro.chaos.cli import _shrink_demo
+
+    class Args:
+        places = 3
+        size = 12
+        seeds = 8
+        seed_base = 0
+        out = str(tmp_path / "demo.json")
+
+    assert _shrink_demo(Args()) == 0
+    spec, schedule = load_replay(Args.out)
+    assert spec.app == "buggy-probe"
+    assert len(schedule.events()) <= 3

@@ -1,0 +1,129 @@
+"""Differential property battery: chaos runs must equal the serial oracle.
+
+Every built-in pattern runs under seeded chaos schedules on every engine
+(per-vertex and tiled); every result cell is diffed against a serial
+reference by the harness. Seed counts default small so the tier-1 suite
+stays fast; set ``DPX10_CHAOS_SEEDS`` to scale the battery up (the CI
+chaos job and the 50-seed acceptance run use the ``repro chaos`` CLI
+instead, which walks the same harness).
+
+A failing trial fails the test with the seed, the full schedule, the
+cell diff, *and* a ddmin-shrunk minimal schedule — everything needed to
+reproduce with ``python -m repro chaos replay``.
+"""
+
+import os
+
+import pytest
+
+from repro.chaos.harness import CaseSpec, build_case, run_case
+from repro.chaos.schedule import ChaosSchedule
+from repro.patterns import PATTERNS
+
+ALL_PATTERNS = sorted(PATTERNS)
+
+_WORK_CACHE = {}
+
+
+def _seeds(default: int):
+    return range(int(os.environ.get("DPX10_CHAOS_SEEDS", default)))
+
+
+def _total_work(spec: CaseSpec) -> int:
+    key = (spec.app, spec.pattern, spec.height, spec.width, spec.salt)
+    if key not in _WORK_CACHE:
+        _, _, expected = build_case(spec)
+        _WORK_CACHE[key] = len(expected)
+    return _WORK_CACHE[key]
+
+
+def check_seeded(spec: CaseSpec, seed: int, *, message_chaos: bool = False):
+    """Run one seeded trial; on failure report seed + shrunk schedule."""
+    schedule = ChaosSchedule.generate(
+        seed, spec.nplaces, _total_work(spec), message_chaos=message_chaos
+    )
+    result = run_case(spec, schedule)
+    if not result.ok:
+        from repro.chaos.shrink import shrink_case
+
+        minimal, trials = shrink_case(spec, schedule)
+        pytest.fail(
+            "chaos trial diverged from the serial oracle\n"
+            + result.describe()
+            + f"\nshrunk schedule ({trials} trials):\n"
+            + minimal.describe()
+        )
+    return result
+
+
+@pytest.mark.parametrize("pattern", ALL_PATTERNS)
+def test_inline_every_pattern(pattern):
+    spec = CaseSpec(pattern=pattern, engine="inline")
+    for seed in _seeds(8):
+        check_seeded(spec, seed)
+
+
+@pytest.mark.parametrize("pattern", ALL_PATTERNS)
+def test_threaded_every_pattern(pattern):
+    spec = CaseSpec(pattern=pattern, engine="threaded")
+    for seed in _seeds(3):
+        check_seeded(spec, seed)
+
+
+@pytest.mark.parametrize("pattern", ALL_PATTERNS)
+def test_mp_every_pattern(pattern):
+    spec = CaseSpec(pattern=pattern, engine="mp")
+    for seed in _seeds(1):
+        check_seeded(spec, seed)
+
+
+@pytest.mark.parametrize("engine", ["inline", "threaded", "mp"])
+@pytest.mark.parametrize("tile_shape", [(2, 2), (3, 2)])
+def test_tiled_engines(engine, tile_shape):
+    seeds = _seeds(2 if engine != "mp" else 1)
+    for pattern in ("diagonal", "grid"):
+        spec = CaseSpec(pattern=pattern, engine=engine, tile_shape=tile_shape)
+        for seed in seeds:
+            result = check_seeded(spec, seed)
+            assert not result.skipped, result.describe()
+
+
+def test_tiled_impossible_pattern_skips_cleanly():
+    # square tiles coarsen antidiag into a cyclic pattern: a skip, not a hang
+    spec = CaseSpec(pattern="antidiag", engine="inline", tile_shape=(2, 2))
+    result = run_case(spec, ChaosSchedule(seed=0))
+    assert result.ok and result.skipped
+
+
+def test_mp_with_message_chaos():
+    spec = CaseSpec(pattern="diagonal", engine="mp")
+    for seed in _seeds(2):
+        check_seeded(spec, seed, message_chaos=True)
+
+
+def test_inline_with_modelled_message_chaos():
+    # in-process engines route MessageChaos through ChaosNetwork (modelled)
+    spec = CaseSpec(pattern="grid", engine="inline")
+    for seed in _seeds(3):
+        check_seeded(spec, seed, message_chaos=True)
+
+
+@pytest.mark.parametrize("app", ["lcs", "sw", "knapsack"])
+def test_concrete_apps_under_chaos(app):
+    spec = CaseSpec(app=app, pattern="diagonal", engine="inline", nplaces=3)
+    for seed in _seeds(3):
+        check_seeded(spec, seed)
+
+
+def test_schedules_are_replayable():
+    # the harness trial is a pure function of (spec, schedule)
+    spec = CaseSpec(pattern="diagonal", engine="inline")
+    schedule = ChaosSchedule.generate(4, spec.nplaces, _total_work(spec))
+    a = run_case(spec, schedule)
+    b = run_case(spec, schedule)
+    assert (a.ok, a.completions, a.recoveries, a.injected) == (
+        b.ok,
+        b.completions,
+        b.recoveries,
+        b.injected,
+    )

@@ -1,0 +1,122 @@
+"""Schedule generation, serialization, and event-list round trips."""
+
+import pytest
+
+from repro.chaos.schedule import (
+    ChaosSchedule,
+    KillSpec,
+    MessageChaos,
+    RecoveryKillSpec,
+    ThrottleSpec,
+)
+from repro.errors import DPX10Error
+
+
+class TestGenerate:
+    def test_same_seed_same_schedule(self):
+        a = ChaosSchedule.generate(7, 4, 100, message_chaos=True)
+        b = ChaosSchedule.generate(7, 4, 100, message_chaos=True)
+        assert a == b
+
+    def test_seeds_diversify(self):
+        schedules = {
+            ChaosSchedule.generate(s, 4, 100).describe() for s in range(30)
+        }
+        assert len(schedules) > 5  # the space is actually explored
+
+    def test_never_targets_place_zero(self):
+        for seed in range(100):
+            s = ChaosSchedule.generate(seed, 4, 200, intensity=2.0)
+            assert all(k.place_id != 0 for k in s.kills)
+            assert all(r.place_id != 0 for r in s.recovery_kills)
+            assert all(t.place_id != 0 for t in s.throttles)
+
+    def test_single_place_generates_empty_kills(self):
+        s = ChaosSchedule.generate(3, 1, 50)
+        assert not s.kills and not s.recovery_kills and not s.throttles
+
+    def test_near_simultaneous_kills_appear(self):
+        # some seed in a modest range must produce a shared threshold
+        found = False
+        for seed in range(60):
+            s = ChaosSchedule.generate(seed, 4, 100)
+            thresholds = [k.after_completions for k in s.kills]
+            if len(thresholds) != len(set(thresholds)):
+                found = True
+                break
+        assert found
+
+    def test_recovery_kills_appear(self):
+        assert any(
+            ChaosSchedule.generate(seed, 4, 100).recovery_kills
+            for seed in range(40)
+        )
+
+    def test_message_chaos_only_when_asked(self):
+        assert ChaosSchedule.generate(1, 3, 50).message is None
+        assert ChaosSchedule.generate(1, 3, 50, message_chaos=True).message
+
+
+class TestRoundTrips:
+    def _busy(self) -> ChaosSchedule:
+        return ChaosSchedule(
+            seed=9,
+            kills=(KillSpec(1, 10), KillSpec(2, 10)),
+            recovery_kills=(RecoveryKillSpec(3, during_pass=1, after_progress=4),),
+            throttles=(ThrottleSpec(2, 0.001),),
+            message=MessageChaos(p_drop=0.1, timeout_s=0.05, max_retries=3),
+        )
+
+    def test_json_round_trip(self):
+        s = self._busy()
+        assert ChaosSchedule.from_dict(s.to_dict()) == s
+
+    def test_event_round_trip(self):
+        s = self._busy()
+        assert ChaosSchedule.from_events(s.events(), seed=s.seed) == s
+
+    def test_events_are_atomic(self):
+        s = self._busy()
+        events = s.events()
+        assert len(events) == 5
+        smaller = ChaosSchedule.from_events(events[:2], seed=s.seed)
+        assert smaller.kills == s.kills
+        assert not smaller.recovery_kills and smaller.message is None
+
+    def test_fault_plans_view(self):
+        plans = self._busy().fault_plans()
+        assert [(p.place_id, p.after_completions) for p in plans] == [
+            (1, 10),
+            (2, 10),
+        ]
+
+    def test_describe_mentions_every_event(self):
+        text = self._busy().describe()
+        assert "recovery pass" in text and "throttle" in text
+        assert "drop" in text
+
+    def test_empty_schedule(self):
+        s = ChaosSchedule(seed=0)
+        assert s.is_empty
+        assert s.describe() == "(empty schedule)"
+        assert s.events() == []
+
+
+class TestValidation:
+    def test_bad_probability_rejected(self):
+        with pytest.raises(DPX10Error):
+            MessageChaos(p_drop=1.5)
+
+    def test_bad_pass_rejected(self):
+        with pytest.raises(DPX10Error):
+            RecoveryKillSpec(1, during_pass=0)
+
+    def test_unknown_event_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosSchedule.from_events([("meteor", None)])
+
+    def test_config_rejects_non_schedule(self):
+        from repro.core.config import DPX10Config
+
+        with pytest.raises(DPX10Error):
+            DPX10Config(chaos={"kills": []})
