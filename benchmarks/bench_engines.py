@@ -1,0 +1,171 @@
+"""Engine matrix benchmark: wall time and bytes moved, per engine per size.
+
+The canonical output is ``BENCH_engines.json`` at the repo root — the
+engine-level analogue of ``BENCH_obs.json``: one committed snapshot that
+makes transport-level perf drift show up in review diffs. Each cell of
+the matrix is a tiled Smith-Waterman run (the kernel-enabled app every
+transport exercises hardest) recording wall seconds, cross-place bytes
+moved, and completions for:
+
+* ``inline``     — the deterministic single-thread scheduler
+* ``threaded``   — one worker activity per place
+* ``mp_pipe``    — process-per-place, pickled pipe data plane (``shm=False``)
+* ``mp_shm``     — process-per-place, shared-memory vertex planes
+
+Entry points:
+
+* ``python benchmarks/bench_engines.py`` — full matrix (256/512/1024),
+  refreshes ``BENCH_engines.json`` including the headline
+  ``speedup_shm_vs_pipe`` numbers.
+* ``python benchmarks/bench_engines.py --quick`` — CI-sized (256/512).
+* ``--check-against BENCH_engines.json`` — regression gate: fails (exit
+  1) if the mp shm SW 512x512 wall time regressed more than
+  ``--threshold`` (default 25%) against the committed baseline.
+
+The benchmark session also refreshes the snapshot via
+``conftest.pytest_sessionfinish`` (set ``REPRO_SKIP_OBS_SNAPSHOT=1`` to
+skip), mirroring how ``BENCH_obs.json`` stays current.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+from repro.apps.smith_waterman import solve_sw
+from repro.core.config import DPX10Config
+from repro.util.rng import seeded_rng
+from repro.util.timer import Timer
+
+#: repo-root canonical snapshot (next to BENCH_obs.json)
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_engines.json")
+
+#: the regression gate pins this cell of the matrix
+GATE_ENGINE = "mp_shm"
+GATE_SIZE = 512
+
+TILE = (64, 64)
+NPLACES = 4
+
+#: engine label -> DPX10Config kwargs
+ENGINE_CONFIGS = {
+    "inline": {"engine": "inline"},
+    "threaded": {"engine": "threaded"},
+    "mp_pipe": {"engine": "mp", "shm": False},
+    "mp_shm": {"engine": "mp", "shm": True},
+}
+
+
+def _random_dna(rng, n: int) -> str:
+    return "".join(rng.choice(list("ACGT"), size=n))
+
+
+def run_cell(label: str, s1: str, s2: str) -> dict:
+    """One (engine, size) cell: wall seconds, bytes moved, completions."""
+    cfg = DPX10Config(nplaces=NPLACES, tile_shape=TILE, **ENGINE_CONFIGS[label])
+    with Timer() as t:
+        app, report = solve_sw(s1, s2, cfg)
+    return {
+        "seconds": round(t.elapsed, 4),
+        "bytes_moved": int(report.network_bytes),
+        "completions": int(report.completions),
+        "score": int(app.best_score),
+    }
+
+
+def run_matrix(sizes) -> dict:
+    """The full engine x size sweep, with cross-engine result checking."""
+    rng = seeded_rng(7, "bench-engines")
+    doc = {
+        "tile": list(TILE),
+        "nplaces": NPLACES,
+        "sizes": list(sizes),
+        "engines": {label: {} for label in ENGINE_CONFIGS},
+        "speedup_shm_vs_pipe": {},
+    }
+    for size in sizes:
+        s1, s2 = _random_dna(rng, size), _random_dna(rng, size)
+        expect = None
+        for label in ENGINE_CONFIGS:
+            cell = run_cell(label, s1, s2)
+            if expect is None:
+                expect = cell["score"]
+            assert cell["score"] == expect, (label, size, cell["score"], expect)
+            doc["engines"][label][str(size)] = cell
+            print(
+                f"  {label:>9} {size:>5}^2  {cell['seconds']:8.3f}s  "
+                f"{cell['bytes_moved']:>12,} bytes moved",
+                flush=True,
+            )
+        pipe = doc["engines"]["mp_pipe"][str(size)]["seconds"]
+        shm = doc["engines"]["mp_shm"][str(size)]["seconds"]
+        doc["speedup_shm_vs_pipe"][str(size)] = round(pipe / shm, 2) if shm else None
+    return doc
+
+
+def check_regression(doc: dict, baseline_path: str, threshold: float) -> int:
+    """Compare the gate cell against a committed baseline snapshot."""
+    with open(baseline_path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    try:
+        base_s = baseline["engines"][GATE_ENGINE][str(GATE_SIZE)]["seconds"]
+    except KeyError:
+        print(f"baseline {baseline_path} has no {GATE_ENGINE} {GATE_SIZE}^2 cell")
+        return 1
+    new_s = doc["engines"][GATE_ENGINE][str(GATE_SIZE)]["seconds"]
+    limit = base_s * (1.0 + threshold)
+    verdict = "OK" if new_s <= limit else "REGRESSION"
+    print(
+        f"perf gate [{GATE_ENGINE} SW {GATE_SIZE}^2]: "
+        f"{new_s:.3f}s vs baseline {base_s:.3f}s "
+        f"(limit {limit:.3f}s = +{threshold:.0%}) -> {verdict}"
+    )
+    return 0 if new_s <= limit else 1
+
+
+def write_snapshot(doc: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized matrix (256^2 and 512^2) that finishes in under a minute",
+    )
+    parser.add_argument(
+        "--out",
+        default=DEFAULT_OUT,
+        help="snapshot path (default: repo-root BENCH_engines.json)",
+    )
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        metavar="BASELINE",
+        help="committed snapshot to gate the mp shm SW 512^2 time against",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown for --check-against (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = (256, 512) if args.quick else (256, 512, 1024)
+    print(f"engine matrix: SW tiled {TILE[0]}x{TILE[1]}, sizes {list(sizes)}")
+    doc = run_matrix(sizes)
+    for size, speedup in doc["speedup_shm_vs_pipe"].items():
+        print(f"mp shm vs pipe at {size}^2: {speedup:.2f}x")
+    write_snapshot(doc, args.out)
+    print(f"wrote {os.path.relpath(args.out)}")
+    if args.check_against:
+        return check_regression(doc, args.check_against, args.threshold)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,12 +74,33 @@ def write_obs_snapshot(path: str = OBS_SNAPSHOT, size: int = 256) -> dict:
     return doc
 
 
+ENGINES_SNAPSHOT = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_engines.json"
+)
+
+
+def write_engines_snapshot(path: str = ENGINES_SNAPSHOT) -> dict:
+    """Refresh the canonical engine-matrix snapshot (BENCH_engines.json)."""
+    from bench_engines import run_matrix, write_snapshot
+
+    doc = run_matrix((256, 512, 1024))
+    write_snapshot(doc, path)
+    return doc
+
+
 def pytest_sessionfinish(session, exitstatus):
     if exitstatus != 0 or os.environ.get("REPRO_SKIP_OBS_SNAPSHOT"):
         return
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
     start = time.perf_counter()
     write_obs_snapshot()
-    session.config.pluginmanager.get_plugin("terminalreporter").write_line(
+    reporter.write_line(
         f"wrote {os.path.relpath(OBS_SNAPSHOT)} "
+        f"({time.perf_counter() - start:.1f}s)"
+    )
+    start = time.perf_counter()
+    write_engines_snapshot()
+    reporter.write_line(
+        f"wrote {os.path.relpath(ENGINES_SNAPSHOT)} "
         f"({time.perf_counter() - start:.1f}s)"
     )

@@ -102,6 +102,7 @@ def _cmd_run(args) -> int:
         width=args.size,
         tile_shapes=tile_shapes,
         intensity=args.intensity,
+        shm={"on": True, "off": False, "auto": None}[args.shm],
         on_result=on_result,
         stop_on_failure=args.stop_on_failure,
     )
@@ -224,6 +225,12 @@ def add_chaos_parser(sub: argparse._SubParsersAction) -> None:
         "--tiled", action="store_true", help="also sweep 2x2 and 3x2 tiles"
     )
     run.add_argument("--intensity", type=float, default=1.0)
+    run.add_argument(
+        "--shm",
+        choices=("on", "off", "auto"),
+        default="auto",
+        help="force the shared-memory transport on/off (auto = runtime default)",
+    )
     run.add_argument("--replay-dir", default="chaos-replays")
     run.add_argument(
         "--shrink",

@@ -58,6 +58,8 @@ class CaseSpec:
     tile_shape: Optional[Tuple[int, int]] = None
     #: probe salt / instance seed for the concrete apps
     salt: int = 0
+    #: shared-memory transport: None = runtime default, True/False = forced
+    shm: Optional[bool] = None
 
     def label(self) -> str:
         tile = (
@@ -65,9 +67,10 @@ class CaseSpec:
             if self.tile_shape
             else ""
         )
+        shm = "" if self.shm is None else f" shm={self.shm}"
         return (
             f"{self.app}:{self.pattern} engine={self.engine} "
-            f"places={self.nplaces} {self.height}x{self.width}{tile}"
+            f"places={self.nplaces} {self.height}x{self.width}{tile}{shm}"
         )
 
     def to_dict(self) -> dict:
@@ -208,6 +211,7 @@ def run_case(spec: CaseSpec, schedule: ChaosSchedule) -> CaseResult:
             engine=spec.engine,
             tile_shape=spec.tile_shape,
             chaos=None if schedule.is_empty else schedule,
+            shm=spec.shm,
         )
         runtime = DPX10Runtime(app, dag, config)
         # tiling verifies the coarsened pattern lazily; probe it up front
@@ -261,6 +265,7 @@ def sweep(
     tile_shapes: Sequence[Optional[Tuple[int, int]]] = (None,),
     intensity: float = 1.0,
     message_chaos: Optional[bool] = None,
+    shm: Optional[bool] = None,
     on_result: Optional[Callable[[CaseResult], None]] = None,
     stop_on_failure: bool = False,
 ) -> List[CaseResult]:
@@ -286,6 +291,7 @@ def sweep(
                     height=height,
                     width=width,
                     tile_shape=tile_shape,
+                    shm=shm,
                 )
                 try:
                     _, dag, expected = build_case(spec0)
@@ -311,6 +317,7 @@ def sweep(
                         height=height,
                         width=width,
                         tile_shape=tile_shape,
+                        shm=shm,
                     )
                     for seed in seeds:
                         schedule = ChaosSchedule.generate(

@@ -82,6 +82,21 @@ class RemoteCache(Generic[K, V]):
                     hits[key] = value
         return hits, missing
 
+    def peek_many(self, keys) -> Tuple[dict, list]:
+        """Like :meth:`get_many` but without advancing the hit/miss
+        counters — for speculative probes (the halo prefetcher) that must
+        not distort the cache accounting the reports and tests rely on."""
+        hits: dict = {}
+        missing: list = []
+        with self._lock:
+            for key in keys:
+                value = self._map.get(key, _MISS)
+                if value is _MISS:
+                    missing.append(key)
+                else:
+                    hits[key] = value
+        return hits, missing
+
     def put_many(self, items) -> None:
         """Batched insert of ``(key, value)`` pairs (FIFO, one lock hold)."""
         if self.capacity == 0:

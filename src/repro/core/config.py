@@ -126,6 +126,24 @@ class DPX10Config:
     #: pipes (real delay/drop/dup/reorder) or the in-process NetworkModel
     #: (modelled). Results must be — and are tested to be — unchanged.
     chaos: Optional[object] = None
+    #: zero-copy shared-memory data plane (see repro.core.shm and
+    #: docs/TILING.md "Transport"). ``None`` (default) resolves to "on
+    #: where it pays and is supported": the mp engine backs its vertex
+    #: planes with multiprocessing.shared_memory segments so workers read
+    #: owned cells and halo strips as NumPy views instead of pickled pipe
+    #: payloads, while the in-process engines keep plain arrays. ``True``
+    #: additionally backs the in-process VertexStore value/finished
+    #: arrays with segments. ``False`` forces the pickled pipe transport
+    #: everywhere. Regardless of the setting, object-dtype apps, spilled
+    #: stores, unsupported platforms and mp runs under *message* chaos
+    #: (whose ChaosPipe semantics must be preserved) fall back to pipes.
+    shm: Optional[bool] = None
+    #: tiled path only: when a tile finishes, asynchronously pre-fetch
+    #: the halo strips of the next tiles queued at that place (double-
+    #: buffered per worker) so fetch latency overlaps compute; the
+    #: synchronous batched fetch remains the correctness fallback. Hits
+    #: and misses are observable as dpx10_halo_prefetch_{hits,misses}_total.
+    halo_prefetch: bool = True
     #: let idle workers steal ready vertices from other places' lists.
     #: An extension beyond the paper (its future work cites X10
     #: work-stealing schedulers [24, 25]); results are unchanged, load
@@ -174,6 +192,10 @@ class DPX10Config:
         require(
             not (self.static_schedule and self.engine != "inline"),
             "static_schedule requires the inline engine",
+        )
+        require(
+            self.shm is None or isinstance(self.shm, bool),
+            f"shm must be None, True or False, got {self.shm!r}",
         )
         if self.chaos is not None:
             # imported lazily: repro.chaos depends on repro.core for its

@@ -5,13 +5,23 @@ them into one Python process. This engine does it for real:
 
 * every place is a ``multiprocessing.Process`` holding its partition of
   the vertex matrix in its own address space;
-* cross-place dependency values travel as actual pickled bytes over pipes
-  (master-relayed rather than peer-to-peer — the one simplification, and
-  the network accounting records the true transfer sizes);
+* cross-place dependency values travel over one of two data planes. The
+  default for numeric-dtype apps is **zero-copy shared memory**: the
+  master creates value/finished planes in ``multiprocessing.
+  shared_memory`` segments (lifecycle owned by :mod:`repro.core.shm`),
+  workers attach them as NumPy views, read owned cells and halo strips
+  directly, and write results in place — the pipes stay as the control
+  plane (level batches, replies, stats). Object-dtype apps, spilled
+  stores, unsupported platforms and runs under *message* chaos fall back
+  to the original pickled pipe transport (so
+  :class:`~repro.chaos.network.ChaosPipe` semantics are preserved); the
+  network accounting records the true transfer sizes on both planes;
 * a fault is a genuine ``SIGKILL`` of a place process, detected by the
   master, and recovery reassigns the dead partition to survivors and
   recomputes it — the paper's section VI-D protocol, against a real
-  process corpse.
+  process corpse. In shm mode the plane regions owned by the dead place
+  are zeroed and re-materialized by the recompute drain before any
+  consumer reads them.
 
 Execution is **level-synchronous**: the master groups vertices by
 topological depth and drives one level at a time; within a level every
@@ -32,10 +42,13 @@ blocks exactly as a plain ``recv`` would); under ``repro.chaos`` message
 chaos (drop / duplicate / delay / reorder injected by
 :class:`~repro.chaos.network.ChaosPipe`) it is what keeps the run exact.
 
-Selected with ``DPX10Config(engine="mp")``. Sizes up to ~10^5 vertices
-are practical; the per-level pickling round-trip dominates beyond that.
-Because apps and DAGs cross the pipe, both must be picklable —
-module-level classes, not closures or test-local definitions.
+Selected with ``DPX10Config(engine="mp")``. On the pickled fallback,
+sizes up to ~10^5 vertices are practical (the per-level pickling
+round-trip dominates beyond that); the shm plane removes that wall —
+tiled runs ship tile *indices* over the pipe and compute whole tiles
+against the plane with the app's vectorized kernel. Because apps and
+DAGs cross the pipe, both must be picklable — module-level classes, not
+closures or test-local definitions.
 """
 
 from __future__ import annotations
@@ -46,7 +59,10 @@ import signal
 import time
 import multiprocessing as mp
 from collections import defaultdict
+from collections.abc import Mapping
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.apgas.failure import FaultInjector, FaultPlan
 from repro.core.api import DPX10App, Vertex
@@ -57,10 +73,10 @@ from repro.errors import (
     DPX10Error,
     PlaceZeroDeadError,
 )
-from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.metrics import DEFAULT_BYTES_BUCKETS, NULL_REGISTRY, MetricsRegistry
 from repro.util.logging import get_logger
 
-__all__ = ["run_mp", "MPRunStats"]
+__all__ = ["run_mp", "MPRunStats", "PlaneResults"]
 
 logger = get_logger("core.mp_engine")
 
@@ -93,6 +109,174 @@ class MPRunStats:
         self.worker_compute_seconds: Dict[int, float] = {}
 
 
+class _ShmWorker:
+    """Worker-side view of the shared-memory data plane.
+
+    Attaches the value/finished planes the master created, coarsens the
+    DAG locally when the run is tiled (tile geometry is deterministic, so
+    shipping the tile shape is enough), and serves the ``cells`` /
+    ``tiles`` requests by reading dependencies straight off the plane and
+    writing results in place. The only pipe traffic left is the unit
+    index lists and the tiny ``done`` acknowledgements.
+
+    Accounting: reads of cells homed on *other* places are the halo
+    traffic the pipes used to carry; they feed
+    ``dpx10_mp_shm_read_{bytes,batches}_total`` (folded into the master's
+    network stats at collect time) and the ``dpx10_halo_fetch_bytes``
+    histogram under the ``shm`` transport label.
+    """
+
+    def __init__(
+        self,
+        place_id: int,
+        app: DPX10App,
+        dag: Dag,
+        meta: Dict[str, Any],
+        registry: MetricsRegistry,
+    ) -> None:
+        from repro.core import shm
+
+        self.place_id = place_id
+        self.app = app
+        self.dag = dag
+        shape = meta["shape"]
+        self.values = shm.attach_array(meta["values"], shape, meta["dtype"])
+        self.finished = shm.attach_array(meta["finished"], shape, np.uint8)
+        #: unit-granular owner map (tile grid or cell grid, -1 = inactive);
+        #: Dist objects hold closures and cannot cross the pipe, so the
+        #: master ships this resolved array instead (and again on redist)
+        self.owners = meta["owners"]
+        self.itemsize = self.values.dtype.itemsize
+        self.tiled = None
+        self.kernel_ok = False
+        if meta["tile_shape"] is not None:
+            self.tiled = dag.coarsen(*meta["tile_shape"])
+            self.kernel_ok = (
+                self.tiled.stencil_mode
+                and type(app).compute_tile is not DPX10App.compute_tile
+            )
+        self.read_bytes = registry.counter(
+            "dpx10_mp_shm_read_bytes_total",
+            "bytes read from the shared-memory plane for remote-homed "
+            "dependencies (the halo traffic the pipes used to carry)",
+            ("place",),
+        ).labels(place_id)
+        self.read_batches = registry.counter(
+            "dpx10_mp_shm_read_batches_total",
+            "batched shared-memory halo reads (one per producing place "
+            "per unit batch)",
+            ("place",),
+        ).labels(place_id)
+        self.halo_bytes = registry.histogram(
+            "dpx10_halo_fetch_bytes",
+            "bytes moved per batched halo fetch",
+            ("transport",),
+            buckets=DEFAULT_BYTES_BUCKETS,
+        ).labels("shm")
+
+    def set_owners(self, owners: np.ndarray) -> None:
+        """Recovery re-homed the units: track ownership for accounting."""
+        self.owners = owners
+
+    def _record_remote(self, ncells: int, nproducers: int) -> None:
+        if ncells:
+            nbytes = ncells * self.itemsize
+            self.read_bytes.inc(nbytes)
+            self.read_batches.inc(nproducers)
+            self.halo_bytes.observe(nbytes)
+
+    def compute_cells(self, cells: Sequence[Coord]) -> int:
+        """Per-cell compute against the plane (the untiled unit)."""
+        app, dag = self.app, self.dag
+        values, finished = self.values, self.finished
+        owners = self.owners
+        remote = 0
+        producers: Set[int] = set()
+        for i, j in cells:
+            verts: List[Vertex] = []
+            for d in dag.get_dependency(i, j):
+                if not dag.is_active(d.i, d.j):
+                    continue
+                verts.append(Vertex(d.i, d.j, values[d.i, d.j].item()))
+                owner = int(owners[d.i, d.j])
+                if owner != self.place_id:
+                    remote += 1
+                    producers.add(owner)
+            values[i, j] = app.compute(i, j, verts)
+            finished[i, j] = 1
+        self._record_remote(remote, len(producers))
+        return len(cells)
+
+    def compute_tiles(self, tiles: Sequence[Coord]) -> int:
+        """Whole-tile compute against the plane (the tiled unit).
+
+        Mirrors :func:`repro.core.tiling.execute_tile` semantics exactly:
+        the kernel window starts as zeros with only the halo strips
+        scattered in (never a raw plane copy, so stale successor values
+        after a recovery can never leak into a window), and the per-cell
+        fallback reads in-tile values from a local dict and out-of-tile
+        values from the plane.
+        """
+        tiled = self.tiled
+        assert tiled is not None
+        app = self.app
+        base = tiled.base
+        grid = tiled.grid
+        values, finished = self.values, self.finished
+        owners = self.owners
+        total = 0
+        for ti, tj in tiles:
+            rows, cols = tiled.cells_of(ti, tj)
+            n = len(rows)
+            if n == 0:
+                continue
+            hrows, hcols = tiled.halo_of(ti, tj)
+            if len(hrows):
+                # halo accounting at tile granularity: a strip cell is
+                # homed where its tile's origin lives
+                strip_owners = owners[hrows // grid.tile_h, hcols // grid.tile_w]
+                remote_mask = strip_owners != self.place_id
+                producers = set(np.unique(strip_owners[remote_mask]).tolist())
+                self._record_remote(
+                    int(np.count_nonzero(remote_mask)), len(producers)
+                )
+            r0, r1, c0, c1 = grid.bounds(ti, tj)
+            done = False
+            if self.kernel_ok:
+                pt, pb, pl, pr = tiled.pads
+                wr0, wr1 = max(0, r0 - pt), min(base.height, r1 + pb)
+                wc0, wc1 = max(0, c0 - pl), min(base.width, c1 + pr)
+                window = np.zeros((wr1 - wr0, wc1 - wc0), dtype=values.dtype)
+                if len(hrows):
+                    window[hrows - wr0, hcols - wc0] = values[hrows, hcols]
+                if app.compute_tile(
+                    r0, c0, window, r0 - wr0, c0 - wc0, r1 - r0, c1 - c0
+                ):
+                    values[rows, cols] = window[rows - wr0, cols - wc0]
+                    done = True
+            if not done:
+                local: Dict[Coord, Any] = {}
+                for i, j in zip(rows.tolist(), cols.tolist()):
+                    verts = []
+                    for d in base.get_dependency(i, j):
+                        if not base.is_active(d.i, d.j):
+                            continue
+                        key = (d.i, d.j)
+                        if key in local:
+                            verts.append(Vertex(d.i, d.j, local[key]))
+                        else:
+                            verts.append(
+                                Vertex(d.i, d.j, values[d.i, d.j].item())
+                            )
+                    local[(i, j)] = app.compute(i, j, verts)
+                values[rows, cols] = [
+                    local[c] for c in zip(rows.tolist(), cols.tolist())
+                ]
+            finished[rows, cols] = 1
+            total += n
+        return total
+
+
 def _worker_main(place_id: int, conn) -> None:
     """The place process: owns values for its coords, serves the master.
 
@@ -100,11 +284,15 @@ def _worker_main(place_id: int, conn) -> None:
     ``(seq, *body)``. Replies for the last :data:`_REPLY_CACHE` sequence
     numbers are cached so a retried or duplicated request is answered
     idempotently — in particular a duplicated ``compute`` never runs the
-    user's kernel twice.
+    user's kernel twice. ``cells``/``tiles`` (the shm data plane) get the
+    same guarantee: a duplicated request is answered from the cache, and
+    since a unit's recompute is deterministic even a lost-reply rerun
+    would write identical bytes.
     """
     app: Optional[DPX10App] = None
     dag: Optional[Dag] = None
     values: Dict[Coord, Any] = {}
+    shm_worker: Optional[_ShmWorker] = None
     replied: Dict[int, tuple] = {}
     # the worker's own registry: per-process accounting that ships back to
     # the master as a snapshot over the reply channel ("stats" request)
@@ -143,8 +331,36 @@ def _worker_main(place_id: int, conn) -> None:
                     return
                 continue
             if kind == "init":
-                _, _, app, dag = msg
+                _, _, app, dag, meta = msg
                 values = {}
+                shm_worker = (
+                    _ShmWorker(place_id, app, dag, meta, registry)
+                    if meta is not None
+                    else None
+                )
+                reply = (seq, "ok")
+            elif kind == "cells":
+                _, _, cells = msg
+                assert shm_worker is not None
+                t0 = time.perf_counter()
+                ncomp = shm_worker.compute_cells(cells)
+                compute_seconds.inc(time.perf_counter() - t0)
+                cells_computed.inc(ncomp)
+                levels_served.inc()
+                reply = (seq, "done", ncomp)
+            elif kind == "tiles":
+                _, _, tile_list = msg
+                assert shm_worker is not None
+                t0 = time.perf_counter()
+                ncomp = shm_worker.compute_tiles(tile_list)
+                compute_seconds.inc(time.perf_counter() - t0)
+                cells_computed.inc(ncomp)
+                levels_served.inc()
+                reply = (seq, "done", ncomp)
+            elif kind == "redist":
+                _, _, new_owners = msg
+                assert shm_worker is not None
+                shm_worker.set_owners(new_owners)
                 reply = (seq, "ok")
             elif kind == "compute":
                 # compute the given cells; boundary holds remote dep values
@@ -186,6 +402,11 @@ def _worker_main(place_id: int, conn) -> None:
             conn.send(reply)
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown races
         return
+    finally:
+        if shm_worker is not None:
+            from repro.core import shm
+
+            shm.detach_all()
 
 
 class _PlaceProc:
@@ -409,6 +630,71 @@ def _publish_master_metrics(registry: MetricsRegistry, stats: MPRunStats) -> Non
     ).labels("recovery").set(stats.recoveries)
 
 
+class PlaneResults(Mapping):
+    """Result mapping backed by copies of the shm value/finished planes.
+
+    Duck-compatible with the ``{(i, j): value}`` dict the pickled path
+    returns — membership means "finished", lookups return Python scalars
+    — plus :meth:`as_bulk`, the vectorized gather the runtime hands to
+    :class:`~repro.core.dag.ResultView` so ``Dag.to_array`` needs no
+    per-cell loop.
+    """
+
+    def __init__(self, values: np.ndarray, finished: np.ndarray) -> None:
+        self._values = values
+        self._finished = finished  # bool mask
+
+    def __getitem__(self, key: Coord) -> Any:
+        i, j = key
+        h, w = self._finished.shape
+        if not (0 <= i < h and 0 <= j < w) or not self._finished[i, j]:
+            raise KeyError(key)
+        return self._values[i, j].item()
+
+    def __contains__(self, key: object) -> bool:
+        try:
+            i, j = key  # type: ignore[misc]
+        except (TypeError, ValueError):
+            return False
+        h, w = self._finished.shape
+        return 0 <= i < h and 0 <= j < w and bool(self._finished[i, j])
+
+    def __iter__(self):
+        for i, j in np.argwhere(self._finished):
+            yield (int(i), int(j))
+
+    def __len__(self) -> int:
+        return int(np.count_nonzero(self._finished))
+
+    def as_bulk(self, fill: Any, dtype: Any) -> np.ndarray:
+        """``ResultView`` bulk gather: full matrix, ``fill`` where unfinished."""
+        out = np.full(self._values.shape, fill, dtype=dtype or object)
+        out[self._finished] = self._values[self._finished]
+        return out
+
+
+def _shm_eligible(app: DPX10App, config: DPX10Config, chaos) -> bool:
+    """Whether this run may use the shared-memory data plane.
+
+    Opt-out (``shm=False``) wins; otherwise the plane needs a numeric
+    dtype (object values cannot live in a flat segment), no disk
+    spilling, no *message* chaos (ChaosPipe perturbs pipe payloads — the
+    data must stay on the pipes for those semantics to mean anything),
+    and a platform where segments actually work.
+    """
+    if config.shm is False:
+        return False
+    if app.value_dtype is None:
+        return False
+    if config.spill_dir is not None:
+        return False
+    if chaos is not None and chaos.message is not None:
+        return False
+    from repro.core.shm import shm_supported
+
+    return shm_supported()
+
+
 def run_mp(
     app: DPX10App,
     dag: Dag,
@@ -416,21 +702,38 @@ def run_mp(
     fault_plans: Sequence[FaultPlan] = (),
     registry: MetricsRegistry = NULL_REGISTRY,
     chaos=None,
-) -> Tuple[Dict[Coord, Any], MPRunStats]:
+) -> Tuple[Mapping, MPRunStats]:
     """Execute the application on real place processes.
 
-    Returns the complete ``{coord: value}`` result map plus run stats.
-    Each place process keeps its own metrics registry; at gather time the
-    master requests a snapshot over the reply channel and merges it into
-    ``registry`` (counters add, histograms add bucket-wise), so
-    per-process accounting survives the address-space boundary.
+    Returns the complete ``{coord: value}`` result mapping plus run
+    stats — a plain dict from the pickled transport, a
+    :class:`PlaneResults` from the shared-memory one. Each place process
+    keeps its own metrics registry; at gather time the master requests a
+    snapshot over the reply channel and merges it into ``registry``
+    (counters add, histograms add bucket-wise), so per-process
+    accounting survives the address-space boundary.
 
     ``chaos`` is an optional :class:`~repro.chaos.controller.
     ChaosController`: its kill plans merge into the fault injector, its
     recovery-kill triggers are polled between recovery redo batches, its
     throttles slow a place's level batches, and its message block wraps
-    every master-side pipe in a :class:`~repro.chaos.network.ChaosPipe`.
+    every master-side pipe in a :class:`~repro.chaos.network.ChaosPipe`
+    (which is also what forces such runs onto the pickled transport).
     """
+    if _shm_eligible(app, config, chaos):
+        return _run_mp_shm(app, dag, config, fault_plans, registry, chaos)
+    return _run_mp_pipes(app, dag, config, fault_plans, registry, chaos)
+
+
+def _run_mp_pipes(
+    app: DPX10App,
+    dag: Dag,
+    config: DPX10Config,
+    fault_plans: Sequence[FaultPlan] = (),
+    registry: MetricsRegistry = NULL_REGISTRY,
+    chaos=None,
+) -> Tuple[Dict[Coord, Any], MPRunStats]:
+    """The pickled pipe transport: values travel as pipe payloads."""
     ctx = mp.get_context("fork" if hasattr(os, "fork") else "spawn")
     stats = MPRunStats()
     tiled = dag.coarsen(*config.tile_shape) if config.tiling_enabled else None
@@ -490,7 +793,17 @@ def run_mp(
             if dag.is_active(i, j):
                 owner[(i, j)] = home_of((i, j), dist)
         for p in alive:
-            procs[p].request(("init", app, dag))
+            procs[p].request(("init", app, dag, None))
+        halo_hist = (
+            registry.histogram(
+                "dpx10_halo_fetch_bytes",
+                "bytes moved per batched halo fetch",
+                ("transport",),
+                buckets=DEFAULT_BYTES_BUCKETS,
+            ).labels("pipe")
+            if registry.enabled
+            else None
+        )
 
         #: topological depth of every active cell — recovery keys its
         #: redo batches on this so dependencies always recompute first
@@ -526,6 +839,10 @@ def run_mp(
                     )
                     stats.network_bytes += nbytes
                     stats.network_messages += 1
+                    if halo_hist is not None:
+                        # actual pickled payload size (satellite: the halo
+                        # byte accounting is real on every transport)
+                        halo_hist.observe(nbytes)
             if chaos is not None and chaos.has_throttles:
                 for p in by_place:
                     chaos.throttle_batch(p, len(by_place[p]))
@@ -639,3 +956,265 @@ def run_mp(
     finally:
         for proc in procs.values():
             proc.stop()
+
+
+def _run_mp_shm(
+    app: DPX10App,
+    dag: Dag,
+    config: DPX10Config,
+    fault_plans: Sequence[FaultPlan] = (),
+    registry: MetricsRegistry = NULL_REGISTRY,
+    chaos=None,
+) -> Tuple[PlaneResults, MPRunStats]:
+    """The zero-copy transport: values live in shared-memory planes.
+
+    The master creates a matrix-shaped value plane (the app's dtype) and
+    a uint8 finished plane before spawning the place processes; workers
+    attach both and compute in place. The pipes carry only *unit index
+    lists* — whole tiles when the run is tiled, cells otherwise — so the
+    per-level payload is O(units), not O(values). Level-synchronous
+    execution makes the lock-free cross-process reads safe: a unit's
+    dependencies always finished in an earlier level (or earlier in the
+    same process's batch), and kills only fire between levels at the
+    master's poll points, so no consumer can observe a torn write.
+
+    Recovery: a dead place's computed units have their plane regions
+    zeroed (restoring the "never written reads as zero" invariant for
+    kernel windows) and are recomputed in topological-depth order by the
+    survivors, who receive the re-homed distribution via ``redist``.
+    """
+    from repro.core.shm import ShmArena
+
+    ctx = mp.get_context("fork" if hasattr(os, "fork") else "spawn")
+    stats = MPRunStats()
+    tiled = dag.coarsen(*config.tile_shape) if config.tiling_enabled else None
+    unit_levels = _topological_levels(tiled if tiled is not None else dag)
+    stats.levels = len(unit_levels)
+    if tiled is not None:
+        kind_msg = "tiles"
+        # exact per-tile active-cell counts: completions must count cells
+        # (fault injection thresholds and progress are cell-granular)
+        ncells_of: Dict[Coord, int] = {
+            u: int(len(tiled.cells_of(*u)[0]))
+            for lv in unit_levels
+            for u in lv
+        }
+    else:
+        kind_msg = "cells"
+        ncells_of = {u: 1 for lv in unit_levels for u in lv}
+    total_active = sum(ncells_of.values())
+    all_plans = list(fault_plans)
+    if chaos is not None:
+        all_plans += chaos.fault_plans()
+    injector = FaultInjector(all_plans, total_active) if all_plans else None
+    record_event = chaos.record if chaos is not None else None
+
+    def on_retry() -> None:
+        stats.msg_retries += 1
+
+    dt = np.dtype(app.value_dtype)
+    arena = ShmArena()
+    try:
+        values, values_name = arena.create((dag.height, dag.width), dt, "values")
+        finished, finished_name = arena.create(
+            (dag.height, dag.width), np.uint8, "finished"
+        )
+        shm_gauge = (
+            registry.gauge(
+                "dpx10_shm_bytes_mapped",
+                "bytes of shared-memory plane segments currently mapped",
+            )
+            if registry.enabled
+            else None
+        )
+        if shm_gauge is not None:
+            shm_gauge.set(arena.bytes_mapped)
+        # the planes must exist before the fork so children inherit open
+        # segments; message chaos is excluded by eligibility, so the
+        # pipes here are always raw
+        procs: Dict[int, _PlaceProc] = {
+            p: _PlaceProc(p, ctx, record_event=record_event, on_retry=on_retry)
+            for p in range(config.nplaces)
+        }
+        try:
+            alive = sorted(procs)
+            dist = config.make_dist(dag.region, alive)
+
+            def home_of(u: Coord, d) -> int:
+                if tiled is None:
+                    return d.place_of(*u)
+                return d.place_of(*tiled.grid.origin(*u))
+
+            owner: Dict[Coord, int] = {
+                u: home_of(u, dist) for lv in unit_levels for u in lv
+            }
+
+            def owner_array() -> np.ndarray:
+                """The owner map resolved to a unit-grid array (-1 =
+                inactive) — Dist objects hold closures and cannot cross
+                the pipe, so workers get this instead."""
+                if tiled is None:
+                    arr = np.full((dag.height, dag.width), -1, np.int32)
+                else:
+                    arr = np.full((tiled.grid.nti, tiled.grid.ntj), -1, np.int32)
+                for u, p in owner.items():
+                    arr[u] = p
+                return arr
+
+            meta = {
+                "values": values_name,
+                "finished": finished_name,
+                "shape": (dag.height, dag.width),
+                "dtype": dt.str,
+                "tile_shape": (
+                    tuple(config.tile_shape) if tiled is not None else None
+                ),
+                "owners": owner_array(),
+            }
+            for p in alive:
+                procs[p].request(("init", app, dag, meta))
+
+            depth_of: Dict[Coord, int] = {
+                u: d for d, lv in enumerate(unit_levels) for u in lv
+            }
+            computed: Set[Coord] = set()
+
+            def compute_level(units: List[Coord]) -> None:
+                """One bulk-synchronous step: ship unit indices only."""
+                by_place: Dict[int, List[Coord]] = defaultdict(list)
+                for u in units:
+                    by_place[owner[u]].append(u)
+                if chaos is not None and chaos.has_throttles:
+                    for p in by_place:
+                        chaos.throttle_batch(
+                            p, sum(ncells_of[u] for u in by_place[p])
+                        )
+                for p, own in by_place.items():
+                    procs[p].send_request((kind_msg, own))
+                for p in by_place:
+                    reply = procs[p].recv_reply()
+                    assert reply[0] == "done"
+                    stats.per_place_executed[p] = (
+                        stats.per_place_executed.get(p, 0) + reply[1]
+                    )
+                stats.completions += sum(ncells_of[u] for u in units)
+                computed.update(units)
+
+            def zero_unit(u: Coord) -> None:
+                """Reset a lost unit's plane region before its recompute."""
+                if tiled is None:
+                    values[u] = 0
+                    finished[u] = 0
+                    return
+                rows, cols = tiled.cells_of(*u)
+                if len(rows):
+                    values[rows, cols] = 0
+                    finished[rows, cols] = 0
+
+            def handle_victims(
+                victims: Sequence[int], pending: Dict[int, Set[Coord]]
+            ) -> None:
+                if 0 in victims or not procs[0].alive:
+                    raise PlaceZeroDeadError()
+                for v in set(victims):
+                    if procs[v].alive:
+                        logger.warning("SIGKILL place %d process", v)
+                        procs[v].kill()
+                dead = {p for p in procs if not procs[p].alive}
+                survivors = [p for p in sorted(procs) if procs[p].alive]
+                if not survivors:
+                    raise AllPlacesDeadError("every place process died")
+                new_dist = config.make_dist(dag.region, survivors)
+                for u, p in owner.items():
+                    if p in dead:
+                        owner[u] = home_of(u, new_dist)
+                        if u in computed:
+                            computed.discard(u)
+                            zero_unit(u)
+                            pending.setdefault(depth_of[u], set()).add(u)
+                # survivors track the re-homed ownership so their halo
+                # accounting (and nothing else) stays truthful
+                arr = owner_array()
+                for p in survivors:
+                    procs[p].request(("redist", arr))
+
+            def poll_faults() -> List[int]:
+                if injector is None:
+                    return []
+                victims = injector.poll_completions(stats.completions)
+                if victims and chaos is not None:
+                    chaos.record("kill", len(victims))
+                return victims
+
+            def recover(first_victims: List[int]) -> None:
+                stats.recoveries += 1
+                if chaos is not None:
+                    chaos.begin_recovery_pass()
+                pending: Dict[int, Set[Coord]] = {}
+                handle_victims(first_victims, pending)
+                progress = 0
+                while pending:
+                    d = min(pending)
+                    batch = sorted(pending.pop(d))
+                    compute_level(batch)
+                    progress += len(batch)
+                    more: List[int] = []
+                    if chaos is not None:
+                        more += chaos.poll_recovery(progress)
+                    more += poll_faults()
+                    if more:
+                        handle_victims(more, pending)
+
+            level_idx = 0
+            while level_idx < len(unit_levels):
+                compute_level(unit_levels[level_idx])
+                level_idx += 1
+                victims = poll_faults()
+                if victims:
+                    recover(victims)
+
+            # no collect round trip: the results already live in the
+            # plane. Merge each survivor's metrics snapshot and fold its
+            # shm read accounting into the master's network stats (the
+            # snapshot is a plain dict, so this works even with the
+            # NULL registry)
+            for p in sorted(procs):
+                if procs[p].alive:
+                    snapshot = procs[p].request(("stats",))[1]
+                    registry.merge(snapshot)
+                    for label_values, seconds in snapshot.get(
+                        "dpx10_mp_worker_compute_seconds_total", {}
+                    ).get("values", []):
+                        stats.worker_compute_seconds[int(label_values[0])] = (
+                            seconds
+                        )
+                    for _lv, nbytes in snapshot.get(
+                        "dpx10_mp_shm_read_bytes_total", {}
+                    ).get("values", []):
+                        stats.network_bytes += int(nbytes)
+                    for _lv, nbatches in snapshot.get(
+                        "dpx10_mp_shm_read_batches_total", {}
+                    ).get("values", []):
+                        stats.network_messages += int(nbatches)
+            done_cells = int(np.count_nonzero(finished))
+            if done_cells != total_active:
+                raise DPX10Error(
+                    f"{total_active - done_cells} vertices missing after run"
+                )
+            stats.final_alive_places = sum(
+                1 for pr in procs.values() if pr.alive
+            )
+            if shm_gauge is not None:
+                shm_gauge.set(arena.bytes_mapped)
+            if registry.enabled:
+                _publish_master_metrics(registry, stats)
+            # copy the planes out before the segments unlink
+            return (
+                PlaneResults(values.copy(), finished.astype(bool)),
+                stats,
+            )
+        finally:
+            for proc in procs.values():
+                proc.stop()
+    finally:
+        arena.close()

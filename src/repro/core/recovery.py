@@ -176,6 +176,7 @@ def _recover_once(state: ExecutionState) -> RecoveryStats:
             state.app.value_dtype,
             state.app.init_value,
             spill_dir=config.spill_dir,
+            shm_arena=state.shm_arena,
         )
 
         for coord, (value, old_home) in preserved.items():
@@ -237,6 +238,7 @@ def _recover_from_snapshot_once(state: ExecutionState) -> RecoveryStats:
             state.app.value_dtype,
             state.app.init_value,
             spill_dir=config.spill_dir,
+            shm_arena=state.shm_arena,
         )
         cells = state.snapshots.load() if state.snapshots is not None else {}
         for (i, j), value in cells.items():

@@ -217,6 +217,7 @@ class DPX10Runtime:
             # perturbing the initial interleaving (results are unchanged)
             rt.engine.on_activity_start = self.chaos.on_execute
         recovery_stats: List[RecoveryStats] = []
+        state: Optional[ExecutionState] = None
         try:
             with Timer() as timer:
                 state = self._initialize(rt)
@@ -283,7 +284,16 @@ class DPX10Runtime:
                 self._bind_results(state)
                 self.app.app_finished(self.dag)
         finally:
+            if state is not None and state.prefetch is not None:
+                state.prefetch.stop()
             rt.shutdown()
+            if state is not None and state.shm_arena is not None:
+                # after shutdown so nothing is still computing; copy the
+                # store views to heap first so post-run result reads
+                # don't touch unmapped segments
+                for store in state.stores.values():
+                    store.detach_shm()
+                state.shm_arena.close()
 
         report = RunReport(
             wall_time=timer.elapsed,
@@ -348,7 +358,10 @@ class DPX10Runtime:
             def finished(i: int, j: int) -> bool:
                 return (i, j) in results
 
-            dag.bind_results(ResultView(getter, finished))
+            # PlaneResults (shm transport) offers a vectorized gather;
+            # the pickled path's plain dict does not
+            bulk = getattr(results, "as_bulk", None)
+            dag.bind_results(ResultView(getter, finished, bulk))
             self.app.app_finished(dag)
 
         report = RunReport(
@@ -378,6 +391,18 @@ class DPX10Runtime:
         # the trace exists before partitioning so the "partition" phase
         # span covers distribution + store construction
         trace = ExecutionTrace() if cfg.trace else None
+        shm_arena = None
+        if (
+            cfg.shm is True
+            and self.app.value_dtype is not None
+            and cfg.spill_dir is None
+        ):
+            # explicit opt-in for the in-process engines: back the stores
+            # with shared segments (observable via dpx10_shm_bytes_mapped)
+            from repro.core.shm import ShmArena, shm_supported
+
+            if shm_supported():
+                shm_arena = ShmArena()
         with trace.phase("partition") if trace is not None else nullcontext():
             dist = cfg.make_dist(self.dag.region, rt.group.alive_ids())
             stores = build_stores(
@@ -387,7 +412,14 @@ class DPX10Runtime:
                 self.app.value_dtype,
                 self.app.init_value,
                 spill_dir=cfg.spill_dir,
+                shm_arena=shm_arena,
             )
+        if shm_arena is not None and self.metrics.enabled:
+            # record eagerly: the arena is closed before the report-time
+            # collect(), which must still see the mapped size
+            self.metrics.gauge(
+                "dpx10_shm_bytes_mapped", "bytes of live shared-memory segments"
+            ).set(shm_arena.bytes_mapped)
         ready: Dict[int, Deque[Coord]] = {
             pid: deque(stores[pid].zero_indegree_unfinished())
             for pid in dist.place_ids
@@ -425,11 +457,16 @@ class DPX10Runtime:
             tiles = TileRunState(tiled)
             tiles.build(state, fresh=True)
             state.tiles = tiles
+            if cfg.halo_prefetch:
+                from repro.core.tiling import HaloPrefetcher
+
+                state.prefetch = HaloPrefetcher(state)
         if cfg.ft_mode == "snapshot":
             from repro.dist.snapshot import SnapshotStore
 
             state.snapshots = SnapshotStore()
             state.take_snapshot()  # the initial (empty) checkpoint
+        state.shm_arena = shm_arena
         state.trace = trace
         state.metrics = self.metrics
         state.chaos = self.chaos
@@ -479,6 +516,9 @@ class DPX10Runtime:
         )
         active = reg.gauge("dpx10_vertices_active", "active vertices in the DAG")
         alive = reg.gauge("dpx10_places_alive", "places currently alive")
+        shm_mapped = reg.gauge(
+            "dpx10_shm_bytes_mapped", "bytes of live shared-memory segments"
+        )
         snaps = reg.counter(
             "dpx10_snapshots_taken_total", "periodic snapshots taken"
         )
@@ -499,6 +539,8 @@ class DPX10Runtime:
             completions.set(state.completions)
             active.set(state.total_active)
             alive.set(rt.group.alive_count())
+            if state.shm_arena is not None and not state.shm_arena.closed:
+                shm_mapped.set(state.shm_arena.bytes_mapped)
             if state.snapshots is not None:
                 snaps.set(state.snapshots.snapshots_taken)
                 snap_cells.set(state.snapshots.cells_copied_total)

@@ -34,6 +34,7 @@ keep the legacy per-vertex path bit-for-bit.
 
 from __future__ import annotations
 
+import queue
 import threading
 from collections import deque
 from dataclasses import dataclass
@@ -54,6 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.worker import ExecutionState
 
 __all__ = [
+    "HaloPrefetcher",
     "TileGrid",
     "TiledDag",
     "TileRunState",
@@ -445,6 +447,10 @@ class TileRunState:
         partially lost tiles get their indegree reset — the tile-granular
         analogue of the paper's "reset the indegree" step.
         """
+        prefetch = getattr(state, "prefetch", None)
+        if prefetch is not None:
+            # any buffered halo may predate a recovery rollback; drop it
+            prefetch.clear()
         tiled = self.tiled
         dist = state.dist
         active_tiles = [
@@ -545,6 +551,178 @@ class TileRunState:
             )
 
 
+# -- the halo prefetcher --------------------------------------------------------------
+def _halo_value_nbytes(state: "ExecutionState") -> int:
+    """Actual bytes per halo value: the dtype's itemsize for typed apps,
+    the configured model (``value_nbytes``) for object-valued ones."""
+    dt = state.app.value_dtype
+    if dt is not None:
+        return int(np.dtype(dt).itemsize)
+    return state.config.value_nbytes
+
+
+class HaloPrefetcher:
+    """Pipelined halo prefetch: overlap the next tiles' fetches with compute.
+
+    A single daemon thread serves prefetch requests (see docs/TILING.md
+    "Transport"). When a driver pops a tile for a place it calls
+    :meth:`schedule`, which enqueues the next :data:`DEPTH` tiles still
+    waiting in that place's ready list — double buffering: while the
+    popped tile computes, the thread fetches the halos its successors
+    will need. Each prefetch groups the tile's halo per producing place,
+    skips what the place's cache already holds (a stat-free
+    :meth:`~repro.core.cache.RemoteCache.peek_many`, so cache hit/miss
+    accounting is untouched), reads the rest from the producing stores
+    (recording network traffic and halo-fetch metrics at fetch time,
+    under a "halo prefetch" trace span), and parks the values in a
+    per-tile buffer that :func:`execute_tile` consumes ahead of its
+    synchronous fallback.
+
+    Correctness is never delegated here: a buffer may simply be absent
+    (thread behind, tile stolen, producing place died mid-fetch — any
+    fetch error discards the buffer silently) and the tile worker then
+    fetches synchronously, exactly as with ``halo_prefetch=False``.
+    Recovery rebuilds call :meth:`clear`; a recomputed cell is identical
+    by determinism, so even a consumed stale buffer could not corrupt a
+    result, but the clear keeps buffers and accounting honest.
+
+    Consumption outcomes are observable: ``dpx10_halo_prefetch_hits_total``
+    counts tiles whose remote halo was fully covered by cache + buffer,
+    ``dpx10_halo_prefetch_misses_total`` counts tiles that still needed a
+    synchronous fetch.
+    """
+
+    #: ready-list lookahead per place (double buffering)
+    DEPTH = 2
+
+    def __init__(self, state: "ExecutionState") -> None:
+        self.state = state
+        self._lock = threading.Lock()
+        self._buffers: Dict[Coord, Dict[Coord, object]] = {}
+        self._scheduled: Set[Coord] = set()
+        self._jobs: "queue.Queue[Optional[Tuple[Coord, int]]]" = queue.Queue()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._serve, name="dpx10-halo-prefetch", daemon=True
+        )
+        self._thread.start()
+
+    # -- driver-facing API -------------------------------------------------------
+    def schedule(self, pid: int) -> None:
+        """Request prefetch for the next tiles queued at ``pid``."""
+        ts: TileRunState = self.state.tiles
+        with ts.lock:
+            upcoming = list(ts.ready.get(pid, ()))[: self.DEPTH]
+        for tile in upcoming:
+            with self._lock:
+                if tile in self._scheduled or tile in self._buffers:
+                    continue
+                self._scheduled.add(tile)
+            self._jobs.put((tile, pid))
+
+    def take(self, tile: Coord) -> Optional[Dict[Coord, object]]:
+        """Claim (and drop) the buffered halo values for ``tile``."""
+        with self._lock:
+            self._scheduled.discard(tile)
+            return self._buffers.pop(tile, None)
+
+    def clear(self) -> None:
+        """Drop all buffers and queued jobs (recovery rebuilds)."""
+        while True:
+            try:
+                self._jobs.get_nowait()
+            except queue.Empty:
+                break
+        with self._lock:
+            self._buffers.clear()
+            self._scheduled.clear()
+
+    def stop(self) -> None:
+        """Shut the prefetch thread down (runtime teardown)."""
+        self._stop.set()
+        self._jobs.put(None)
+        self._thread.join(timeout=2.0)
+
+    # -- the prefetch thread -----------------------------------------------------
+    def _serve(self) -> None:
+        while True:
+            job = self._jobs.get()
+            if self._stop.is_set():
+                return
+            if job is None:  # pragma: no cover - spurious wake
+                continue
+            tile, pid = job
+            try:
+                self._fetch(tile, pid)
+            except Exception:
+                # typically DeadPlaceException under chaos: no buffer,
+                # the synchronous fallback (and recovery) take over
+                with self._lock:
+                    self._buffers.pop(tile, None)
+                    self._scheduled.discard(tile)
+
+    def _fetch(self, tile: Coord, pid: int) -> None:
+        state = self.state
+        ts: TileRunState = state.tiles
+        tiled = ts.tiled
+        with ts.lock:
+            if tile in ts.finished:
+                with self._lock:
+                    self._scheduled.discard(tile)
+                return
+        hrows, hcols = tiled.halo_of(*tile)
+        by_place: Dict[int, List[Coord]] = {}
+        pof = state.dist.place_of
+        for c in zip(hrows.tolist(), hcols.tolist()):
+            p = pof(*c)
+            if p != pid:
+                by_place.setdefault(p, []).append(c)
+        if not by_place:
+            with self._lock:
+                self._scheduled.discard(tile)
+            return
+        cache = state.caches[pid]
+        metrics = state.metrics
+        trace = state.trace
+        nbytes = _halo_value_nbytes(state)
+        buffer: Dict[Coord, object] = {}
+        t0 = trace.now() if trace is not None else 0.0
+        moved = 0
+        for producer, coords in by_place.items():
+            _, missing = cache.peek_many(coords)
+            if not missing:
+                continue
+            vals = state.stores[producer].get_block(missing)
+            buffer.update(zip(missing, vals))
+            strip_bytes = nbytes * len(missing)
+            moved += strip_bytes
+            state.network.record(producer, pid, strip_bytes)
+            if metrics.enabled:
+                metrics.counter(
+                    "dpx10_halo_fetches_total",
+                    "batched remote halo fetches (one per tile edge)",
+                    ("place",),
+                ).labels(pid).inc()
+                metrics.histogram(
+                    "dpx10_halo_fetch_bytes",
+                    "bytes moved per batched halo fetch",
+                    ("transport",),
+                    buckets=DEFAULT_BYTES_BUCKETS,
+                ).labels("store").observe(strip_bytes)
+        if moved and trace is not None:
+            trace.record_span(
+                Span(
+                    "halo prefetch", t0, trace.now(),
+                    category="halo", place=pid,
+                )
+            )
+        with self._lock:
+            if buffer and tile in self._scheduled:
+                # a clear() while we fetched means the buffer is void
+                self._buffers[tile] = buffer
+            self._scheduled.discard(tile)
+
+
 # -- the tile worker ------------------------------------------------------------------
 def _kernel_eligible(state: "ExecutionState") -> bool:
     """Whether the app's vectorized ``compute_tile`` may replace the cell loop."""
@@ -602,7 +780,12 @@ def execute_tile(
     halo_values: Dict[Coord, object] = {}
     cache = state.caches[exec_place]
     metrics = state.metrics
+    prefetch: Optional[HaloPrefetcher] = state.prefetch
+    buffer = prefetch.take(tile) if prefetch is not None else None
+    value_nbytes = _halo_value_nbytes(state)
     remote_fetch_bytes = 0
+    served_from_buffer = False
+    fetched_synchronously = False
     fetch_start = trace.now() if trace is not None else 0.0
     for producer, coords in halo_by_place.items():
         if producer == exec_place:
@@ -612,11 +795,21 @@ def execute_tile(
             continue
         hits, missing = cache.get_many(coords)
         halo_values.update(hits)
+        if missing and buffer:
+            # prefetched strips serve ahead of the synchronous fallback;
+            # their traffic was recorded at prefetch time
+            served = {c: buffer[c] for c in missing if c in buffer}
+            if served:
+                served_from_buffer = True
+                halo_values.update(served)
+                cache.put_many(served.items())
+                missing = [c for c in missing if c not in served]
         if missing:
             # one batched remote fetch for this tile edge; raises
             # DeadPlaceException if the producing place died
+            fetched_synchronously = True
             vals = state.stores[producer].get_block(missing)
-            fetched_bytes = nbytes * len(missing)
+            fetched_bytes = value_nbytes * len(missing)
             state.network.record(producer, exec_place, fetched_bytes)
             cache.put_many(zip(missing, vals))
             halo_values.update(zip(missing, vals))
@@ -630,8 +823,26 @@ def execute_tile(
                 metrics.histogram(
                     "dpx10_halo_fetch_bytes",
                     "bytes moved per batched halo fetch",
+                    ("transport",),
                     buckets=DEFAULT_BYTES_BUCKETS,
-                ).observe(fetched_bytes)
+                ).labels("store").observe(fetched_bytes)
+    if (
+        prefetch is not None
+        and metrics.enabled
+        and (served_from_buffer or fetched_synchronously)
+    ):
+        if fetched_synchronously:
+            metrics.counter(
+                "dpx10_halo_prefetch_misses_total",
+                "tiles whose remote halo still needed a synchronous fetch",
+                ("place",),
+            ).labels(exec_place).inc()
+        else:
+            metrics.counter(
+                "dpx10_halo_prefetch_hits_total",
+                "tiles whose remote halo was covered by cache + prefetch buffer",
+                ("place",),
+            ).labels(exec_place).inc()
     if remote_fetch_bytes and trace is not None:
         trace.record_span(
             Span(
@@ -778,10 +989,14 @@ def run_tiled_inline(state: "ExecutionState") -> None:
                 tile = try_steal_tile(state, pid)
                 if tile is None:
                     continue
+                if state.prefetch is not None:
+                    state.prefetch.schedule(pid)
                 execute_tile(state, tile, exec_place=pid)
                 progressed = True
                 continue
             progressed = True
+            if state.prefetch is not None:
+                state.prefetch.schedule(pid)
             execute_tile(state, tile)
         if ts.all_done(state):
             return
@@ -826,6 +1041,8 @@ def run_tiled_threaded(state: "ExecutionState") -> None:
                 with cond:
                     cond.wait(timeout=_IDLE_WAIT_S)
                 continue
+            if state.prefetch is not None:
+                state.prefetch.schedule(pid)
             try:
                 execute_tile(state, tile, exec_place=pid if stolen else None)
             except (DeadPlaceException, DependencyRaceError) as exc:

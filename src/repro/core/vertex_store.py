@@ -51,6 +51,7 @@ class VertexStore:
         value_dtype: Optional[Any],
         init_value_fn,
         spill_dir: Optional[str] = None,
+        shm_arena: Optional[Any] = None,
     ) -> None:
         self.place = place
         self.place_id = place.id
@@ -59,15 +60,28 @@ class VertexStore:
         self.coords = coords
         n = len(coords)
         self._spill_path: Optional[str] = None
+        self._shm_backed = False
         if value_dtype is None:
             # object values cannot be memory-mapped; they stay in RAM
             values = np.empty(n, dtype=object)
         elif spill_dir is not None and n > 0:
             values = self._open_spill(spill_dir, value_dtype, n)
+        elif shm_arena is not None and n > 0:
+            # opted-in shared-memory backing: the arena owns the segment
+            # lifecycle, the store just holds a view
+            values = shm_arena.ndarray(
+                (n,), value_dtype, f"store{place.id}-values"
+            )
+            self._shm_backed = True
         else:
             values = np.zeros(n, dtype=value_dtype)
         indegree = np.zeros(n, dtype=np.int32)
-        finished = np.zeros(n, dtype=bool)
+        if self._shm_backed:
+            finished = shm_arena.ndarray(
+                (n,), np.bool_, f"store{place.id}-finished"
+            )
+        else:
+            finished = np.zeros(n, dtype=bool)
         active = np.ones(n, dtype=bool)
 
         # fast path: stencil patterns supply closed-form indegrees and a
@@ -130,6 +144,24 @@ class VertexStore:
     def spilled(self) -> bool:
         """Whether vertex values live on disk instead of RAM."""
         return self._spill_path is not None
+
+    @property
+    def shm_backed(self) -> bool:
+        """Whether values/finished live in a shared-memory segment."""
+        return self._shm_backed
+
+    def detach_shm(self) -> None:
+        """Copy shm-backed arrays to private heap memory.
+
+        Called before the owning arena unlinks its segments so results
+        stay readable through the bound :class:`ResultView` after the
+        run — a view into an unmapped segment would fault.
+        """
+        if not self._shm_backed:
+            return
+        self.values = np.array(self.values, copy=True)
+        self.finished = np.array(self.finished, copy=True)
+        self._shm_backed = False
 
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         path = getattr(self, "_spill_path", None)
@@ -271,11 +303,18 @@ def build_stores(
     value_dtype: Optional[Any],
     init_value_fn,
     spill_dir: Optional[str] = None,
+    shm_arena: Optional[Any] = None,
 ) -> Dict[int, VertexStore]:
     """One store per place of ``dist`` (all must be alive)."""
     return {
         pid: VertexStore(
-            group.check_alive(pid), dag, dist, value_dtype, init_value_fn, spill_dir
+            group.check_alive(pid),
+            dag,
+            dist,
+            value_dtype,
+            init_value_fn,
+            spill_dir,
+            shm_arena=shm_arena,
         )
         for pid in dist.place_ids
     }

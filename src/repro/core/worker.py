@@ -101,6 +101,14 @@ class ExecutionState:
     #: worker consults it for slow-place throttles, recovery for
     #: mid-recovery kill triggers. See repro.chaos.controller.
     chaos: Optional[object] = None
+    #: pipelined halo prefetcher (tiled path, config.halo_prefetch);
+    #: None on per-vertex runs. See repro.core.tiling.HaloPrefetcher.
+    prefetch: Optional[object] = None
+    #: shared-memory arena backing the vertex stores (config.shm=True on
+    #: in-process engines); owned and closed by the runtime. Recovery
+    #: passes it through build_stores so re-materialized stores stay
+    #: segment-backed. See repro.core.shm.ShmArena.
+    shm_arena: Optional[object] = None
     _completions_lock: threading.Lock = field(default_factory=threading.Lock)
     conds: Dict[int, threading.Condition] = field(default_factory=dict)
     abort_event: threading.Event = field(default_factory=threading.Event)

@@ -118,7 +118,7 @@ class TestWorkerDedup:
         app, dag, _ = build_case(spec)
         parent, t = self._start_worker()
         try:
-            parent.send((1, "init", app, dag))
+            parent.send((1, "init", app, dag, None))
             assert parent.recv() == (1, "ok")
             parent.send((2, "compute", [(0, 0)], {}))
             first = parent.recv()
@@ -140,7 +140,7 @@ class TestWorkerDedup:
         spec = CaseSpec(pattern="diagonal", height=3, width=3)
         app, dag, _ = build_case(spec)
         parent, t = self._start_worker()
-        parent.send((1, "init", app, dag))
+        parent.send((1, "init", app, dag, None))
         assert parent.recv() == (1, "ok")
         parent.send((2, "stop"))
         assert parent.recv() == (2, "bye")

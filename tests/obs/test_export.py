@@ -27,7 +27,9 @@ def sample_trace() -> ExecutionTrace:
 def sample_metrics() -> dict:
     reg = MetricsRegistry()
     reg.counter("dpx10_cache_hits_total", "hits", ("place",)).labels(0).inc(5)
-    reg.histogram("dpx10_halo_fetch_bytes", "bytes", buckets=(64, 1024)).observe(128)
+    reg.histogram(
+        "dpx10_halo_fetch_bytes", "bytes", ("transport",), buckets=(64, 1024)
+    ).labels("store").observe(128)
     return reg.collect()
 
 
