@@ -280,9 +280,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=_cmd_patterns)
 
-    from repro.analysis.cli import add_lint_parser
+    from repro.analysis.cli import add_analyze_parser, add_lint_parser
 
     add_lint_parser(sub)
+    add_analyze_parser(sub)
 
     from repro.obs.cli import add_obs_parser
 

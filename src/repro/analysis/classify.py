@@ -1,0 +1,334 @@
+"""Vectorization-class assignment for ``compute()`` recurrences.
+
+:func:`classify_app` runs the full front-end — effect analysis, IR
+lifting, dtype inference, footprint extraction, numeric probing — and
+assigns one of four classes:
+
+* ``ELEMENTWISE`` — every dependency is in a strictly earlier row, so
+  whole rows vectorize directly (Knapsack: ``(i-1, j)`` and
+  ``(i-1, j - w_i)``).
+* ``ANTIDIAG_WAVEFRONT`` — a ranking vector ``(a, b)`` with
+  ``a*di + b*dj < 0`` for every offset orders cells along
+  anti-diagonals (LCS, SW, NW, edit distance, banded, LPS, MTP).
+* ``ROW_SCAN_PREFIX`` — one intra-row data-dependent read in the
+  ``max(base, dep[(i, j - s)] + add)`` shape; rows vectorize with a
+  strided ``np.maximum.accumulate`` prefix scan (unbounded knapsack).
+* ``OPAQUE`` — everything else, with a DP4xx finding naming the exact
+  demotion reason per line.
+
+Demotion findings:
+
+* DP401 — the body leaves the liftable subset (loops/comprehensions/
+  foreign calls), so no IR exists;
+* DP402 — ``value_dtype`` is ``None``: no typed plane to vectorize into;
+* DP403 — lifted but not vectorizable (type conflict, non-affine index,
+  unsupported dependency shape);
+* DP404 — the inferred footprint contradicts the pattern's declared
+  dependencies on real cells (an error: the interpreted path is racing);
+* DP405 — effect analysis found mutation or nondeterminism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .findings import AnalysisReport
+from .infer import (
+    Effects,
+    FootEntry,
+    InferError,
+    analyze_effects,
+    eval_expr,
+    footprint,
+    infer_types,
+    probe_footprint,
+    sample_cells,
+)
+from .ir import (
+    Bin,
+    Call,
+    Cmp,
+    ComputeIR,
+    Cond,
+    Const,
+    DepRead,
+    Expr,
+    Index,
+    LiftError,
+    lift_compute,
+    normalize,
+    walk_expr,
+)
+
+__all__ = [
+    "CLASSES",
+    "Classification",
+    "RowScanForm",
+    "classify_app",
+]
+
+CLASSES = ("ELEMENTWISE", "ANTIDIAG_WAVEFRONT", "ROW_SCAN_PREFIX", "OPAQUE")
+
+
+@dataclass
+class RowScanForm:
+    """The matched ``max(base, dep[(i, j - stride)] + add)`` shape.
+
+    ``stride``/``add`` are row-constant data expressions (no ``j``);
+    ``guard`` is the recognised ``stride <= j`` feasibility test.
+    """
+
+    read: DepRead
+    stride: Expr
+    add: Expr
+    base: Expr
+    guard: Optional[Expr]
+
+
+@dataclass
+class Classification:
+    """Everything the analyzer learned about one app."""
+
+    subject: str
+    klass: str
+    report: AnalysisReport
+    effects: Optional[Effects] = None
+    ir: Optional[ComputeIR] = None
+    entries: Tuple[FootEntry, ...] = ()
+    rank: Optional[Tuple[int, int]] = None
+    row_scan: Optional[RowScanForm] = None
+    case_kinds: dict = field(default_factory=dict)
+
+    @property
+    def vectorizable(self) -> bool:
+        return self.klass != "OPAQUE"
+
+
+def _rank_for(offsets: List[Tuple[int, int]]) -> Optional[Tuple[int, int]]:
+    """A ranking vector making every offset strictly backward, if any."""
+    for rank in ((1, 0), (1, 1), (-1, 1)):
+        a, b = rank
+        if all(a * di + b * dj < 0 for di, dj in offsets):
+            return rank
+    return None
+
+
+def _is_row_constant(e: Expr) -> bool:
+    """True when the expression never mentions ``j`` or a dependency."""
+    return all(
+        not (isinstance(n, Index) and n.axis == "j") and not isinstance(n, DepRead)
+        for n in walk_expr(e)
+    )
+
+
+def _match_row_scan(
+    ir: ComputeIR, entry: FootEntry
+) -> Optional[RowScanForm]:
+    """Recognise the prefix-scan shape around an intra-row data read.
+
+    The read must appear exactly once, inside a value of the form
+    ``max(base, read + add)`` guarded by ``stride <= j`` (the guard may
+    be the enclosing ``Cond`` test), where ``base`` is the no-take
+    expression and ``add``/``stride`` are row-constant.
+    """
+    read = entry.read
+    if read is None:
+        return None
+    holders = [
+        (g, v)
+        for g, v in ir.cases
+        if any(n == read for n in walk_expr(v))
+        or (g is not None and any(n == read for n in walk_expr(g)))
+    ]
+    if len(holders) != 1:
+        return None
+    guard, value = holders[0]
+    if guard is not None and any(n == read for n in walk_expr(guard)):
+        return None
+    # peel a feasibility Cond: (take-form if stride <= j else base)
+    cond_guard: Optional[Expr] = None
+    if isinstance(value, Cond):
+        cond_guard, take, base_alt = value.test, value.then, value.orelse
+        if any(n == read for n in walk_expr(base_alt)) or any(
+            n == read for n in walk_expr(cond_guard)
+        ):
+            return None
+        value = take
+    else:
+        base_alt = None
+    if not (isinstance(value, Call) and value.fn == "max" and len(value.args) == 2):
+        return None
+    with_read = [a for a in value.args if any(n == read for n in walk_expr(a))]
+    without = [a for a in value.args if not any(n == read for n in walk_expr(a))]
+    if len(with_read) != 1 or len(without) != 1:
+        return None
+    take, base = with_read[0], without[0]
+    if base_alt is not None and base_alt != base:
+        return None
+    # take must be read + add (or bare read)
+    if take == read:
+        add: Expr = Const(0)
+    elif isinstance(take, Bin) and take.op == "+":
+        if take.left == read:
+            add = take.right
+        elif take.right == read:
+            add = take.left
+        else:
+            return None
+    else:
+        return None
+    if not _is_row_constant(add):
+        return None
+    # stride from the column affine: col = j - stride_term, const 0
+    col = entry.col
+    if col.const != 0 or len(col.terms) != 1 or col.terms[0][0] != -1:
+        return None
+    stride = col.terms[0][1]
+    if not _is_row_constant(stride):
+        return None
+    # the guard (case- or cond-level) must be stride <= j / j >= stride
+    feas = cond_guard if cond_guard is not None else guard
+    if feas is not None:
+        ok = (
+            isinstance(feas, Cmp)
+            and (
+                (feas.op == "<=" and feas.left == stride and feas.right == Index("j"))
+                or (
+                    feas.op == ">="
+                    and feas.left == Index("j")
+                    and feas.right == stride
+                )
+            )
+        )
+        if not ok:
+            return None
+    return RowScanForm(read=read, stride=stride, add=add, base=base, guard=feas)
+
+
+def classify_app(app, dag, subject: str = "") -> Classification:
+    """Run the full analysis front-end over one app/dag pair."""
+    subject = subject or type(app).__name__
+    report = AnalysisReport(subject=subject)
+    cls = Classification(subject=subject, klass="OPAQUE", report=report)
+
+    compute = type(app).compute
+    try:
+        cls.effects = analyze_effects(compute)
+    except (OSError, TypeError):
+        cls.effects = None
+    if cls.effects is not None and not cls.effects.pure:
+        report.add("DP405", f"compute() is impure: {cls.effects.describe()}")
+        return cls
+
+    try:
+        cls.ir = normalize(lift_compute(compute))
+    except LiftError as exc:
+        report.add(
+            "DP401",
+            f"compute() left the liftable subset: {exc.reason}",
+            location=f"line {exc.lineno}" if exc.lineno else None,
+        )
+        return cls
+    except (OSError, TypeError) as exc:
+        report.add("DP401", f"compute() source unavailable: {exc}")
+        return cls
+
+    if type(app).value_dtype is None:
+        report.add("DP402", "value_dtype is None: no typed value plane to vectorize")
+        return cls
+
+    try:
+        cls.case_kinds = infer_types(cls.ir, type(app).value_dtype, app)
+    except InferError as exc:
+        report.add("DP403", f"dtype inference failed: {exc}")
+        return cls
+
+    try:
+        entries = footprint(cls.ir)
+    except InferError as exc:
+        report.add("DP403", f"footprint extraction failed: {exc}")
+        return cls
+    cls.entries = tuple(entries)
+
+    problems = probe_footprint(cls.ir, app, dag)
+    if problems:
+        for p in problems:
+            report.add("DP404", p)
+        return cls
+
+    const_offs: List[Tuple[int, int]] = []
+    data_entries: List[FootEntry] = []
+    for entry in entries:
+        off = entry.const_offset
+        if off is not None:
+            if off not in const_offs:
+                const_offs.append(off)
+        else:
+            data_entries.append(entry)
+
+    if not data_entries:
+        rank = _rank_for(const_offs)
+        if rank is None:
+            report.add(
+                "DP403", f"no ranking vector orders offsets {const_offs}"
+            )
+            return cls
+        cls.rank = rank
+        cls.klass = "ELEMENTWISE" if rank == (1, 0) else "ANTIDIAG_WAVEFRONT"
+        return cls
+
+    # data-dependent reads: strictly-earlier-row reads vectorize
+    # elementwise; a single intra-row read may be a prefix scan
+    if _rank_for(const_offs) != (1, 0):
+        report.add(
+            "DP403",
+            "data-dependent reads mixed with non-elementwise constant"
+            f" offsets {const_offs}",
+        )
+        return cls
+    earlier_row = [
+        e for e in data_entries if not e.row.terms and e.row.const < 0
+    ]
+    intra_row = [e for e in data_entries if not e.row.terms and e.row.const == 0]
+    if len(earlier_row) + len(intra_row) != len(data_entries):
+        report.add(
+            "DP403", "a data-dependent read has a data-dependent row index"
+        )
+        return cls
+    if not intra_row:
+        cls.rank = (1, 0)
+        cls.klass = "ELEMENTWISE"
+        return cls
+    if len(intra_row) > 1:
+        report.add(
+            "DP403",
+            f"{len(intra_row)} intra-row data-dependent reads; the prefix"
+            " scan handles exactly one",
+        )
+        return cls
+    form = _match_row_scan(cls.ir, intra_row[0])
+    if form is None:
+        report.add(
+            "DP403",
+            "intra-row data-dependent read does not match the"
+            " max(base, dep[(i, j - s)] + add) prefix-scan shape",
+        )
+        return cls
+    # the scan stride must be positive on every sampled row
+    for i, j in sample_cells(dag, 64):
+        try:
+            s = eval_expr(form.stride, i, j, app)
+        except Exception:
+            s = None
+        if not isinstance(s, int) or s < 1:
+            report.add(
+                "DP403",
+                f"prefix-scan stride {s!r} at row {i} is not a positive"
+                " integer",
+            )
+            return cls
+    cls.rank = (1, 0)
+    cls.row_scan = form
+    cls.klass = "ROW_SCAN_PREFIX"
+    return cls

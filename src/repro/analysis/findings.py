@@ -25,13 +25,26 @@ DP204     note      data-dependent dependency index (not statically
                     checkable; consider ``DPX10Config(sanitize=True)``)
 DP205     warning   result-view read inside ``compute()`` with an index
                     the linter cannot resolve
+DP206     error     hand-written ``compute_tile`` indexes the window
+                    outside the declared tile box (tile + stencil halo)
 DP301     error     runtime sanitizer: undeclared read during ``compute()``
 DP302     error     runtime sanitizer: dependency gathered before it
                     finished (under-declared anti-dependency)
+DP401     note      ``compute()`` left the liftable subset; no IR, so the
+                    kernel-readiness classifier demotes to OPAQUE
+DP402     note      ``value_dtype`` is ``None``: no typed value plane
+DP403     note      lifted but not vectorizable (type conflict, non-affine
+                    index, unsupported dependency shape)
+DP404     error     inferred dependency footprint contradicts the declared
+                    stencil on real cells
+DP405     note      effect analysis found mutation, foreign calls or
+                    nondeterminism; demoted to OPAQUE
 ========  ========  =====================================================
 
 DP301/DP302 are raised as :class:`~repro.errors.DependencyRaceError`
-during a sanitized run rather than collected in a report.
+during a sanitized run rather than collected in a report. DP4xx come
+from :mod:`repro.analysis.classify` (the ``repro analyze`` CLI), not
+the lint.
 """
 
 from __future__ import annotations
@@ -67,8 +80,14 @@ FINDING_CODES: Dict[str, tuple] = {
     "DP203": (Severity.WARNING, "compute() mutates global or shared state"),
     "DP204": (Severity.NOTE, "data-dependent dependency index"),
     "DP205": (Severity.WARNING, "unresolvable result-view read in compute()"),
+    "DP206": (Severity.ERROR, "compute_tile indexes outside the declared tile box"),
     "DP301": (Severity.ERROR, "undeclared read during compute() (runtime)"),
     "DP302": (Severity.ERROR, "unfinished dependency gathered (runtime)"),
+    "DP401": (Severity.NOTE, "compute() outside the liftable subset (OPAQUE)"),
+    "DP402": (Severity.NOTE, "value_dtype is None: nothing to vectorize (OPAQUE)"),
+    "DP403": (Severity.NOTE, "lifted but not vectorizable (OPAQUE)"),
+    "DP404": (Severity.ERROR, "inferred footprint contradicts the declared stencil"),
+    "DP405": (Severity.NOTE, "impure compute(): mutation/nondeterminism (OPAQUE)"),
 }
 
 

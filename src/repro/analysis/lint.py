@@ -22,9 +22,22 @@ and flags:
   sanitizer (``DPX10Config(sanitize=True)``) covers these;
 * **DP205** — a result-view read (``get_vertex``) whose index cannot be
   resolved at all.
+* **DP206** — a hand-written ``compute_tile`` kernel whose ``window``
+  indexing escapes the declared tile box: reads displaced beyond the
+  stencil halo, or writes displaced off the tile cells. Such a kernel
+  reads neighbours the engine never fetched (they silently read as
+  zero) or clobbers halo cells another tile owns.
 
 Reads through the ``vertices`` parameter itself (the Figure-7
 coordinate-scan style) are declared by construction and never flagged.
+
+DP204 notes are *footprint-refined* when :func:`lint_app` gets an app
+instance and a live dag: the IR front-end (:mod:`repro.analysis.infer`)
+resolves affine data-dependent indices like Knapsack's
+``dep[(i-1, j - self.weights[i-1])]`` and probes them against the
+declared stencil on sampled cells — resolved-and-clean lookups drop
+their DP204 note, a probed contradiction escalates to DP404, and only
+truly unresolvable indices keep the note.
 """
 
 from __future__ import annotations
@@ -36,7 +49,7 @@ from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.findings import Finding, make_finding
 
-__all__ = ["lint_compute", "lint_app"]
+__all__ = ["lint_compute", "lint_compute_tile", "lint_app"]
 
 Offset = Tuple[int, int]
 
@@ -369,12 +382,200 @@ def lint_compute(
     return linter.findings
 
 
+class _TileLinter(ast.NodeVisitor):
+    """DP206: ``window`` indexing escaping the declared tile box.
+
+    Tracks *anchored* locals — expressions of the shape
+    ``oi + <lane> + c`` / ``oj + <lane> + c`` (lane = the in-box index
+    vector kernels build with ``np.arange``) — as ``(axis, c)`` pairs.
+    A ``window[A, B]`` read then resolves to constant displacements
+    ``(dr, dc)`` off the tile box, which must stay within the stencil
+    halo ``-pt <= dr <= pb`` / ``-pl <= dc <= pr``; writes must hit the
+    box itself (``dr == dc == 0``). Unresolvable indices are skipped:
+    this lint proves escapes, not safety.
+    """
+
+    def __init__(
+        self,
+        fn: ast.FunctionDef,
+        subject: str,
+        filename: str,
+        base_line: int,
+        pads: Tuple[int, int, int, int],
+    ) -> None:
+        self.subject = subject
+        self.filename = filename
+        self.base_line = base_line
+        self.pads = pads
+        self.findings: List[Finding] = []
+        args = fn.args
+        params = [a.arg for a in args.posonlyargs + args.args]
+        if params and params[0] == "self":
+            params = params[1:]
+        # compute_tile(r0, c0, window, oi, oj, h, w)
+        defaults = ["r0", "c0", "window", "oi", "oj", "h", "w"]
+        params = (params + defaults[len(params):])[:7]
+        self.window = params[2]
+        self.anchors = {params[3]: ("row", 0), params[4]: ("col", 0)}
+
+    def _loc(self, node: ast.AST) -> str:
+        return f"{self.filename}:{self.base_line + node.lineno - 1}"
+
+    def _anchor(self, node: ast.AST):
+        """Resolve ``node`` to ``(axis, displacement)`` or ``None``."""
+        if isinstance(node, ast.Name):
+            return self.anchors.get(node.id)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+            sign = 1 if isinstance(node.op, ast.Add) else -1
+            left, right = self._anchor(node.left), self._anchor(node.right)
+            if left is not None and right is not None:
+                return None  # two anchors combined: not a box index
+            rc, lc = _const_int(node.right), _const_int(node.left)
+            if left is not None:
+                if rc is not None:
+                    return (left[0], left[1] + sign * rc)
+                # anchor + lane keeps the anchor; anchor - lane could
+                # land anywhere, so give up on it
+                return left if sign == 1 else None
+            if right is not None and sign == 1:
+                return (right[0], right[1] + (lc or 0))
+        return None
+
+    def _track(self, target: ast.AST, value: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            anchor = self._anchor(value)
+            if anchor is not None:
+                self.anchors[target.id] = anchor
+            else:
+                self.anchors.pop(target.id, None)
+        elif (
+            isinstance(target, ast.Tuple)
+            and isinstance(value, ast.Tuple)
+            and len(target.elts) == len(value.elts)
+        ):
+            for t, v in zip(target.elts, value.elts):
+                self._track(t, v)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for t in node.targets:
+            self._track(t, node.value)
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if isinstance(node.value, ast.Name) and node.value.id == self.window:
+            key = node.slice
+            if isinstance(key, ast.Tuple) and len(key.elts) == 2:
+                row, col = (self._anchor(e) for e in key.elts)
+                dr = row[1] if row is not None and row[0] == "row" else None
+                dc = col[1] if col is not None and col[0] == "col" else None
+                pt, pb, pl, pr = self.pads
+                if isinstance(node.ctx, ast.Store):
+                    if (dr is not None and dr != 0) or (
+                        dc is not None and dc != 0
+                    ):
+                        self.findings.append(
+                            make_finding(
+                                "DP206",
+                                "compute_tile writes window cells displaced "
+                                f"({dr or 0:+d}, {dc or 0:+d}) off the tile "
+                                "box; out-of-box writes clobber halo cells "
+                                "another tile owns",
+                                self.subject,
+                                self._loc(node),
+                            )
+                        )
+                else:
+                    bad_r = dr is not None and not (-pt <= dr <= pb)
+                    bad_c = dc is not None and not (-pl <= dc <= pr)
+                    if bad_r or bad_c:
+                        self.findings.append(
+                            make_finding(
+                                "DP206",
+                                "compute_tile reads window cells displaced "
+                                f"({dr or 0:+d}, {dc or 0:+d}) off the tile "
+                                "box, beyond the declared stencil halo "
+                                f"(pads {self.pads}); the engine never "
+                                "fetches them, so they read as zero",
+                                self.subject,
+                                self._loc(node),
+                            )
+                        )
+        self.generic_visit(node)
+
+
+def lint_compute_tile(
+    tile_fn,
+    pads: Tuple[int, int, int, int],
+    subject: str = "",
+) -> List[Finding]:
+    """Lint one hand-written ``compute_tile`` kernel for DP206.
+
+    ``pads`` is the declared halo ``(pt, pb, pl, pr)`` derived from the
+    pattern's stencil offsets (what the tiled engine actually fetches).
+    """
+    try:
+        source = inspect.getsource(tile_fn)
+        filename = inspect.getsourcefile(tile_fn) or "<unknown>"
+        base_line = inspect.getsourcelines(tile_fn)[1]
+    except (OSError, TypeError):
+        return [
+            make_finding(
+                "DP106",
+                "compute_tile source is unavailable; cannot lint",
+                subject,
+            )
+        ]
+    tree = ast.parse(textwrap.dedent(source))
+    fn = next(
+        (n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)), None
+    )
+    if fn is None:  # pragma: no cover - getsource always yields a def
+        return []
+    import os
+
+    linter = _TileLinter(
+        fn, subject, os.path.basename(filename), base_line, tuple(pads)
+    )
+    linter.visit(fn)
+    return linter.findings
+
+
+def _refine_dp204(
+    findings: List[Finding], app, dag, subject: str
+) -> List[Finding]:
+    """Resolve DP204 notes through the IR footprint front-end.
+
+    Affine data-dependent indices (``j - self.weights[i-1]``) resolve to
+    :class:`~repro.analysis.infer.FootEntry` rows/cols and get probed
+    against the declared stencil on sampled cells. All resolved and
+    clean: the notes drop. A probed contradiction escalates to DP404.
+    Lifting or extraction failure: the notes stand — truly unresolvable.
+    """
+    from repro.analysis.infer import footprint, probe_footprint
+    from repro.analysis.ir import LiftError, lift_compute, normalize
+
+    try:
+        ir = normalize(lift_compute(type(app).compute))
+        footprint(ir)
+        problems = probe_footprint(ir, app, dag)
+    except Exception:
+        return findings
+    refined = [f for f in findings if f.code != "DP204"]
+    for p in problems:
+        refined.append(make_finding("DP404", p, subject))
+    return refined
+
+
 def lint_app(app_or_cls, dag=None, subject: str = "") -> List[Finding]:
     """Lint an app class/instance against its DAG pattern.
 
     When ``dag`` is a :class:`StencilDag` (instance or class), its offset
-    set becomes the declared-dependency reference for DP201.
+    set becomes the declared-dependency reference for DP201 and its halo
+    the tile-box reference for DP206 (hand-written ``compute_tile``
+    overrides only). With an app *instance* and a dag instance, DP204
+    notes are refined through footprint inference (see module docstring).
     """
+    from repro.core.api import DPX10App
     from repro.patterns.base import StencilDag
 
     cls = app_or_cls if inspect.isclass(app_or_cls) else type(app_or_cls)
@@ -385,4 +586,20 @@ def lint_app(app_or_cls, dag=None, subject: str = "") -> List[Finding]:
             offsets = tuple(dag_cls.offsets)
     if not subject:
         subject = f"app:{cls.__name__}"
-    return lint_compute(cls.compute, offsets=offsets, subject=subject)
+    findings = lint_compute(cls.compute, offsets=offsets, subject=subject)
+    if (
+        any(f.code == "DP204" for f in findings)
+        and not inspect.isclass(app_or_cls)
+        and dag is not None
+        and not inspect.isclass(dag)
+    ):
+        findings = _refine_dp204(findings, app_or_cls, dag, subject)
+    if offsets is not None and cls.compute_tile is not DPX10App.compute_tile:
+        pads = (
+            max(0, max(-di for di, _ in offsets)),
+            max(0, max(di for di, _ in offsets)),
+            max(0, max(-dj for _, dj in offsets)),
+            max(0, max(dj for _, dj in offsets)),
+        )
+        findings += lint_compute_tile(cls.compute_tile, pads, subject=subject)
+    return findings

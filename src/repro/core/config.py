@@ -138,6 +138,15 @@ class DPX10Config:
     #: stores, unsupported platforms and mp runs under *message* chaos
     #: (whose ChaosPipe semantics must be preserved) fall back to pipes.
     shm: Optional[bool] = None
+    #: tiled path only: compile ``compute()`` into a vectorized NumPy tile
+    #: kernel (repro.analysis: lift to IR, classify, emit) and use it in
+    #: place of the per-vertex loop. Requires ``tile_shape`` and a typed
+    #: ``value_dtype``; apps the classifier demotes to OPAQUE (see
+    #: ``python -m repro analyze``) and sanitized runs keep the
+    #: interpreted path, which remains the differential-testing oracle.
+    #: A generated kernel takes precedence over a hand-written
+    #: ``compute_tile``.
+    autokernel: bool = False
     #: tiled path only: when a tile finishes, asynchronously pre-fetch
     #: the halo strips of the next tiles queued at that place (double-
     #: buffered per worker) so fetch latency overlaps compute; the
@@ -217,6 +226,11 @@ class DPX10Config:
                 "static_schedule and tile_shape are mutually exclusive "
                 "(the tiled engine has its own schedule)",
             )
+        require(
+            not self.autokernel or self.tiling_enabled,
+            "autokernel=True requires tile-granular execution "
+            "(tile_shape=(th, tw) with th*tw > 1)",
+        )
 
     @property
     def tiling_enabled(self) -> bool:

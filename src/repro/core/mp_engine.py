@@ -149,12 +149,21 @@ class _ShmWorker:
         self.itemsize = self.values.dtype.itemsize
         self.tiled = None
         self.kernel_ok = False
+        self.autokernel = None
         if meta["tile_shape"] is not None:
             self.tiled = dag.coarsen(*meta["tile_shape"])
             self.kernel_ok = (
                 self.tiled.stencil_mode
                 and type(app).compute_tile is not DPX10App.compute_tile
             )
+            if meta.get("autokernel"):
+                # generated kernels close over compiled code objects and
+                # cannot cross the pipe; the build is deterministic, so
+                # each place rebuilds its own copy post-fork
+                from repro.analysis.codegen import build_autokernel
+
+                kernel, _cls = build_autokernel(app, dag)
+                self.autokernel = kernel
         self.read_bytes = registry.counter(
             "dpx10_mp_shm_read_bytes_total",
             "bytes read from the shared-memory plane for remote-homed "
@@ -242,14 +251,37 @@ class _ShmWorker:
                 )
             r0, r1, c0, c1 = grid.bounds(ti, tj)
             done = False
-            if self.kernel_ok:
-                pt, pb, pl, pr = tiled.pads
+            autokernel = self.autokernel
+            if autokernel is not None or self.kernel_ok:
+                if autokernel is not None:
+                    pt, pb, pl, pr = (
+                        max(a, d) for a, d in zip(autokernel.pads, tiled.pads)
+                    )
+                else:
+                    pt, pb, pl, pr = tiled.pads
                 wr0, wr1 = max(0, r0 - pt), min(base.height, r1 + pb)
                 wc0, wc1 = max(0, c0 - pl), min(base.width, c1 + pr)
                 window = np.zeros((wr1 - wr0, wc1 - wc0), dtype=values.dtype)
                 if len(hrows):
-                    window[hrows - wr0, hcols - wc0] = values[hrows, hcols]
-                if app.compute_tile(
+                    if autokernel is not None:
+                        # wider generated pads can push declared-halo cells
+                        # outside this window; the footprint box bounds all
+                        # reads, so out-of-box strips are provably unread
+                        ins = (
+                            (hrows >= wr0)
+                            & (hrows < wr1)
+                            & (hcols >= wc0)
+                            & (hcols < wc1)
+                        )
+                        window[hrows[ins] - wr0, hcols[ins] - wc0] = values[
+                            hrows[ins], hcols[ins]
+                        ]
+                    else:
+                        window[hrows - wr0, hcols - wc0] = values[hrows, hcols]
+                kernel_fn = (
+                    autokernel.fn if autokernel is not None else app.compute_tile
+                )
+                if kernel_fn(
                     r0, c0, window, r0 - wr0, c0 - wc0, r1 - r0, c1 - c0
                 ):
                     values[rows, cols] = window[rows - wr0, cols - wc0]
@@ -1068,6 +1100,12 @@ def _run_mp_shm(
                 "dtype": dt.str,
                 "tile_shape": (
                     tuple(config.tile_shape) if tiled is not None else None
+                ),
+                "autokernel": bool(
+                    config.autokernel
+                    and tiled is not None
+                    and app.value_dtype is not None
+                    and not config.sanitize
                 ),
                 "owners": owner_array(),
             }

@@ -461,6 +461,17 @@ class DPX10Runtime:
                 from repro.core.tiling import HaloPrefetcher
 
                 state.prefetch = HaloPrefetcher(state)
+            if (
+                cfg.autokernel
+                and self.app.value_dtype is not None
+                and not cfg.sanitize
+            ):
+                # lift/classify/emit the compute() recurrence; OPAQUE
+                # apps keep the interpreted path (see `repro analyze`)
+                from repro.analysis.codegen import build_autokernel
+
+                kernel, _cls = build_autokernel(self.app, self.dag)
+                state.autokernel = kernel
         if cfg.ft_mode == "snapshot":
             from repro.dist.snapshot import SnapshotStore
 

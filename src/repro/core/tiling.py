@@ -852,8 +852,16 @@ def execute_tile(
         )
 
     out_vals = None
-    if n and _kernel_eligible(state):
-        pt, pb, pl, pr = tiled.pads
+    autokernel = state.autokernel
+    if n and (autokernel is not None or _kernel_eligible(state)):
+        if autokernel is not None:
+            # the generated kernel's window must cover its inferred
+            # footprint box as well as the declared-stencil halo strips
+            pt, pb, pl, pr = (
+                max(a, d) for a, d in zip(autokernel.pads, tiled.pads)
+            )
+        else:
+            pt, pb, pl, pr = tiled.pads
         wr0, wr1 = max(0, r0 - pt), min(base.height, r1 + pb)
         wc0, wc1 = max(0, c0 - pl), min(base.width, c1 + pr)
         window = np.zeros((wr1 - wr0, wc1 - wc0), dtype=app.value_dtype)
@@ -863,8 +871,20 @@ def execute_tile(
                 dtype=app.value_dtype,
                 count=len(hrows),
             )
-            window[hrows - wr0, hcols - wc0] = hvals
-        if app.compute_tile(r0, c0, window, r0 - wr0, c0 - wc0, r1 - r0, c1 - c0):
+            if autokernel is not None:
+                # a dag may declare halo cells outside the window box;
+                # the kernel provably never reads them, so drop them
+                ins = (
+                    (hrows >= wr0)
+                    & (hrows < wr1)
+                    & (hcols >= wc0)
+                    & (hcols < wc1)
+                )
+                window[hrows[ins] - wr0, hcols[ins] - wc0] = hvals[ins]
+            else:
+                window[hrows - wr0, hcols - wc0] = hvals
+        kernel_fn = autokernel.fn if autokernel is not None else app.compute_tile
+        if kernel_fn(r0, c0, window, r0 - wr0, c0 - wc0, r1 - r0, c1 - c0):
             out_vals = window[rows - wr0, cols - wc0]
 
     if out_vals is None and n:

@@ -104,6 +104,10 @@ class ExecutionState:
     #: pipelined halo prefetcher (tiled path, config.halo_prefetch);
     #: None on per-vertex runs. See repro.core.tiling.HaloPrefetcher.
     prefetch: Optional[object] = None
+    #: generated tile kernel (config.autokernel); None when the classifier
+    #: demoted the app to OPAQUE, the run is sanitized, or the knob is
+    #: off. See repro.analysis.codegen.AutoKernel.
+    autokernel: Optional[object] = None
     #: shared-memory arena backing the vertex stores (config.shm=True on
     #: in-process engines); owned and closed by the runtime. Recovery
     #: passes it through build_stores so re-materialized stores stay

@@ -7,8 +7,23 @@ convenience. :mod:`repro.native.swlag_native` is that baseline for this
 reproduction: a direct array sweep used both for measured small-scale
 overhead ratios and (through ``CostModel.native()``) for the simulated
 paper-scale ratio.
+
+:mod:`repro.native.dp_native` adds fully-vectorized NumPy antidiagonal
+sweeps for SW/LCS/edit distance — the hand-written bound the generated
+tile kernels (``autokernel=True``) are perf-gated against.
 """
 
+from repro.native.dp_native import (
+    edit_distance_native,
+    lcs_native,
+    sw_native,
+)
 from repro.native.swlag_native import swlag_native, swlag_native_score
 
-__all__ = ["swlag_native", "swlag_native_score"]
+__all__ = [
+    "edit_distance_native",
+    "lcs_native",
+    "sw_native",
+    "swlag_native",
+    "swlag_native_score",
+]

@@ -1,0 +1,88 @@
+"""Hand-vectorized NumPy baselines for the autokernel perf gate.
+
+Unlike :mod:`repro.native.swlag_native` (deliberately cell-at-a-time, to
+isolate *framework* overhead the way Figure 12 does), these sweeps are
+what a performance-minded NumPy user hand-writes: one vectorized gather
+per antidiagonal over the whole matrix. They bound what the generated
+tile kernels (``DPX10Config(autokernel=True)``, see docs/ANALYSIS.md)
+can hope to achieve — the framework still pays tile scheduling, halo
+assembly and window scatter on top — and ``benchmarks/bench_engines.py
+--native-check`` gates the autokernel engine at ~2x of them.
+
+Each function mirrors its app's ``compute()`` bit-for-bit over the same
+``(len(x)+1) x (len(y)+1)`` matrix (boundary row/column included), so
+the gate can also assert value equality against ``dag.to_array()``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sw_native", "lcs_native", "edit_distance_native"]
+
+
+def _codes(s: str) -> np.ndarray:
+    return np.fromiter(map(ord, s), dtype=np.int64, count=len(s))
+
+
+def sw_native(
+    x: str,
+    y: str,
+    match: int = 2,
+    mismatch: int = -1,
+    gap: int = -1,
+) -> np.ndarray:
+    """Smith-Waterman H matrix (linear gap), one sweep per antidiagonal."""
+    m, n = len(x), len(y)
+    c1, c2 = _codes(x), _codes(y)
+    h = np.zeros((m + 1, n + 1), dtype=np.int64)
+    for d in range(2, m + n + 1):
+        i = np.arange(max(1, d - n), min(m, d - 1) + 1, dtype=np.int64)
+        if i.size == 0:
+            continue
+        j = d - i
+        s = np.where(c1[i - 1] == c2[j - 1], match, mismatch)
+        best = np.maximum(
+            h[i - 1, j - 1] + s,
+            np.maximum(h[i - 1, j] + gap, h[i, j - 1] + gap),
+        )
+        h[i, j] = np.maximum(0, best)
+    return h
+
+
+def lcs_native(x: str, y: str) -> np.ndarray:
+    """Longest-common-subsequence length matrix, antidiagonal sweeps."""
+    m, n = len(x), len(y)
+    c1, c2 = _codes(x), _codes(y)
+    h = np.zeros((m + 1, n + 1), dtype=np.int64)
+    for d in range(2, m + n + 1):
+        i = np.arange(max(1, d - n), min(m, d - 1) + 1, dtype=np.int64)
+        if i.size == 0:
+            continue
+        j = d - i
+        h[i, j] = np.where(
+            c1[i - 1] == c2[j - 1],
+            h[i - 1, j - 1] + 1,
+            np.maximum(h[i - 1, j], h[i, j - 1]),
+        )
+    return h
+
+
+def edit_distance_native(x: str, y: str) -> np.ndarray:
+    """Levenshtein distance matrix, antidiagonal sweeps."""
+    m, n = len(x), len(y)
+    c1, c2 = _codes(x), _codes(y)
+    h = np.zeros((m + 1, n + 1), dtype=np.int64)
+    h[0, :] = np.arange(n + 1)
+    h[:, 0] = np.arange(m + 1)
+    for d in range(2, m + n + 1):
+        i = np.arange(max(1, d - n), min(m, d - 1) + 1, dtype=np.int64)
+        if i.size == 0:
+            continue
+        j = d - i
+        cost = np.where(c1[i - 1] == c2[j - 1], 0, 1)
+        h[i, j] = np.minimum(
+            h[i - 1, j - 1] + cost,
+            np.minimum(h[i - 1, j], h[i, j - 1]) + 1,
+        )
+    return h

@@ -116,6 +116,36 @@ class SharedStateApp(DPX10App):
         return sum(dep.values()) + 1
 
 
+class TileBoxEscapeApp(DPX10App):
+    """Hand-written compute_tile whose window indexing escapes the box.
+
+    The grid declares offsets (-1, 0), (0, -1) — halo pads (1, 0, 1, 0)
+    — but the kernel reads two rows up (beyond the fetched halo, silently
+    zero) and writes one column right (clobbering a neighbour tile's
+    halo) -> DP206 twice.
+    """
+
+    import numpy as _np
+
+    value_dtype = _np.int64
+
+    def compute(self, i, j, vertices):
+        dep = dependency_map(vertices)
+        return sum(dep.values()) + 1
+
+    def compute_tile(self, r0, c0, window, oi, oj, h, w) -> bool:
+        import numpy as np
+
+        for r in range(h):
+            li = np.full(w, r)
+            lj = np.arange(w)
+            wi, wj = oi + li, oj + lj
+            up2 = window[wi - 2, wj]  # beyond the (1, 0, 1, 0) halo
+            left = window[wi, wj - 1]
+            window[wi, wj + 1] = up2 + left + 1  # off-box write
+        return True
+
+
 class WrongOffsetApp(DPX10App):
     """Subscripts dep[(i - 2, j)] though the grid declares (-1, 0) -> DP201."""
 
@@ -159,3 +189,7 @@ def shared_state_target():
 
 def wrong_offset_target():
     return WrongOffsetApp(), GridDag(8, 8)
+
+
+def tile_box_escape_target():
+    return TileBoxEscapeApp(), GridDag(8, 8)

@@ -1,0 +1,82 @@
+"""The ``python -m repro analyze`` command end to end."""
+
+import json
+
+from repro.__main__ import main
+
+MANIFEST = "ANALYZE_classes.json"
+
+
+class TestAnalyzeAll:
+    def test_shipped_apps_pass(self, capsys):
+        assert main(["analyze", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "ANTIDIAG_WAVEFRONT" in out
+        assert "ROW_SCAN_PREFIX" in out
+        assert "-> ok" in out
+
+    def test_default_is_all(self, capsys):
+        assert main(["analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "lcs" in out and "cyk" in out
+
+    def test_opaque_count_reported(self, capsys):
+        assert main(["analyze", "--all"]) == 0
+        assert "4 OPAQUE" in capsys.readouterr().out
+
+    def test_single_app_with_kernel_dump(self, capsys):
+        assert main(["analyze", "--app", "lcs", "--dump-kernel"]) == 0
+        out = capsys.readouterr().out
+        assert "def compute_tile(r0, c0, window, oi, oj, h, w):" in out
+
+    def test_ir_dump(self, capsys):
+        assert main(["analyze", "--app", "knapsack", "--ir"]) == 0
+        assert "compute(i, j):" in capsys.readouterr().out
+
+
+class TestJson:
+    def test_json_document_shape(self, capsys):
+        assert main(["analyze", "--all", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["apps"]["sw"]["class"] == "ANTIDIAG_WAVEFRONT"
+        assert doc["apps"]["viterbi"]["class"] == "OPAQUE"
+        assert doc["apps"]["viterbi"]["codes"] == ["DP401"]
+
+
+class TestManifest:
+    def test_committed_manifest_matches(self, tmp_path, capsys, monkeypatch):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        rc = main(
+            ["analyze", "--all", "--check-manifest", str(root / MANIFEST)]
+        )
+        assert rc == 0
+        assert "DRIFT" not in capsys.readouterr().out
+
+    def test_drift_fails(self, tmp_path, capsys):
+        bad = {
+            "apps": {
+                "lcs": {"class": "OPAQUE", "codes": ["DP401"]},
+            }
+        }
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(bad))
+        rc = main(["analyze", "--app", "lcs", "--check-manifest", str(path)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "DRIFT" in out
+        assert "-> FAIL" in out
+
+    def test_missing_manifest_is_usage_error(self, tmp_path, capsys):
+        rc = main(
+            [
+                "analyze",
+                "--app",
+                "lcs",
+                "--check-manifest",
+                str(tmp_path / "nope.json"),
+            ]
+        )
+        assert rc == 2

@@ -28,7 +28,13 @@ class TestLintAll:
         assert "wavefront_vector=(1, 1)" in out
 
     def test_single_app(self, capsys):
+        # knapsack's data-dependent index resolves through footprint
+        # inference, so the instance-level lint is silent
         assert main(["lint", "--app", "knapsack"]) == 0
+        assert "DP204" not in capsys.readouterr().out
+
+    def test_unliftable_app_keeps_note(self, capsys):
+        assert main(["lint", "--app", "viterbi"]) == 0
         assert "DP204" in capsys.readouterr().out
 
 
@@ -41,6 +47,7 @@ class TestAdversarialExitCodes:
             ("mismatched_anti_dag", "DP103"),
             ("undeclared_read_target", "DP201"),
             ("wrong_offset_target", "DP201"),
+            ("tile_box_escape_target", "DP206"),
         ],
     )
     def test_error_fixture_fails(self, capsys, target, code):

@@ -1,0 +1,201 @@
+"""The typed compute() IR: golden lifts per app, lifter edge cases."""
+
+import pytest
+
+from repro.analysis.ir import (
+    Bin,
+    Call,
+    Cmp,
+    Cond,
+    Const,
+    DepRead,
+    Index,
+    LiftError,
+    lift_compute,
+    normalize,
+    walk_expr,
+)
+from repro.analysis.registry import app_fixture
+from repro.core.api import DPX10App, dependency_map
+
+# One golden per liftable shipped app: the normalized IR rendered by
+# ComputeIR.pretty(). These pin the entire front-end — decision-list
+# extraction, phi merges, coordinate-scan handling, dep.get defaults,
+# module-global constant resolution, and the Cond -> max/min rewrites.
+GOLDENS = {
+    "lcs": """\
+compute(i, j):
+  when ((i == 0) or (j == 0)) -> 0
+  when (self.x[(i - 1)] == self.y[(j - 1)]) -> (dep[((i - 1), (j - 1))] + 1)
+  else -> max(dep[((i - 1), j)], dep[(i, (j - 1))])""",
+    "sw": """\
+compute(i, j):
+  when ((i == 0) or (j == 0)) -> 0
+  else -> max(0, ((dep[((i - 1), (j - 1))] + (self.MATCH_SCORE if (self.str1[(i - 1)] == self.str2[(j - 1)]) else self.DISMATCH_SCORE)) if present((i - 1), (j - 1)) else 0), ((dep[(i, (j - 1))] + self.GAP_PENALTY) if present(i, (j - 1)) else 0), ((dep[((i - 1), j)] + self.GAP_PENALTY) if present((i - 1), j) else 0))""",
+    "knapsack": """\
+compute(i, j):
+  when (i == 0) -> 0
+  when (self.weights[(i - 1)] > j) -> dep[((i - 1), j)]
+  else -> max(dep[((i - 1), j)], (dep[((i - 1), (j - self.weights[(i - 1)]))] + self.values[(i - 1)]))""",
+    "unbounded_knapsack": """\
+compute(i, j):
+  when (i == 0) -> 0
+  else -> (max((dep[(i, (j - self.weights[(i - 1)]))] + self.values[(i - 1)]), dep[((i - 1), j)]) if (self.weights[(i - 1)] <= j) else dep[((i - 1), j)])""",
+    "banded": """\
+compute(i, j):
+  when (i == 0) -> j
+  when (j == 0) -> i
+  else -> min((dep.get(((i - 1), j), 1000000000) + 1), (dep.get((i, (j - 1)), 1000000000) + 1), (dep[((i - 1), (j - 1))] + (0 if (self.x[(i - 1)] == self.y[(j - 1)]) else 1)))""",
+    "lps": """\
+compute(i, j):
+  when (i == j) -> 1
+  when (self.s[i] == self.s[j]) -> (dep.get(((i + 1), (j - 1)), 0) + 2)
+  else -> max(dep[((i + 1), j)], dep[(i, (j - 1))])""",
+    "edit_distance": """\
+compute(i, j):
+  when (i == 0) -> j
+  when (j == 0) -> i
+  else -> min((dep[((i - 1), j)] + 1), (dep[(i, (j - 1))] + 1), (dep[((i - 1), (j - 1))] + (0 if (self.x[(i - 1)] == self.y[(j - 1)]) else 1)))""",
+    "mtp": """\
+compute(i, j):
+  when ((i == 0) and (j == 0)) -> 0
+  else -> max{(i > 0) => (dep[((i - 1), j)] + int(self.w_down[(i - 1), j])), (j > 0) => (dep[(i, (j - 1))] + int(self.w_right[i, (j - 1)]))}""",
+    "nw": """\
+compute(i, j):
+  when (i == 0) -> (self.gap * j)
+  when (j == 0) -> (self.gap * i)
+  else -> max((dep[((i - 1), (j - 1))] + (self.match if (self.x[(i - 1)] == self.y[(j - 1)]) else self.mismatch)), (dep[((i - 1), j)] + self.gap), (dep[(i, (j - 1))] + self.gap))""",
+    "common_substring": """\
+compute(i, j):
+  when ((i == 0) or (j == 0)) -> 0
+  when (self.x[(i - 1)] != self.y[(j - 1)]) -> 0
+  else -> (dep[((i - 1), (j - 1))] + 1)""",
+}
+
+
+class TestGoldens:
+    @pytest.mark.parametrize("name", sorted(GOLDENS))
+    def test_lift_matches_golden(self, name):
+        app, _ = app_fixture(name)
+        ir = normalize(lift_compute(type(app).compute))
+        assert ir.pretty() == GOLDENS[name]
+
+    @pytest.mark.parametrize("name", sorted(GOLDENS))
+    def test_last_case_is_default(self, name):
+        app, _ = app_fixture(name)
+        ir = normalize(lift_compute(type(app).compute))
+        guard, _ = ir.cases[-1]
+        assert guard is None
+
+
+class TestLiftErrors:
+    @pytest.mark.parametrize(
+        "name, fragment",
+        [
+            ("egg_drop", "comprehension"),
+            ("matrix_chain", "comprehension"),
+            ("viterbi", "comprehension"),
+        ],
+    )
+    def test_unliftable_apps_raise(self, name, fragment):
+        app, _ = app_fixture(name)
+        with pytest.raises(LiftError) as exc:
+            lift_compute(type(app).compute)
+        assert fragment in exc.value.reason
+        assert exc.value.lineno is not None
+
+    def test_while_loop_rejected(self):
+        class App(DPX10App):
+            def compute(self, i, j, vertices):
+                dep = dependency_map(vertices)
+                total = 0
+                while total < 3:
+                    total += 1
+                return total
+
+        with pytest.raises(LiftError):
+            lift_compute(App.compute)
+
+    def test_return_inside_scan_rejected(self):
+        class App(DPX10App):
+            def compute(self, i, j, vertices):
+                for v in vertices:
+                    if v.i == i - 1 and v.j == j:
+                        return v.get_result() + 1
+                return 0
+
+        with pytest.raises(LiftError):
+            lift_compute(App.compute)
+
+    def test_dep_get_without_default_rejected(self):
+        class App(DPX10App):
+            def compute(self, i, j, vertices):
+                dep = dependency_map(vertices)
+                if i == 0:
+                    return 0
+                return dep.get((i - 1, j)) + 1
+
+        with pytest.raises(LiftError):
+            lift_compute(App.compute)
+
+
+class TestLifterShapes:
+    def test_normalize_rewrites_cond_to_max(self):
+        class App(DPX10App):
+            def compute(self, i, j, vertices):
+                dep = dependency_map(vertices)
+                a = dep.get((i - 1, j), 0)
+                b = dep.get((i, j - 1), 0)
+                return a if a > b else b
+
+        ir = normalize(lift_compute(App.compute))
+        _, value = ir.cases[-1]
+        assert isinstance(value, Call) and value.fn == "max"
+
+    def test_list_append_becomes_reduce(self):
+        class App(DPX10App):
+            def compute(self, i, j, vertices):
+                dep = dependency_map(vertices)
+                cands = [0]
+                if i > 0:
+                    cands.append(dep[(i - 1, j)])
+                return max(cands)
+
+        ir = lift_compute(App.compute)
+        assert "max{" in ir.pretty()
+        reads = list(ir.dep_reads())
+        assert len(reads) == 1
+
+    def test_chained_assignment(self):
+        class App(DPX10App):
+            def compute(self, i, j, vertices):
+                a = b = 1
+                return a + b
+
+        ir = lift_compute(App.compute)
+        _, value = ir.cases[-1]
+        assert isinstance(value, Bin)
+
+    def test_coordinate_scan_yields_present_guards(self):
+        app, _ = app_fixture("sw")
+        ir = normalize(lift_compute(type(app).compute))
+        names = {type(n).__name__ for n in ir.exprs()}
+        assert "Present" in names
+
+    def test_module_global_constant_resolves(self):
+        app, _ = app_fixture("banded")
+        ir = normalize(lift_compute(type(app).compute))
+        assert any(
+            isinstance(n, Const) and n.value == 10**9 for n in ir.exprs()
+        )
+
+
+class TestWalkAndStr:
+    def test_walk_covers_subexpressions(self):
+        e = Cond(
+            Cmp("<", Index("i"), Const(3)),
+            Bin("+", DepRead(Index("i"), Index("j")), Const(1)),
+            Const(0),
+        )
+        kinds = {type(n).__name__ for n in walk_expr(e)}
+        assert {"Cond", "Cmp", "Index", "Const", "Bin", "DepRead"} <= kinds

@@ -27,11 +27,28 @@ class TestShippedApps:
         errors = [f for f in findings if f.severity >= Severity.ERROR]
         assert not errors, errors
 
-    def test_knapsack_gets_dynamic_index_note(self):
+    def test_knapsack_dp204_refined_away_by_footprint_inference(self):
+        # the affine j - self.weights[i-1] index resolves through the IR
+        # footprint and probes clean, so the instance-level lint drops
+        # the dynamic-index note entirely
         app, dag = app_fixture("knapsack")
         findings = lint_app(app, dag=dag)
+        assert "DP204" not in _codes(findings)
+        assert not findings
+
+    def test_knapsack_class_only_keeps_dp204_note(self):
+        # without an instance there is no data to resolve the index with
+        app, dag = app_fixture("knapsack")
+        findings = lint_app(type(app), dag=type(dag))
         assert "DP204" in _codes(findings)
         assert all(f.severity == Severity.NOTE for f in findings)
+
+    def test_unliftable_app_keeps_dp204_note(self):
+        # viterbi's comprehension argument defeats the lifter, so its
+        # data-dependent index stays a note — truly unresolvable
+        app, dag = app_fixture("viterbi")
+        findings = lint_app(app, dag=dag)
+        assert "DP204" in _codes(findings)
 
 
 class TestAdversarialApps:
@@ -62,6 +79,44 @@ class TestAdversarialApps:
         app, dag = app_fixture("lcs")
         findings = lint_app(app, dag=dag)
         assert "DP201" not in _codes(findings)
+
+
+class TestTileBoxLint:
+    def test_window_escape_fixture_dp206(self):
+        from tests.analysis.fixtures import tile_box_escape_target
+
+        app, dag = tile_box_escape_target()
+        findings = lint_app(app, dag=dag)
+        flagged = [f for f in findings if f.code == "DP206"]
+        # one out-of-halo read, one off-box write
+        assert len(flagged) == 2
+        assert all(f.severity == Severity.ERROR for f in flagged)
+        assert any("read" in f.message for f in flagged)
+        assert any("write" in f.message for f in flagged)
+
+    @pytest.mark.parametrize("name", ["sw", "lps"])
+    def test_shipped_hand_kernels_stay_inside_box(self, name):
+        app, dag = app_fixture(name)
+        findings = lint_app(app, dag=dag)
+        assert "DP206" not in _codes(findings)
+
+    def test_halo_reads_within_pads_pass(self):
+        from repro.analysis.lint import lint_compute_tile
+
+        def compute_tile(self, r0, c0, window, oi, oj, h, w):
+            import numpy as np
+
+            for r in range(h):
+                wi = oi + np.full(w, r)
+                wj = oj + np.arange(w)
+                window[wi, wj] = window[wi - 1, wj] + window[wi, wj - 1]
+            return True
+
+        assert not lint_compute_tile(compute_tile, pads=(1, 0, 1, 0))
+        # the same body against a no-halo stencil is an escape
+        findings = lint_compute_tile(compute_tile, pads=(0, 0, 0, 0))
+        assert {f.code for f in findings} == {"DP206"}
+        assert len(findings) == 2
 
 
 class TestExamples:
