@@ -214,6 +214,27 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+# Every subsystem that ships subcommands registers here, in one table:
+# (module, registration function). Each function takes the subparsers
+# object and calls ``sub.add_parser(...)`` for its commands. Keeping the
+# table explicit (rather than scattering imports through build_parser)
+# is what the docs-vs-CLI consistency test checks against.
+SUBSYSTEM_PARSERS: "tuple[tuple[str, str], ...]" = (
+    ("repro.analysis.cli", "add_lint_parser"),
+    ("repro.analysis.cli", "add_analyze_parser"),
+    ("repro.obs.cli", "add_obs_parser"),
+    ("repro.chaos.cli", "add_chaos_parser"),
+    ("repro.serve.cli", "add_serve_parser"),
+)
+
+
+def _register_subsystem_parsers(sub) -> None:
+    import importlib
+
+    for module_name, fn_name in SUBSYSTEM_PARSERS:
+        getattr(importlib.import_module(module_name), fn_name)(sub)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -280,18 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=_cmd_patterns)
 
-    from repro.analysis.cli import add_analyze_parser, add_lint_parser
-
-    add_lint_parser(sub)
-    add_analyze_parser(sub)
-
-    from repro.obs.cli import add_obs_parser
-
-    add_obs_parser(sub)
-
-    from repro.chaos.cli import add_chaos_parser
-
-    add_chaos_parser(sub)
+    _register_subsystem_parsers(sub)
 
     for fig in ("fig10", "fig11", "fig12", "fig13"):
         p = sub.add_parser(fig, help=f"regenerate the paper's {fig} series")

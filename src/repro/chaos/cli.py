@@ -193,6 +193,23 @@ def _shrink_demo(args) -> int:
     return 0 if (n <= 3 and deterministic) else 1
 
 
+def _cmd_soak(args) -> int:
+    from repro.chaos.soak import SoakSpec, run_soak
+
+    spec = SoakSpec(
+        requests=args.requests,
+        apps=tuple(_csv(args.apps)),
+        size=args.size,
+        nplaces=args.places,
+        seed_base=args.seed_base,
+        fault_fraction=args.fault_fraction,
+        pool_capacity=args.pool_capacity,
+    )
+    report = run_soak(spec, over_http=args.http, verbose=True)
+    print(report.describe())
+    return 0 if report.ok else min(99, len(report.failures) or 1)
+
+
 def add_chaos_parser(sub: argparse._SubParsersAction) -> None:
     """Register the ``chaos`` command group on the repro CLI."""
     p = sub.add_parser(
@@ -239,6 +256,33 @@ def add_chaos_parser(sub: argparse._SubParsersAction) -> None:
     )
     run.add_argument("--stop-on-failure", action="store_true")
     run.set_defaults(fn=_cmd_run)
+
+    soak = chaos_sub.add_parser(
+        "soak",
+        help="server-level soak: place kills mid-request, jobs must land",
+    )
+    soak.add_argument("--requests", type=int, default=12)
+    soak.add_argument(
+        "--apps",
+        default=",".join(("sw", "mtp", "lcs")),
+        help="comma list from the serving catalog",
+    )
+    soak.add_argument("--size", type=int, default=64)
+    soak.add_argument("--places", type=int, default=3)
+    soak.add_argument("--seed-base", type=int, default=0)
+    soak.add_argument(
+        "--fault-fraction",
+        type=float,
+        default=1.0,
+        help="fraction of requests carrying a mid-run place kill",
+    )
+    soak.add_argument("--pool-capacity", type=int, default=None)
+    soak.add_argument(
+        "--http",
+        action="store_true",
+        help="submit over a live HTTP listener instead of in-process",
+    )
+    soak.set_defaults(fn=_cmd_soak)
 
     replay = chaos_sub.add_parser("replay", help="re-run a stored replay file")
     replay.add_argument("replay")

@@ -158,6 +158,21 @@ class DPX10Config:
     #: work-stealing schedulers [24, 25]); results are unchanged, load
     #: balance and communication shift.
     work_stealing: bool = False
+    #: serving-layer pacing hook (see repro.serve.scheduler): called with
+    #: the number of cells about to execute before every tile / level
+    #: batch is dispatched. The callback may *block* — that is how the
+    #: job server imposes weighted-fair tile-level scheduling across
+    #: concurrent jobs. ``None`` (default) dispatches immediately; batch
+    #: composition and results are unchanged either way.
+    pace: Optional[Callable[[int], None]] = None
+    #: mp engine only: lease pre-forked place processes (and pooled
+    #: shared-memory plane segments) from this repro.serve.pool.PlacePool
+    #: instead of forking per run — the warm-start path the job server
+    #: amortizes across requests. Leased places are re-initialized per
+    #: run and returned (or replaced, if a fault killed them) at the end.
+    #: Runs under *message* chaos fall back to fresh processes, because
+    #: the chaos pipe wrapper must be installed at fork time.
+    place_pool: Optional[object] = None
 
     def __post_init__(self) -> None:
         require(self.nplaces >= 1, f"nplaces must be >= 1, got {self.nplaces}")

@@ -107,6 +107,12 @@ class MPRunStats:
         #: process (shipped back as a metrics snapshot on the reply
         #: channel at collect time; dead places' accounting is lost)
         self.worker_compute_seconds: Dict[int, float] = {}
+        #: this run leased its place processes from a warm pool
+        #: (config.place_pool) instead of forking them
+        self.warm_start = False
+        #: dead places restarted in place from pooled spares mid-run
+        #: (the job keeps its distribution; only the lost cells recompute)
+        self.pool_restarts = 0
 
 
 class _ShmWorker:
@@ -309,6 +315,39 @@ class _ShmWorker:
         return total
 
 
+class _WorkerInstruments:
+    """One run's worth of worker-side accounting.
+
+    Rebuilt on every ``init`` (and ``reset``): a pooled worker serves
+    many runs back to back, and each run's master merges the ``stats``
+    snapshot into its own registry — carrying counters across runs would
+    double-count every earlier job into every later snapshot.
+    """
+
+    def __init__(self, place_id: int) -> None:
+        self.registry = MetricsRegistry()
+        self.compute_seconds = self.registry.counter(
+            "dpx10_mp_worker_compute_seconds_total",
+            "seconds spent in the compute loop, per place process",
+            ("place",),
+        ).labels(place_id)
+        self.cells_computed = self.registry.counter(
+            "dpx10_mp_worker_cells_total",
+            "cells computed per place process",
+            ("place",),
+        ).labels(place_id)
+        self.levels_served = self.registry.counter(
+            "dpx10_mp_worker_levels_total",
+            "level batches served per place process",
+            ("place",),
+        ).labels(place_id)
+        self.dedup_hits = self.registry.counter(
+            "dpx10_mp_worker_dedup_total",
+            "duplicate requests answered from the reply cache, per place",
+            ("place",),
+        ).labels(place_id)
+
+
 def _worker_main(place_id: int, conn) -> None:
     """The place process: owns values for its coords, serves the master.
 
@@ -320,35 +359,32 @@ def _worker_main(place_id: int, conn) -> None:
     same guarantee: a duplicated request is answered from the cache, and
     since a unit's recompute is deterministic even a lost-reply rerun
     would write identical bytes.
+
+    **Pooled reuse.** A worker forked by :class:`repro.serve.pool.
+    PlacePool` outlives any single run: ``init`` may carry a sixth
+    element, the *logical* place id this worker plays for the leasing
+    run (the forked ``place_id`` is just a pool serial). Each ``init``
+    clears run state — values, shm attachments, instruments — so runs
+    are independent; ``reset`` does the same without starting a new run
+    (the pool sends it on release so idle workers hold no job data).
     """
     app: Optional[DPX10App] = None
     dag: Optional[Dag] = None
     values: Dict[Coord, Any] = {}
     shm_worker: Optional[_ShmWorker] = None
     replied: Dict[int, tuple] = {}
-    # the worker's own registry: per-process accounting that ships back to
-    # the master as a snapshot over the reply channel ("stats" request)
-    registry = MetricsRegistry()
-    compute_seconds = registry.counter(
-        "dpx10_mp_worker_compute_seconds_total",
-        "seconds spent in the compute loop, per place process",
-        ("place",),
-    ).labels(place_id)
-    cells_computed = registry.counter(
-        "dpx10_mp_worker_cells_total",
-        "cells computed per place process",
-        ("place",),
-    ).labels(place_id)
-    levels_served = registry.counter(
-        "dpx10_mp_worker_levels_total",
-        "level batches served per place process",
-        ("place",),
-    ).labels(place_id)
-    dedup_hits = registry.counter(
-        "dpx10_mp_worker_dedup_total",
-        "duplicate requests answered from the reply cache, per place",
-        ("place",),
-    ).labels(place_id)
+    ins = _WorkerInstruments(place_id)
+
+    def _clear_run_state() -> None:
+        nonlocal values, shm_worker, ins
+        values = {}
+        if shm_worker is not None:
+            from repro.core import shm
+
+            shm.detach_all()
+            shm_worker = None
+        ins = _WorkerInstruments(place_id)
+
     try:
         while True:
             msg = conn.recv()
@@ -357,37 +393,43 @@ def _worker_main(place_id: int, conn) -> None:
             if cached is not None:
                 # a duplicate delivery (chaos dup, or a master retry whose
                 # original did arrive): resend the cached reply verbatim
-                dedup_hits.inc()
+                ins.dedup_hits.inc()
                 conn.send(cached)
                 if kind == "stop":
                     return
                 continue
             if kind == "init":
-                _, _, app, dag, meta = msg
-                values = {}
+                _, _, app, dag, meta = msg[:5]
+                if len(msg) > 5 and msg[5] is not None:
+                    place_id = msg[5]
+                _clear_run_state()
                 shm_worker = (
-                    _ShmWorker(place_id, app, dag, meta, registry)
+                    _ShmWorker(place_id, app, dag, meta, ins.registry)
                     if meta is not None
                     else None
                 )
+                reply = (seq, "ok")
+            elif kind == "reset":
+                app = dag = None
+                _clear_run_state()
                 reply = (seq, "ok")
             elif kind == "cells":
                 _, _, cells = msg
                 assert shm_worker is not None
                 t0 = time.perf_counter()
                 ncomp = shm_worker.compute_cells(cells)
-                compute_seconds.inc(time.perf_counter() - t0)
-                cells_computed.inc(ncomp)
-                levels_served.inc()
+                ins.compute_seconds.inc(time.perf_counter() - t0)
+                ins.cells_computed.inc(ncomp)
+                ins.levels_served.inc()
                 reply = (seq, "done", ncomp)
             elif kind == "tiles":
                 _, _, tile_list = msg
                 assert shm_worker is not None
                 t0 = time.perf_counter()
                 ncomp = shm_worker.compute_tiles(tile_list)
-                compute_seconds.inc(time.perf_counter() - t0)
-                cells_computed.inc(ncomp)
-                levels_served.inc()
+                ins.compute_seconds.inc(time.perf_counter() - t0)
+                ins.cells_computed.inc(ncomp)
+                ins.levels_served.inc()
                 reply = (seq, "done", ncomp)
             elif kind == "redist":
                 _, _, new_owners = msg
@@ -411,9 +453,9 @@ def _worker_main(place_id: int, conn) -> None:
                         value = values.get(key, boundary.get(key))
                         verts.append(Vertex(d.i, d.j, value))
                     values[(i, j)] = app.compute(i, j, verts)
-                compute_seconds.inc(time.perf_counter() - t0)
-                cells_computed.inc(len(cells))
-                levels_served.inc()
+                ins.compute_seconds.inc(time.perf_counter() - t0)
+                ins.cells_computed.inc(len(cells))
+                ins.levels_served.inc()
                 reply = (seq, "done", len(cells))
             elif kind == "fetch":
                 _, _, coords = msg
@@ -421,7 +463,7 @@ def _worker_main(place_id: int, conn) -> None:
             elif kind == "collect":
                 reply = (seq, "values", dict(values))
             elif kind == "stats":
-                reply = (seq, "stats", registry.collect())
+                reply = (seq, "stats", ins.registry.collect())
             elif kind == "stop":
                 conn.send((seq, "bye"))
                 return
@@ -496,6 +538,15 @@ class _PlaceProc:
     def _next_seq(self) -> int:
         self._seq += 1
         return self._seq
+
+    def bind_run(self, on_retry: Optional[Callable[[], None]] = None) -> None:
+        """Repoint the retry callback at the run now leasing this handle.
+
+        Pooled handles outlive any single run; the sequence counter and
+        reply cache deliberately persist (they are per-pipe, not
+        per-run), only the accounting callback changes hands.
+        """
+        self._on_retry = on_retry or (lambda: None)
 
     def _died(self, exc: BaseException) -> None:
         self.alive = False
@@ -594,6 +645,55 @@ class _PlaceProc:
             pass
         self.proc.join(timeout=_JOIN_TIMEOUT_S)
         self.alive = False
+
+
+def _acquire_procs(
+    config: DPX10Config,
+    ctx,
+    *,
+    message=None,
+    chaos_seed: int = 0,
+    record_event: Optional[Callable[[str], None]] = None,
+    on_retry: Optional[Callable[[], None]] = None,
+):
+    """Place processes for one run: pool-leased (warm) or freshly forked.
+
+    Returns ``(procs, pool)`` where ``procs`` maps logical place id →
+    handle and ``pool`` is the :class:`repro.serve.pool.PlacePool` the
+    handles must be released to, or ``None`` when the run owns them.
+    Runs under *message* chaos always fork their own processes — the
+    ChaosPipe wrapper is installed at fork time, so a pre-forked worker
+    cannot serve them. Leased handles are keyed ``0..n-1`` like fresh
+    ones; the init envelope's trailing place-id field relabels each
+    worker to the logical place it plays for this run.
+    """
+    pool = config.place_pool
+    if pool is not None and message is None:
+        procs = pool.lease(config.nplaces)
+        for proc in procs.values():
+            proc.bind_run(on_retry)
+        return procs, pool
+    procs = {
+        p: _PlaceProc(
+            p,
+            ctx,
+            message=message,
+            chaos_seed=chaos_seed,
+            record_event=record_event,
+            on_retry=on_retry,
+        )
+        for p in range(config.nplaces)
+    }
+    return procs, None
+
+
+def _release_procs(procs: Dict[int, "_PlaceProc"], pool) -> None:
+    """Return leased processes to their pool, or stop owned ones."""
+    if pool is not None:
+        pool.release(list(procs.values()))
+    else:
+        for proc in procs.values():
+            proc.stop()
 
 
 def _topological_levels(dag: Dag) -> List[List[Coord]]:
@@ -797,17 +897,15 @@ def _run_mp_pipes(
     def on_retry() -> None:
         stats.msg_retries += 1
 
-    procs: Dict[int, _PlaceProc] = {
-        p: _PlaceProc(
-            p,
-            ctx,
-            message=message,
-            chaos_seed=chaos.schedule.seed if chaos is not None else 0,
-            record_event=record_event,
-            on_retry=on_retry,
-        )
-        for p in range(config.nplaces)
-    }
+    procs, pool = _acquire_procs(
+        config,
+        ctx,
+        message=message,
+        chaos_seed=chaos.schedule.seed if chaos is not None else 0,
+        record_event=record_event,
+        on_retry=on_retry,
+    )
+    stats.warm_start = pool is not None
     try:
         alive = sorted(procs)
 
@@ -825,7 +923,7 @@ def _run_mp_pipes(
             if dag.is_active(i, j):
                 owner[(i, j)] = home_of((i, j), dist)
         for p in alive:
-            procs[p].request(("init", app, dag, None))
+            procs[p].request(("init", app, dag, None, p))
         halo_hist = (
             registry.histogram(
                 "dpx10_halo_fetch_bytes",
@@ -847,6 +945,10 @@ def _run_mp_pipes(
 
         def compute_level(cells: List[Coord]) -> None:
             """One bulk-synchronous step over the alive places."""
+            if config.pace is not None:
+                # serving-layer fairness gate: may block until the
+                # weighted-fair scheduler grants this batch its turn
+                config.pace(len(cells))
             by_place: Dict[int, List[Coord]] = defaultdict(list)
             for c in cells:
                 by_place[owner[c]].append(c)
@@ -900,24 +1002,47 @@ def _run_mp_pipes(
             cells that must recompute; the drain loop below consumes it
             in ascending depth order so dependencies always exist before
             their consumers ask for them.
+
+            With a place pool, each corpse is first swapped for a pooled
+            spare initialized as the same logical place: ownership is
+            unchanged and only the dead place's finished cells recompute.
+            Places the pool cannot replace fall back to re-homing on the
+            survivors — including the fatal place-0 case.
             """
-            if 0 in victims or not procs[0].alive:
+            if pool is None and (0 in victims or not procs[0].alive):
                 raise PlaceZeroDeadError()
             for v in set(victims):
                 if procs[v].alive:
                     logger.warning("SIGKILL place %d process", v)
                     procs[v].kill()
             dead = {p for p in procs if not procs[p].alive}
+            replaced: Set[int] = set()
+            if pool is not None:
+                for p in sorted(dead):
+                    spare = pool.take_spare(procs[p])
+                    if spare is None:
+                        break
+                    spare.bind_run(on_retry)
+                    spare.request(("init", app, dag, None, p))
+                    procs[p] = spare
+                    replaced.add(p)
+                    stats.pool_restarts += 1
+                    logger.warning("place %d restarted from pool", p)
+            unreplaced = dead - replaced
+            if 0 in unreplaced or not procs[0].alive:
+                raise PlaceZeroDeadError()
             survivors = [p for p in sorted(procs) if procs[p].alive]
             if not survivors:
                 raise AllPlacesDeadError("every place process died")
-            new_dist = config.make_dist(dag.region, survivors)
+            new_dist = (
+                config.make_dist(dag.region, survivors) if unreplaced else None
+            )
             for c, p in owner.items():
-                if p in dead:
+                if p in unreplaced:
                     owner[c] = home_of(c, new_dist)
-                    if c in computed:
-                        computed.discard(c)
-                        pending.setdefault(depth_of[c], set()).add(c)
+                if p in dead and c in computed:
+                    computed.discard(c)
+                    pending.setdefault(depth_of[c], set()).add(c)
 
         def poll_faults() -> List[int]:
             """Injector kills due at the current completion count."""
@@ -986,8 +1111,7 @@ def _run_mp_pipes(
             _publish_master_metrics(registry, stats)
         return results, stats
     finally:
-        for proc in procs.values():
-            proc.stop()
+        _release_procs(procs, pool)
 
 
 def _run_mp_shm(
@@ -1045,7 +1169,11 @@ def _run_mp_shm(
         stats.msg_retries += 1
 
     dt = np.dtype(app.value_dtype)
-    arena = ShmArena()
+    pool = config.place_pool
+    # pooled segment leases duck-type ShmArena (create/bytes_mapped/
+    # close); close() returns the segments to the pool's free list
+    # instead of unlinking, so the next job re-leases the same mappings
+    arena = pool.segment_lease() if pool is not None else ShmArena()
     try:
         values, values_name = arena.create((dag.height, dag.width), dt, "values")
         finished, finished_name = arena.create(
@@ -1061,13 +1189,15 @@ def _run_mp_shm(
         )
         if shm_gauge is not None:
             shm_gauge.set(arena.bytes_mapped)
-        # the planes must exist before the fork so children inherit open
-        # segments; message chaos is excluded by eligibility, so the
-        # pipes here are always raw
-        procs: Dict[int, _PlaceProc] = {
-            p: _PlaceProc(p, ctx, record_event=record_event, on_retry=on_retry)
-            for p in range(config.nplaces)
-        }
+        # fresh forks happen after the planes exist; pooled workers were
+        # forked long before, which is fine — they attach the segments
+        # by name at init time, not by fork inheritance. Message chaos
+        # is excluded by shm eligibility, so the pipes here are always
+        # raw and the pool is always usable when configured
+        procs, lease_pool = _acquire_procs(
+            config, ctx, record_event=record_event, on_retry=on_retry
+        )
+        stats.warm_start = lease_pool is not None
         try:
             alive = sorted(procs)
             dist = config.make_dist(dag.region, alive)
@@ -1110,7 +1240,7 @@ def _run_mp_shm(
                 "owners": owner_array(),
             }
             for p in alive:
-                procs[p].request(("init", app, dag, meta))
+                procs[p].request(("init", app, dag, meta, p))
 
             depth_of: Dict[Coord, int] = {
                 u: d for d, lv in enumerate(unit_levels) for u in lv
@@ -1119,6 +1249,10 @@ def _run_mp_shm(
 
             def compute_level(units: List[Coord]) -> None:
                 """One bulk-synchronous step: ship unit indices only."""
+                if config.pace is not None:
+                    # serving-layer fairness gate: may block until the
+                    # weighted-fair scheduler grants this batch its turn
+                    config.pace(sum(ncells_of[u] for u in units))
                 by_place: Dict[int, List[Coord]] = defaultdict(list)
                 for u in units:
                     by_place[owner[u]].append(u)
@@ -1152,29 +1286,62 @@ def _run_mp_shm(
             def handle_victims(
                 victims: Sequence[int], pending: Dict[int, Set[Coord]]
             ) -> None:
-                if 0 in victims or not procs[0].alive:
+                if lease_pool is None and (
+                    0 in victims or not procs[0].alive
+                ):
                     raise PlaceZeroDeadError()
                 for v in set(victims):
                     if procs[v].alive:
                         logger.warning("SIGKILL place %d process", v)
                         procs[v].kill()
                 dead = {p for p in procs if not procs[p].alive}
+                replaced: Set[int] = set()
+                if lease_pool is not None:
+                    # warm restart: swap each corpse for a pooled spare
+                    # initialized as the same logical place (it attaches
+                    # the live planes and the current owner map by name)
+                    # — ownership is unchanged, only the dead place's
+                    # finished units are zeroed and recomputed
+                    for p in sorted(dead):
+                        spare = lease_pool.take_spare(procs[p])
+                        if spare is None:
+                            break
+                        spare.bind_run(on_retry)
+                        spare.request(
+                            (
+                                "init",
+                                app,
+                                dag,
+                                dict(meta, owners=owner_array()),
+                                p,
+                            )
+                        )
+                        procs[p] = spare
+                        replaced.add(p)
+                        stats.pool_restarts += 1
+                        logger.warning("place %d restarted from pool", p)
+                unreplaced = dead - replaced
+                if 0 in unreplaced or not procs[0].alive:
+                    raise PlaceZeroDeadError()
                 survivors = [p for p in sorted(procs) if procs[p].alive]
                 if not survivors:
                     raise AllPlacesDeadError("every place process died")
-                new_dist = config.make_dist(dag.region, survivors)
+                if unreplaced:
+                    new_dist = config.make_dist(dag.region, survivors)
                 for u, p in owner.items():
-                    if p in dead:
+                    if p in unreplaced:
                         owner[u] = home_of(u, new_dist)
-                        if u in computed:
-                            computed.discard(u)
-                            zero_unit(u)
-                            pending.setdefault(depth_of[u], set()).add(u)
-                # survivors track the re-homed ownership so their halo
-                # accounting (and nothing else) stays truthful
-                arr = owner_array()
-                for p in survivors:
-                    procs[p].request(("redist", arr))
+                    if p in dead and u in computed:
+                        computed.discard(u)
+                        zero_unit(u)
+                        pending.setdefault(depth_of[u], set()).add(u)
+                if unreplaced:
+                    # survivors track the re-homed ownership so their
+                    # halo accounting (and nothing else) stays truthful;
+                    # pool replacements got the current map at init
+                    arr = owner_array()
+                    for p in survivors:
+                        procs[p].request(("redist", arr))
 
             def poll_faults() -> List[int]:
                 if injector is None:
@@ -1252,7 +1419,6 @@ def _run_mp_shm(
                 stats,
             )
         finally:
-            for proc in procs.values():
-                proc.stop()
+            _release_procs(procs, lease_pool)
     finally:
         arena.close()

@@ -72,6 +72,34 @@ Offset = Tuple[int, int]
 # matches the per-vertex threaded driver's idle poll (see worker._IDLE_WAIT_S)
 _IDLE_WAIT_S = 0.02
 
+#: relative intra-tile wavefront orders keyed by ``(h, w, a, b)``. For a
+#: dense stencil the rank ``a*i + b*j`` is linear, so the sorted cell
+#: order of every full ``h×w`` tile is the same up to the tile origin —
+#: cache it once per shape instead of lexsorting per tile, per run.
+_CELL_ORDER_CACHE: Dict[Tuple[int, int, int, int], Tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _cell_order(h: int, w: int, a: int, b: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Tile-relative ``(rows, cols)`` in ascending ``a*i + b*j`` rank order."""
+    cached = _CELL_ORDER_CACHE.get((h, w, a, b))
+    if cached is None:
+        ii, jj = np.meshgrid(
+            np.arange(h, dtype=np.int64),
+            np.arange(w, dtype=np.int64),
+            indexing="ij",
+        )
+        ri, rj = ii.ravel(), jj.ravel()
+        order = np.lexsort((rj, ri, a * ri + b * rj))
+        cached = (ri[order], rj[order])
+        _CELL_ORDER_CACHE[(h, w, a, b)] = cached
+    return cached
+
+
+#: dense-pattern halo cells keyed by ``(offsets, H, W, r0, r1, c0, c1)``.
+#: Same rationale as :data:`_CELL_ORDER_CACHE`: the strips are pure
+#: bounds arithmetic, recomputed for identical tiles on every run.
+_HALO_CACHE: Dict[tuple, Tuple[np.ndarray, np.ndarray]] = {}
+
 
 @dataclass(frozen=True)
 class TileGrid:
@@ -218,6 +246,14 @@ class TiledDag(Dag):
         r0, r1, c0, c1 = self.grid.bounds(ti, tj)
         base = self.base
         if self.stencil_mode:
+            a, b = self._base_rank
+            if type(base).is_active is Dag.is_active:
+                # dense pattern: every cell is active and the wavefront
+                # rank is linear, so the sorted order depends only on the
+                # tile's shape — reuse it via the relative-order cache
+                # instead of re-running meshgrid + lexsort per tile
+                ri, rj = _cell_order(r1 - r0, c1 - c0, a, b)
+                return r0 + ri, c0 + rj
             ii, jj = np.meshgrid(
                 np.arange(r0, r1, dtype=np.int64),
                 np.arange(c0, c1, dtype=np.int64),
@@ -226,7 +262,6 @@ class TiledDag(Dag):
             rows, cols = ii.ravel(), jj.ravel()
             mask = self._active_mask(rows, cols)
             rows, cols = rows[mask], cols[mask]
-            a, b = self._base_rank
             order = np.lexsort((cols, rows, a * rows + b * cols))
             return rows[order], cols[order]
         cells = [
@@ -271,8 +306,18 @@ class TiledDag(Dag):
         base = self.base
         if self.stencil_mode:
             H, W = base.height, base.width
+            offs = tuple(base.offsets)  # type: ignore[attr-defined]
+            dense = type(base).is_active is Dag.is_active
+            if dense:
+                # halo geometry is pure bounds arithmetic for dense
+                # patterns; identical tiles recur every run, so pooled
+                # warm places replay from the cache
+                key = (offs, H, W, r0, r1, c0, c1)
+                cached = _HALO_CACHE.get(key)
+                if cached is not None:
+                    return cached
             pieces: List[Tuple[int, int, int, int]] = []
-            for di, dj in base.offsets:  # type: ignore[attr-defined]
+            for di, dj in offs:
                 sr0, sr1 = max(r0 + di, 0), min(r1 + di, H)
                 sc0, sc1 = max(c0 + dj, 0), min(c1 + dj, W)
                 if sr0 >= sr1 or sc0 >= sc1:
@@ -290,7 +335,10 @@ class TiledDag(Dag):
                     if sc1 > c1:
                         pieces.append((rr0, rr1, max(sc0, c1), sc1))
             if not pieces:
-                return np.empty(0, np.int64), np.empty(0, np.int64)
+                out = (np.empty(0, np.int64), np.empty(0, np.int64))
+                if dense:
+                    _HALO_CACHE[key] = out
+                return out
             rs, cs = [], []
             for a0, a1, b0, b1 in pieces:
                 ii, jj = np.meshgrid(
@@ -304,8 +352,13 @@ class TiledDag(Dag):
             cols = np.concatenate(cs)
             _, idx = np.unique(rows * W + cols, return_index=True)
             rows, cols = rows[idx], cols[idx]
-            mask = self._active_mask(rows, cols)
-            return rows[mask], cols[mask]
+            if not dense:
+                mask = self._active_mask(rows, cols)
+                rows, cols = rows[mask], cols[mask]
+            out = (rows, cols)
+            if dense:
+                _HALO_CACHE[key] = out
+            return out
         seen: Dict[Coord, None] = {}
         for i in range(r0, r1):
             for j in range(c0, c1):
@@ -750,6 +803,10 @@ def execute_tile(
     cfg = state.config
     app = state.app
     ti, tj = tile
+    if cfg.pace is not None:
+        # serving-layer fairness gate: may block until the weighted-fair
+        # scheduler grants this tile its turn (see repro.serve.scheduler)
+        cfg.pace(int(len(tiled.cells_of(ti, tj)[0])))
     r0, r1, c0, c1 = ts.grid.bounds(ti, tj)
     trace = state.trace
     t_start = trace.now() if trace is not None else 0.0

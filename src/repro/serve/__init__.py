@@ -1,0 +1,46 @@
+"""DP-as-a-service: the persistent warm-place job server.
+
+``python -m repro serve`` keeps a pool of pre-forked place processes and
+pre-mapped shared-memory planes warm across jobs, and serves concurrent
+DP jobs over a local HTTP/JSON API with per-tenant admission control,
+weighted-fair tile scheduling, and an LRU result cache. See
+``docs/SERVING.md`` for the API reference and operational semantics.
+
+Layering: :mod:`repro.serve.pool` owns processes and segments;
+:mod:`repro.serve.scheduler` owns admission and fairness;
+:mod:`repro.serve.cache` owns result reuse; :mod:`repro.serve.api` maps
+JSON requests onto the app catalog; :mod:`repro.serve.server` composes
+them behind asyncio HTTP.
+"""
+
+from repro.serve.api import APPS, BadRequest, JobRequest, parse_job_request
+from repro.serve.cache import CACHE_EPOCH, ResultCache, cache_key, input_hash
+from repro.serve.pool import PlacePool, PoolStats
+from repro.serve.scheduler import (
+    AdmissionController,
+    AdmissionDecision,
+    TenantPolicy,
+    TokenBucket,
+    WeightedFairPacer,
+)
+from repro.serve.server import JobServer, serve_background
+
+__all__ = [
+    "APPS",
+    "BadRequest",
+    "JobRequest",
+    "parse_job_request",
+    "CACHE_EPOCH",
+    "ResultCache",
+    "cache_key",
+    "input_hash",
+    "PlacePool",
+    "PoolStats",
+    "AdmissionController",
+    "AdmissionDecision",
+    "TenantPolicy",
+    "TokenBucket",
+    "WeightedFairPacer",
+    "JobServer",
+    "serve_background",
+]

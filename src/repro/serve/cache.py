@@ -1,0 +1,122 @@
+"""The LRU result cache keyed by the job's semantic identity.
+
+A DP job's answer is fully determined by ``(app, inputs, pattern,
+tile_shape)`` — engine choice, place count, scheduling, chaos and pool
+warmth all change *how* the matrix is computed, never *what* it holds
+(the differential chaos battery is the standing proof). So the cache key
+is exactly that 4-tuple:
+
+* ``app`` — the catalog name (``sw``, ``lcs``, ...);
+* ``input_hash`` — sha256 over the *canonical* parameter JSON (sorted
+  keys, no whitespace, scoring defaults materialized), so two requests
+  differing only in JSON formatting or key order share an entry;
+* ``pattern`` — the DAG pattern name, which pins the dependency shape;
+* ``tile_shape`` — part of the key by design: tiling is bit-identical
+  to untiled execution, but keeping it keyed keeps a cache hit
+  byte-for-byte attributable to one prior run (and lets operators A/B
+  tile shapes without cross-contaminating entries).
+
+Invalidation: entries never expire by time (DP results do not go
+stale); they leave by LRU eviction when ``capacity`` is exceeded, or
+wholesale via :meth:`ResultCache.clear` (the operational hammer after a
+code change that alters app semantics — bump ``CACHE_EPOCH`` in a
+release instead when possible, which re-keys every entry).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["CACHE_EPOCH", "canonical_params", "input_hash", "cache_key", "ResultCache"]
+
+#: bump when an app's semantics change in a release: every key changes,
+#: which is an implicit full invalidation without a clear() stampede
+CACHE_EPOCH = 1
+
+
+def canonical_params(params: Dict[str, Any]) -> str:
+    """The canonical JSON rendering parameter hashing is defined over."""
+    return json.dumps(params, sort_keys=True, separators=(",", ":"))
+
+
+def input_hash(params: Dict[str, Any]) -> str:
+    """sha256 over the canonical parameter JSON (hex, 64 chars)."""
+    return hashlib.sha256(canonical_params(params).encode()).hexdigest()
+
+
+def cache_key(
+    app: str,
+    params: Dict[str, Any],
+    pattern: str,
+    tile_shape: Optional[Tuple[int, int]],
+) -> str:
+    """The full result-cache key; see the module docstring for why."""
+    tile = f"{tile_shape[0]}x{tile_shape[1]}" if tile_shape else "none"
+    return f"v{CACHE_EPOCH}:{app}:{input_hash(params)}:{pattern}:{tile}"
+
+
+class ResultCache:
+    """A thread-safe LRU mapping cache keys to job result payloads.
+
+    ``get`` refreshes recency; ``put`` evicts the least-recently-used
+    entry beyond ``capacity``. Counters (hits / misses / evictions) feed
+    the server's ``dpx10_result_cache_*`` metrics.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> Optional[Any]:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: str, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        with self._lock:
+            n = len(self._entries)
+            self._entries.clear()
+            return n
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,75 @@
+"""Result-cache semantics: key derivation, LRU behaviour, counters."""
+
+from repro.serve.cache import (
+    CACHE_EPOCH,
+    ResultCache,
+    cache_key,
+    canonical_params,
+    input_hash,
+)
+
+
+class TestKeyDerivation:
+    def test_key_shape(self):
+        key = cache_key("sw", {"size": 64, "seed": 1}, "diagonal", None)
+        epoch, app, digest, pattern, tile = key.split(":")
+        assert epoch == f"v{CACHE_EPOCH}"
+        assert app == "sw"
+        assert len(digest) == 64
+        assert pattern == "diagonal"
+        assert tile == "none"
+
+    def test_tile_shape_in_key(self):
+        base = cache_key("sw", {"size": 64}, "diagonal", None)
+        tiled = cache_key("sw", {"size": 64}, "diagonal", (32, 16))
+        assert base != tiled
+        assert tiled.endswith(":32x16")
+
+    def test_param_order_irrelevant(self):
+        a = cache_key("nw", {"a": "AC", "b": "GT"}, "diagonal", None)
+        b = cache_key("nw", {"b": "GT", "a": "AC"}, "diagonal", None)
+        assert a == b
+
+    def test_param_value_changes_key(self):
+        a = cache_key("sw", {"size": 64, "seed": 1}, "diagonal", None)
+        b = cache_key("sw", {"size": 64, "seed": 2}, "diagonal", None)
+        assert a != b
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        text = canonical_params({"b": 1, "a": [1, 2]})
+        assert text == '{"a":[1,2],"b":1}'
+
+    def test_input_hash_is_stable(self):
+        assert input_hash({"x": 1}) == input_hash({"x": 1})
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(4)
+        assert cache.get("k") is None
+        cache.put("k", {"score": 7})
+        assert cache.get("k") == {"score": 7}
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_clear_reports_count(self):
+        cache = ResultCache(8)
+        for i in range(3):
+            cache.put(str(i), i)
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_zero_capacity_never_stores(self):
+        cache = ResultCache(0)
+        cache.put("k", 1)
+        assert cache.get("k") is None

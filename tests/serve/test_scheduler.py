@@ -1,0 +1,200 @@
+"""Admission control and weighted-fair pacing."""
+
+import threading
+
+import pytest
+
+from repro.serve.scheduler import (
+    AdmissionController,
+    TenantPolicy,
+    TokenBucket,
+    WeightedFairPacer,
+)
+
+
+class TestTokenBucket:
+    def test_burst_then_deny_with_hint(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=lambda: clock[0])
+        assert [bucket.try_acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+        wait = bucket.try_acquire()
+        assert wait == pytest.approx(0.5)  # 1 token at 2/s
+        clock[0] += 0.5
+        assert bucket.try_acquire() == 0.0
+
+    def test_refill_caps_at_burst(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=lambda: clock[0])
+        clock[0] += 10.0
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+
+
+class TestAdmission:
+    def test_max_in_flight_denial_and_release(self):
+        ctl = AdmissionController(TenantPolicy(rate=1000, burst=1000, max_in_flight=2))
+        assert ctl.admit("t").admitted
+        assert ctl.admit("t").admitted
+        denied = ctl.admit("t")
+        assert not denied.admitted and denied.reason == "in_flight"
+        assert denied.retry_after > 0
+        ctl.release("t")
+        assert ctl.admit("t").admitted
+
+    def test_rate_denial_reason(self):
+        ctl = AdmissionController(TenantPolicy(rate=0.001, burst=1, max_in_flight=99))
+        assert ctl.admit("t").admitted
+        denied = ctl.admit("t")
+        assert not denied.admitted and denied.reason == "rate"
+        assert denied.retry_after > 1.0
+
+    def test_in_flight_denial_does_not_charge_bucket(self):
+        ctl = AdmissionController(TenantPolicy(rate=0.001, burst=2, max_in_flight=1))
+        assert ctl.admit("t").admitted
+        for _ in range(5):  # hammering the full tenant must not burn tokens
+            assert ctl.admit("t").reason == "in_flight"
+        ctl.release("t")
+        assert ctl.admit("t").admitted  # the second burst token survived
+
+    def test_tenants_isolated(self):
+        ctl = AdmissionController(TenantPolicy(max_in_flight=1))
+        assert ctl.admit("a").admitted
+        assert ctl.admit("b").admitted
+        assert not ctl.admit("a").admitted
+
+    def test_per_tenant_policy_pins(self):
+        ctl = AdmissionController(
+            TenantPolicy(max_in_flight=1),
+            per_tenant={"vip": TenantPolicy(max_in_flight=3)},
+        )
+        assert all(ctl.admit("vip").admitted for _ in range(3))
+        assert not ctl.admit("vip").admitted
+        assert ctl.snapshot() == {"vip": 3}
+
+
+class TestWeightedFairPacer:
+    def test_lone_job_never_blocks(self):
+        pacer = WeightedFairPacer(quantum_cells=10)
+        pace = pacer.register("only")
+        for _ in range(50):
+            pace(1000)  # far beyond the quantum; no peer, no gate
+        assert pacer.snapshot()["only"]["waits"] == 0
+
+    def test_unregistered_job_is_ungated(self):
+        pacer = WeightedFairPacer()
+        pace = pacer.register("j")
+        pacer.unregister("j")
+        pace(10**9)  # must not block or raise
+
+    def test_double_register_rejected(self):
+        pacer = WeightedFairPacer()
+        pacer.register("j")
+        with pytest.raises(ValueError):
+            pacer.register("j")
+
+    def test_weighted_interleaving_ratio(self):
+        """Two contending jobs: cells granted track the 2:1 weights."""
+        pacer = WeightedFairPacer(quantum_cells=64)
+        batches, cells = 60, 32
+        done = {}
+        # mark both jobs running (zero-cell first batch) before the
+        # threads start: neither job may run a lone-job (ungated)
+        # prefix, or the window measures scheduling luck instead of
+        # the pacer
+        paces = {
+            "heavy": pacer.register("heavy", 2.0),
+            "light": pacer.register("light", 1.0),
+        }
+        for pace in paces.values():
+            pace(0)
+
+        def run(job_id):
+            for _ in range(batches):
+                paces[job_id](cells)
+            # record the grant-log position where this job finished
+            done[job_id] = len(pacer.history)
+            pacer.unregister(job_id)
+
+        threads = [
+            threading.Thread(target=run, args=("heavy",)),
+            threading.Thread(target=run, args=("light",)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # judge only the contended window: grants up to the first finish
+        window = list(pacer.history)[: min(done.values())]
+        granted = {"heavy": 0, "light": 0}
+        for job_id, ncells in window:
+            granted[job_id] += ncells
+        assert granted["light"] > 0
+        ratio = granted["heavy"] / granted["light"]
+        assert 1.4 <= ratio <= 2.8, f"heavy:light cell ratio {ratio:.2f}"
+
+    def test_parked_job_does_not_gate_the_running_job(self):
+        """Regression: a registered job that never paces (e.g. parked in
+        the pool lease queue behind the running job's workers) must not
+        pin the fairness floor — that deadlocked the server: the runner
+        blocked on the parked jobs' clocks, the parked jobs blocked on
+        the runner's workers."""
+        pacer = WeightedFairPacer(quantum_cells=10)
+        pace = pacer.register("runner")
+        pacer.register("parked-1")
+        pacer.register("parked-2")
+        for _ in range(50):
+            pace(1000)  # far past floor(0) + quantum if parked jobs counted
+        assert pacer.snapshot()["runner"]["waits"] == 0
+        assert pacer.snapshot()["parked-1"]["started"] is False
+
+    def test_late_starter_joins_at_running_floor(self):
+        """A job that finally gets workers starts at the running floor:
+        no backlog credit for time spent parked, and no stall for the
+        job that ran meanwhile."""
+        pacer = WeightedFairPacer(quantum_cells=10)
+        pace_a = pacer.register("a")
+        pace_b = pacer.register("b")
+        for _ in range(20):
+            pace_a(100)  # "a" runs alone; "b" is parked
+        pace_b(10)  # "b" finally leases workers
+        snap = pacer.snapshot()
+        assert snap["b"]["vtime"] >= snap["a"]["vtime"] - pacer.quantum
+        # and "a" is immediately grantable again (no stall on "b")
+        pace_a(100)
+        assert pacer.snapshot()["a"]["waits"] == 0
+
+    def test_equal_weights_interleave_evenly(self):
+        pacer = WeightedFairPacer(quantum_cells=64)
+        done = {}
+        paces = {j: pacer.register(j) for j in ("a", "b")}
+        for pace in paces.values():
+            pace(0)  # both running before the contention window opens
+
+        def run(job_id):
+            for _ in range(40):
+                paces[job_id](32)
+            done[job_id] = len(pacer.history)
+            pacer.unregister(job_id)
+
+        threads = [threading.Thread(target=run, args=(j,)) for j in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        window = list(pacer.history)[: min(done.values())]
+        granted = {"a": 0, "b": 0}
+        for job_id, ncells in window:
+            granted[job_id] += ncells
+        ratio = granted["a"] / max(1, granted["b"])
+        assert 0.6 <= ratio <= 1.7, f"a:b cell ratio {ratio:.2f}"
+        # and they genuinely interleave rather than running back-to-back
+        # (a sequential schedule would show exactly one switch; the
+        # quantum bounds runs to a handful of batches, but GIL slicing
+        # makes the exact count noisy — assert the floor, not the mean)
+        switches = sum(
+            1 for prev, cur in zip(window, window[1:]) if prev[0] != cur[0]
+        )
+        assert switches >= 6, f"only {switches} switches in {len(window)} grants"

@@ -1,0 +1,185 @@
+"""JobServer behaviour: lifecycle, backpressure, caching, HTTP transport."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.scheduler import TenantPolicy
+from repro.serve.server import JobServer, serve_background
+
+
+def _job(app="sw", size=16, seed=1, **over):
+    body = {"app": app, "params": {"size": size, "seed": seed}, "engine": "inline"}
+    body.update(over)
+    return body
+
+
+@pytest.fixture
+def server():
+    srv = JobServer(port=0, pool_capacity=2, prewarm=False, max_queued=8)
+    yield srv
+    srv.close()
+
+
+class TestLifecycle:
+    def test_submit_runs_to_done(self, server):
+        status, payload = server.submit(_job())
+        assert status == 202
+        final = server.wait(payload["id"])
+        assert final["status"] == "done"
+        assert final["result"]["score"] > 0
+        assert final["tenant"] == "default"
+
+    def test_bad_request_is_400(self, server):
+        status, payload = server.submit({"app": "nope"})
+        assert status == 400 and "error" in payload
+
+    def test_unknown_job_is_none(self, server):
+        assert server.job_status("missing") is None
+
+    def test_failed_job_reports_error(self, server):
+        # faults without pool capacity for replacement: place 0 kill on
+        # a 1-place inline run is unrecoverable and must surface as a
+        # failed job, not a crashed server
+        srv = JobServer(
+            port=0, pool_capacity=2, prewarm=False, allow_faults=True
+        )
+        try:
+            status, payload = srv.submit(
+                _job(engine="inline", nplaces=1,
+                     faults=[{"place": 0, "at_fraction": 0.2}], cache=False)
+            )
+            assert status == 202
+            final = srv.wait(payload["id"])
+            assert final["status"] == "failed"
+            assert final["error"]
+        finally:
+            srv.close()
+
+
+class TestBackpressure:
+    def test_in_flight_cap_gives_429(self, server):
+        # occupy every slot by hand: deterministic, no timing games
+        policy = server.admission.policy("t")
+        for _ in range(policy.max_in_flight):
+            assert server.admission.admit("t").admitted
+        status, payload = server.submit(_job(tenant="t"))
+        assert status == 429
+        assert payload["reason"] == "in_flight"
+        assert payload["retry_after"] > 0
+
+    def test_rate_limit_gives_429(self):
+        srv = JobServer(
+            port=0,
+            pool_capacity=2,
+            prewarm=False,
+            default_policy=TenantPolicy(rate=0.001, burst=1, max_in_flight=9),
+        )
+        try:
+            status, payload = srv.submit(_job())
+            assert status == 202
+            srv.wait(payload["id"])
+            status, payload = srv.submit(_job(seed=2))
+            assert status == 429 and payload["reason"] == "rate"
+        finally:
+            srv.close()
+
+    def test_queue_saturation_gives_429(self):
+        srv = JobServer(port=0, pool_capacity=2, prewarm=False, max_queued=0)
+        try:
+            status, payload = srv.submit(_job())
+            assert status == 429
+            assert "saturated" in payload["error"]
+        finally:
+            srv.close()
+
+    def test_rejections_counted_per_tenant(self, server):
+        for _ in range(server.admission.policy("t").max_in_flight):
+            server.admission.admit("t")
+        server.submit(_job(tenant="t"))
+        text = server.metrics_text()
+        assert 'dpx10_jobs_total{tenant="t",status="rejected"} 1' in text
+
+
+class TestCaching:
+    def test_resubmit_served_from_cache(self, server):
+        status, payload = server.submit(_job())
+        server.wait(payload["id"])
+        status2, payload2 = server.submit(_job())
+        assert status2 == 200
+        assert payload2["cached"] is True
+        assert payload2["result"]["score"] == server.job_status(payload["id"])[
+            "result"
+        ]["score"]
+
+    def test_cache_opt_out_recomputes(self, server):
+        status, payload = server.submit(_job(cache=False))
+        server.wait(payload["id"])
+        status2, payload2 = server.submit(_job(cache=False))
+        assert status2 == 202  # ran again, not served from cache
+        assert server.wait(payload2["id"])["cached"] is False
+
+    def test_cached_jobs_do_not_hold_admission_slots(self, server):
+        status, payload = server.submit(_job())
+        server.wait(payload["id"])
+        for i in range(server.admission.policy("default").max_in_flight + 2):
+            status, payload = server.submit(_job())
+            assert status == 200  # cache hits release their slot instantly
+
+
+class TestHTTP:
+    def _post(self, base, body):
+        req = urllib.request.Request(
+            base + "/jobs",
+            data=json.dumps(body).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(req) as resp:
+            return resp.status, json.loads(resp.read())
+
+    def test_full_roundtrip(self):
+        srv = JobServer(port=0, pool_capacity=2, prewarm=False)
+        with serve_background(srv) as base:
+            with urllib.request.urlopen(base + "/healthz") as resp:
+                assert json.loads(resp.read()) == {"status": "ok"}
+            status, payload = self._post(base, _job())
+            assert status == 202
+            final = srv.wait(payload["id"])
+            with urllib.request.urlopen(base + "/jobs/" + payload["id"]) as resp:
+                assert json.loads(resp.read())["status"] == final["status"]
+            with urllib.request.urlopen(base + "/metrics") as resp:
+                text = resp.read().decode()
+                assert resp.headers["Content-Type"].startswith("text/plain")
+            assert "dpx10_jobs_total" in text
+            assert "dpx10_pool_workers_idle" in text
+            with urllib.request.urlopen(base + "/stats") as resp:
+                stats = json.loads(resp.read())
+            assert stats["jobs"].get("done", 0) >= 1
+            clear = urllib.request.Request(base + "/cache", method="DELETE")
+            with urllib.request.urlopen(clear) as resp:
+                assert json.loads(resp.read())["cleared"] >= 1
+
+    def test_http_error_statuses(self):
+        srv = JobServer(port=0, pool_capacity=2, prewarm=False, max_queued=0)
+        with serve_background(srv) as base:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(base + "/jobs/zzz")
+            assert exc.value.status == 404
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(
+                    urllib.request.Request(base + "/metrics", method="POST")
+                )
+            assert exc.value.status == 405
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                self._post(base, _job())  # max_queued=0: always saturated
+            assert exc.value.status == 429
+            assert int(exc.value.headers["Retry-After"]) >= 1
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(
+                    urllib.request.Request(
+                        base + "/jobs", data=b"{not json", method="POST"
+                    )
+                )
+            assert exc.value.status == 400

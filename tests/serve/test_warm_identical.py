@@ -1,0 +1,42 @@
+"""Warm-pool runs are bit-identical to one-shot runs, app by app.
+
+The pool changes *how* places come to life (leased + relabeled instead
+of freshly forked; pooled zero-filled segments instead of per-run
+arenas) but must never change *what* a run computes. Every catalog app
+runs three ways — warm lease, warm re-lease (reset-path reuse), and
+classic one-shot — and all three must equal the serial oracle.
+"""
+
+import pytest
+
+from repro.core.config import DPX10Config
+from repro.serve.api import APPS, execute_job, parse_job_request
+from repro.serve.pool import PlacePool
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with PlacePool(2, prewarm=True) as p:
+        yield p
+
+
+@pytest.mark.parametrize("app", sorted(APPS))
+def test_warm_pool_matches_one_shot(app, pool):
+    req = parse_job_request(
+        {"app": app, "params": {"size": 12, "seed": 7}, "engine": "mp", "nplaces": 2}
+    )
+    warm_cfg = lambda: DPX10Config(engine="mp", nplaces=2, place_pool=pool)
+    warm1 = execute_job(req, warm_cfg())
+    warm2 = execute_job(req, warm_cfg())  # reuse after reset, same workers
+    cold = execute_job(req, DPX10Config(engine="mp", nplaces=2))
+    oracle = APPS[app].oracle(req.params)
+    assert warm1["score"] == oracle
+    assert warm2["score"] == oracle
+    assert cold["score"] == oracle
+    assert warm1["completions"] == warm2["completions"] == cold["completions"]
+
+
+def test_pool_never_forked_beyond_prewarm(pool):
+    # after the whole catalog ran warm twice, the two prewarmed workers
+    # must still be the only ones ever forked
+    assert pool.stats().forks == 2
