@@ -35,10 +35,16 @@ def results_dir() -> str:
 
 
 def write_obs_snapshot(path: str = OBS_SNAPSHOT, size: int = 256) -> dict:
-    """Run quick instrumented SW/LPS sweeps and write the perf snapshot."""
+    """Run quick instrumented SW/LPS sweeps and write the perf snapshot.
+
+    Each run is traced so the snapshot also carries the causal columns —
+    critical-path fraction and per-category attribution — and diffs show
+    *where* a perf regression landed, not just that one happened.
+    """
     from repro.apps.lps import solve_lps
     from repro.apps.smith_waterman import solve_sw
     from repro.core.config import DPX10Config
+    from repro.obs.causal import attribution, critical_path_fraction
     from repro.util.rng import seeded_rng
     from repro.util.timer import Timer
 
@@ -49,15 +55,25 @@ def write_obs_snapshot(path: str = OBS_SNAPSHOT, size: int = 256) -> dict:
 
     def run(solver, *args, tile_shape):
         config = DPX10Config(
-            nplaces=4, engine="threaded", tile_shape=tile_shape, metrics=True
+            nplaces=4, engine="threaded", tile_shape=tile_shape,
+            metrics=True, trace=True,
         )
         with Timer() as t:
             _, report = solver(*args, config)
-        return {
+        out = {
             "seconds": t.elapsed,
             "completions": report.completions,
             "metrics": report.metrics,
         }
+        if report.trace is not None and report.trace.events:
+            out["critical_path_fraction"] = round(
+                critical_path_fraction(report.trace), 4
+            )
+            out["attribution"] = {
+                cat: round(frac, 4)
+                for cat, frac in sorted(attribution(report.trace).items())
+            }
+        return out
 
     doc = {
         "size": size,

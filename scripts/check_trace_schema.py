@@ -10,7 +10,11 @@ Checks the structural contract that Perfetto / ``chrome://tracing`` and
 * ``otherData.format`` is ``dpx10-trace`` with a known version;
 * if a metrics snapshot rides along, every instrument entry has the
   ``kind`` / ``labelnames`` / ``values`` shape ``MetricsRegistry.merge``
-  accepts.
+  accepts;
+* if a causal summary rides along (``otherData.causal``), it has the
+  :func:`repro.obs.causal.causal_summary` shape: a dependency-ordered
+  ``critical_path`` list, ``critical_path_fraction`` in [0, 1], and an
+  ``attribution`` dict of named categories summing to ~1.
 
 Usage: ``python scripts/check_trace_schema.py trace.json [more.json ...]``
 Exits non-zero listing every violation.
@@ -101,6 +105,65 @@ def check_file(path: str) -> List[str]:
             ):
                 err(f"{where}: each value row must be [label_values, value]")
                 break
+
+    if "trace_id" in other and not (
+        isinstance(other["trace_id"], str) and other["trace_id"]
+    ):
+        err("otherData.trace_id must be a non-empty string")
+    if "meta" in other and not isinstance(other["meta"], dict):
+        err("otherData.meta must be an object")
+
+    causal = other.get("causal")
+    if causal is not None:
+        if not isinstance(causal, dict):
+            err("otherData.causal must be an object")
+        else:
+            cp = causal.get("critical_path")
+            if not isinstance(cp, list):
+                err("causal.critical_path must be a list")
+            else:
+                for k, step in enumerate(cp):
+                    where = f"causal.critical_path[{k}]"
+                    if not isinstance(step, dict):
+                        err(f"{where}: not an object")
+                        continue
+                    for field in ("place", "start", "end"):
+                        if not isinstance(step.get(field), (int, float)):
+                            err(f"{where}: missing numeric {field!r}")
+                    if k and isinstance(step.get("start"), (int, float)):
+                        prev_end = cp[k - 1].get("end")
+                        # 5ms slack: cross-process stamps are normalized
+                        # via a wall-clock offset exchange, not a shared
+                        # monotonic clock
+                        if (
+                            isinstance(prev_end, (int, float))
+                            and step["start"] < prev_end - 5e-3
+                        ):
+                            err(
+                                f"{where}: starts before its predecessor "
+                                "finishes (not a dependency-respecting chain)"
+                            )
+            frac = causal.get("critical_path_fraction")
+            if not isinstance(frac, (int, float)) or not 0.0 <= frac <= 1.0:
+                err(
+                    "causal.critical_path_fraction must be in [0, 1], "
+                    f"got {frac!r}"
+                )
+            attr = causal.get("attribution")
+            if not isinstance(attr, dict) or not all(
+                isinstance(v, (int, float)) for v in attr.values()
+            ):
+                err("causal.attribution must map category -> number")
+            elif attr and abs(sum(attr.values()) - 1.0) > 1e-6:
+                err(
+                    "causal.attribution must sum to 1.0, got "
+                    f"{sum(attr.values()):.6f}"
+                )
+            wf = causal.get("waterfall")
+            if not isinstance(wf, dict) or not isinstance(
+                wf.get("places"), dict
+            ):
+                err("causal.waterfall must carry a places object")
 
     return errors
 

@@ -86,21 +86,27 @@ class ChaosController:
         if sleep_s > 0:
             time.sleep(sleep_s)
 
-    def throttle_batch(self, place_id: int, ncells: int) -> None:
-        """The mp master's form of :meth:`on_execute`: one sleep per level
-        batch (the worker process cannot be throttled per vertex from the
-        outside), capped so a large matrix cannot stall the driver."""
+    def throttle_batch(self, place_id: int, ncells: int) -> float:
+        """The batch form of :meth:`on_execute`: one sleep per tile or
+        level batch (the worker process cannot be throttled per vertex
+        from the outside), capped so a large matrix cannot stall the
+        driver. Returns the seconds slept so callers (the mp master's
+        straggler accounting) can attribute the injected latency to the
+        throttled place's service time."""
         sleep_s = self._throttles.get(place_id)
         if sleep_s is None or ncells <= 0:
-            return
+            return 0.0
         if place_id not in self._throttles_seen:
             with self._lock:
                 first = place_id not in self._throttles_seen
                 self._throttles_seen.add(place_id)
             if first:
                 self.record("throttle")
-        if sleep_s > 0:
-            time.sleep(min(0.05, sleep_s * ncells))
+        if sleep_s <= 0:
+            return 0.0
+        slept = min(0.05, sleep_s * ncells)
+        time.sleep(slept)
+        return slept
 
     # -- recovery-kill triggers ---------------------------------------------------
     def begin_recovery_pass(self) -> int:

@@ -60,6 +60,7 @@ import time
 import multiprocessing as mp
 from collections import defaultdict
 from collections.abc import Mapping
+from contextlib import nullcontext
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -68,6 +69,7 @@ from repro.apgas.failure import FaultInjector, FaultPlan
 from repro.core.api import DPX10App, Vertex
 from repro.core.config import DPX10Config
 from repro.core.dag import Dag
+from repro.core.trace import ExecutionTrace, Span, TraceEvent
 from repro.errors import (
     AllPlacesDeadError,
     DPX10Error,
@@ -200,14 +202,22 @@ class _ShmWorker:
             self.read_batches.inc(nproducers)
             self.halo_bytes.observe(nbytes)
 
-    def compute_cells(self, cells: Sequence[Coord]) -> int:
-        """Per-cell compute against the plane (the untiled unit)."""
+    def compute_cells(
+        self, cells: Sequence[Coord], sink: Optional[list] = None
+    ) -> int:
+        """Per-cell compute against the plane (the untiled unit).
+
+        ``sink`` (tracing on) receives one ``(i, j, home, t0, t1, cells,
+        tile)`` record per cell with raw ``perf_counter`` stamps; the
+        master normalizes them onto its own timeline at merge time.
+        """
         app, dag = self.app, self.dag
         values, finished = self.values, self.finished
         owners = self.owners
         remote = 0
         producers: Set[int] = set()
         for i, j in cells:
+            t0 = time.perf_counter() if sink is not None else 0.0
             verts: List[Vertex] = []
             for d in dag.get_dependency(i, j):
                 if not dag.is_active(d.i, d.j):
@@ -219,10 +229,16 @@ class _ShmWorker:
                     producers.add(owner)
             values[i, j] = app.compute(i, j, verts)
             finished[i, j] = 1
+            if sink is not None:
+                sink.append(
+                    (i, j, self.place_id, t0, time.perf_counter(), 1, None)
+                )
         self._record_remote(remote, len(producers))
         return len(cells)
 
-    def compute_tiles(self, tiles: Sequence[Coord]) -> int:
+    def compute_tiles(
+        self, tiles: Sequence[Coord], sink: Optional[list] = None
+    ) -> int:
         """Whole-tile compute against the plane (the tiled unit).
 
         Mirrors :func:`repro.core.tiling.execute_tile` semantics exactly:
@@ -241,6 +257,7 @@ class _ShmWorker:
         owners = self.owners
         total = 0
         for ti, tj in tiles:
+            t_tile0 = time.perf_counter() if sink is not None else 0.0
             rows, cols = tiled.cells_of(ti, tj)
             n = len(rows)
             if n == 0:
@@ -312,6 +329,13 @@ class _ShmWorker:
                 ]
             finished[rows, cols] = 1
             total += n
+            if sink is not None:
+                sink.append(
+                    (
+                        r0, c0, self.place_id,
+                        t_tile0, time.perf_counter(), n, (ti, tj),
+                    )
+                )
         return total
 
 
@@ -367,6 +391,14 @@ def _worker_main(place_id: int, conn) -> None:
     clears run state — values, shm attachments, instruments — so runs
     are independent; ``reset`` does the same without starting a new run
     (the pool sends it on release so idle workers hold no job data).
+
+    **Trace context.** ``init`` may carry a seventh element, a trace
+    context dict ``{"trace_id", "epoch0"}``. When present the worker
+    buffers per-unit compute events with raw ``perf_counter`` stamps and
+    computes its master-clock offset from ``epoch0`` (the master's wall
+    clock at its trace's t=0 — valid because mp places share a host);
+    the ``trace`` request ships ``(offset, events)`` back for the master
+    to normalize onto its own timeline at merge time.
     """
     app: Optional[DPX10App] = None
     dag: Optional[Dag] = None
@@ -374,9 +406,11 @@ def _worker_main(place_id: int, conn) -> None:
     shm_worker: Optional[_ShmWorker] = None
     replied: Dict[int, tuple] = {}
     ins = _WorkerInstruments(place_id)
+    trace_buf: Optional[List[tuple]] = None
+    trace_offset = 0.0
 
     def _clear_run_state() -> None:
-        nonlocal values, shm_worker, ins
+        nonlocal values, shm_worker, ins, trace_buf, trace_offset
         values = {}
         if shm_worker is not None:
             from repro.core import shm
@@ -384,6 +418,8 @@ def _worker_main(place_id: int, conn) -> None:
             shm.detach_all()
             shm_worker = None
         ins = _WorkerInstruments(place_id)
+        trace_buf = None
+        trace_offset = 0.0
 
     try:
         while True:
@@ -403,6 +439,14 @@ def _worker_main(place_id: int, conn) -> None:
                 if len(msg) > 5 and msg[5] is not None:
                     place_id = msg[5]
                 _clear_run_state()
+                if len(msg) > 6 and msg[6] is not None:
+                    # trace context: buffer events, and anchor this
+                    # process's perf_counter to the master trace timeline
+                    # through the shared wall clock (same host)
+                    trace_buf = []
+                    trace_offset = (
+                        time.time() - msg[6]["epoch0"]
+                    ) - time.perf_counter()
                 shm_worker = (
                     _ShmWorker(place_id, app, dag, meta, ins.registry)
                     if meta is not None
@@ -417,20 +461,22 @@ def _worker_main(place_id: int, conn) -> None:
                 _, _, cells = msg
                 assert shm_worker is not None
                 t0 = time.perf_counter()
-                ncomp = shm_worker.compute_cells(cells)
-                ins.compute_seconds.inc(time.perf_counter() - t0)
+                ncomp = shm_worker.compute_cells(cells, sink=trace_buf)
+                elapsed = time.perf_counter() - t0
+                ins.compute_seconds.inc(elapsed)
                 ins.cells_computed.inc(ncomp)
                 ins.levels_served.inc()
-                reply = (seq, "done", ncomp)
+                reply = (seq, "done", ncomp, elapsed)
             elif kind == "tiles":
                 _, _, tile_list = msg
                 assert shm_worker is not None
                 t0 = time.perf_counter()
-                ncomp = shm_worker.compute_tiles(tile_list)
-                ins.compute_seconds.inc(time.perf_counter() - t0)
+                ncomp = shm_worker.compute_tiles(tile_list, sink=trace_buf)
+                elapsed = time.perf_counter() - t0
+                ins.compute_seconds.inc(elapsed)
                 ins.cells_computed.inc(ncomp)
                 ins.levels_served.inc()
-                reply = (seq, "done", ncomp)
+                reply = (seq, "done", ncomp, elapsed)
             elif kind == "redist":
                 _, _, new_owners = msg
                 assert shm_worker is not None
@@ -442,6 +488,7 @@ def _worker_main(place_id: int, conn) -> None:
                 assert app is not None and dag is not None
                 t0 = time.perf_counter()
                 for i, j in cells:
+                    tc0 = time.perf_counter() if trace_buf is not None else 0.0
                     deps = [
                         d
                         for d in dag.get_dependency(i, j)
@@ -453,10 +500,15 @@ def _worker_main(place_id: int, conn) -> None:
                         value = values.get(key, boundary.get(key))
                         verts.append(Vertex(d.i, d.j, value))
                     values[(i, j)] = app.compute(i, j, verts)
-                ins.compute_seconds.inc(time.perf_counter() - t0)
+                    if trace_buf is not None:
+                        trace_buf.append(
+                            (i, j, place_id, tc0, time.perf_counter(), 1, None)
+                        )
+                elapsed = time.perf_counter() - t0
+                ins.compute_seconds.inc(elapsed)
                 ins.cells_computed.inc(len(cells))
                 ins.levels_served.inc()
-                reply = (seq, "done", len(cells))
+                reply = (seq, "done", len(cells), elapsed)
             elif kind == "fetch":
                 _, _, coords = msg
                 reply = (seq, "values", {c: values[c] for c in coords})
@@ -464,6 +516,11 @@ def _worker_main(place_id: int, conn) -> None:
                 reply = (seq, "values", dict(values))
             elif kind == "stats":
                 reply = (seq, "stats", ins.registry.collect())
+            elif kind == "trace":
+                # ship the buffered events with the clock offset; the
+                # master adds the offset to every stamp at merge time
+                reply = (seq, "trace", trace_offset, trace_buf or [])
+                trace_buf = [] if trace_buf is not None else None
             elif kind == "stop":
                 conn.send((seq, "bye"))
                 return
@@ -696,6 +753,57 @@ def _release_procs(procs: Dict[int, "_PlaceProc"], pool) -> None:
             proc.stop()
 
 
+def _tphase(trace: Optional[ExecutionTrace], name: str, category: str = "phase"):
+    """A master-side trace span, or a no-op when the run is untraced."""
+    return trace.phase(name, category) if trace is not None else nullcontext()
+
+
+def _trace_ctx(trace: Optional[ExecutionTrace]) -> Optional[Dict[str, Any]]:
+    """The context dict the init envelope propagates to worker processes."""
+    if trace is None:
+        return None
+    return {"trace_id": trace.trace_id, "epoch0": trace.epoch0}
+
+
+def _set_trace_meta(
+    trace: Optional[ExecutionTrace], config: DPX10Config, dag: Dag, tiled
+) -> None:
+    """Stash the dependency facts repro.obs.causal rebuilds edges from."""
+    if trace is None:
+        return
+    if tiled is not None:
+        trace.meta["tile_shape"] = list(config.tile_shape)
+        trace.meta["grid"] = [tiled.grid.nti, tiled.grid.ntj]
+        if tiled.stencil_mode:
+            trace.meta["tile_offsets"] = [list(o) for o in tiled.tile_offsets]
+    else:
+        offs = getattr(dag, "offsets", None)
+        if offs:
+            trace.meta["offsets"] = [list(o) for o in offs]
+
+
+def _merge_worker_trace(trace: ExecutionTrace, proc: "_PlaceProc") -> None:
+    """Pull one worker's buffered events, normalized onto the master clock.
+
+    The worker measured against its own ``perf_counter`` base; the init
+    envelope's ``epoch0`` let it compute the master-timeline offset, so
+    here each stamp just shifts by that offset (the satellite fix for
+    cross-process span timestamps).
+    """
+    reply = proc.request(("trace",))
+    if not reply or reply[0] != "trace":
+        return
+    offset = reply[1]
+    for i, j, home, t0, t1, ncells, tile in reply[2]:
+        trace.record(
+            TraceEvent(
+                i, j, home, home, t0 + offset, t1 + offset,
+                tile=tuple(tile) if tile is not None else None,
+                cells=ncells,
+            )
+        )
+
+
 def _topological_levels(dag: Dag) -> List[List[Coord]]:
     """Group active cells by topological depth (Kahn by generations)."""
     active = [(i, j) for i, j in dag.region if dag.is_active(i, j)]
@@ -834,6 +942,8 @@ def run_mp(
     fault_plans: Sequence[FaultPlan] = (),
     registry: MetricsRegistry = NULL_REGISTRY,
     chaos=None,
+    trace: Optional[ExecutionTrace] = None,
+    straggler=None,
 ) -> Tuple[Mapping, MPRunStats]:
     """Execute the application on real place processes.
 
@@ -851,10 +961,23 @@ def run_mp(
     throttles slow a place's level batches, and its message block wraps
     every master-side pipe in a :class:`~repro.chaos.network.ChaosPipe`
     (which is also what forces such runs onto the pickled transport).
+
+    ``trace`` (config.trace) collects master-side phase spans plus the
+    worker-side per-unit events shipped back over the ``trace`` request,
+    normalized onto the master timeline. ``straggler`` is an optional
+    :class:`repro.obs.causal.StragglerDetector` fed each place's level
+    service time (worker-measured elapsed plus master-side chaos
+    throttle sleep, which the worker cannot see).
     """
     if _shm_eligible(app, config, chaos):
-        return _run_mp_shm(app, dag, config, fault_plans, registry, chaos)
-    return _run_mp_pipes(app, dag, config, fault_plans, registry, chaos)
+        return _run_mp_shm(
+            app, dag, config, fault_plans, registry, chaos,
+            trace=trace, straggler=straggler,
+        )
+    return _run_mp_pipes(
+        app, dag, config, fault_plans, registry, chaos,
+        trace=trace, straggler=straggler,
+    )
 
 
 def _run_mp_pipes(
@@ -864,26 +987,32 @@ def _run_mp_pipes(
     fault_plans: Sequence[FaultPlan] = (),
     registry: MetricsRegistry = NULL_REGISTRY,
     chaos=None,
+    trace: Optional[ExecutionTrace] = None,
+    straggler=None,
 ) -> Tuple[Dict[Coord, Any], MPRunStats]:
     """The pickled pipe transport: values travel as pipe payloads."""
     ctx = mp.get_context("fork" if hasattr(os, "fork") else "spawn")
     stats = MPRunStats()
     tiled = dag.coarsen(*config.tile_shape) if config.tiling_enabled else None
-    if tiled is None:
-        levels = _topological_levels(dag)
-    else:
-        # tile-granular: level-synchronize over the coarsened DAG, then
-        # expand each tile to its cells in intra-tile wavefront order.
-        # Tiles sharing a level have no tile edge, so every cross-tile
-        # dependency resolves in an earlier level; in-tile dependencies
-        # resolve because the worker computes cells in message order
-        levels = []
-        for tile_level in _topological_levels(tiled):
-            cells: List[Coord] = []
-            for t in tile_level:
-                rows, cols = tiled.cells_of(*t)
-                cells.extend(zip(rows.tolist(), cols.tolist()))
-            levels.append(cells)
+    # worker events on this transport are per-cell even when tiled, so
+    # the causal layer links them by the cell-level offsets
+    _set_trace_meta(trace, config, dag, None)
+    with _tphase(trace, "schedule"):
+        if tiled is None:
+            levels = _topological_levels(dag)
+        else:
+            # tile-granular: level-synchronize over the coarsened DAG, then
+            # expand each tile to its cells in intra-tile wavefront order.
+            # Tiles sharing a level have no tile edge, so every cross-tile
+            # dependency resolves in an earlier level; in-tile dependencies
+            # resolve because the worker computes cells in message order
+            levels = []
+            for tile_level in _topological_levels(tiled):
+                cells: List[Coord] = []
+                for t in tile_level:
+                    rows, cols = tiled.cells_of(*t)
+                    cells.extend(zip(rows.tolist(), cols.tolist()))
+                levels.append(cells)
     stats.levels = len(levels)
     total_active = sum(len(lv) for lv in levels)
     all_plans = list(fault_plans)
@@ -897,15 +1026,17 @@ def _run_mp_pipes(
     def on_retry() -> None:
         stats.msg_retries += 1
 
-    procs, pool = _acquire_procs(
-        config,
-        ctx,
-        message=message,
-        chaos_seed=chaos.schedule.seed if chaos is not None else 0,
-        record_event=record_event,
-        on_retry=on_retry,
-    )
+    with _tphase(trace, "lease places"):
+        procs, pool = _acquire_procs(
+            config,
+            ctx,
+            message=message,
+            chaos_seed=chaos.schedule.seed if chaos is not None else 0,
+            record_event=record_event,
+            on_retry=on_retry,
+        )
     stats.warm_start = pool is not None
+    trace_ctx = _trace_ctx(trace)
     try:
         alive = sorted(procs)
 
@@ -918,12 +1049,13 @@ def _run_mp_pipes(
             return d.place_of(*tiled.grid.origin(*tiled.grid.tile_of(*c)))
 
         owner: Dict[Coord, int] = {}
-        dist = config.make_dist(dag.region, alive)
-        for i, j in dag.region:
-            if dag.is_active(i, j):
-                owner[(i, j)] = home_of((i, j), dist)
+        with _tphase(trace, "partition"):
+            dist = config.make_dist(dag.region, alive)
+            for i, j in dag.region:
+                if dag.is_active(i, j):
+                    owner[(i, j)] = home_of((i, j), dist)
         for p in alive:
-            procs[p].request(("init", app, dag, None, p))
+            procs[p].request(("init", app, dag, None, p, trace_ctx))
         halo_hist = (
             registry.histogram(
                 "dpx10_halo_fetch_bytes",
@@ -948,7 +1080,14 @@ def _run_mp_pipes(
             if config.pace is not None:
                 # serving-layer fairness gate: may block until the
                 # weighted-fair scheduler grants this batch its turn
+                t_pace0 = trace.now() if trace is not None else 0.0
                 config.pace(len(cells))
+                if trace is not None:
+                    t_pace1 = trace.now()
+                    if t_pace1 - t_pace0 > 1e-6:
+                        trace.record_span(
+                            Span("pace wait", t_pace0, t_pace1, "pace")
+                        )
             by_place: Dict[int, List[Coord]] = defaultdict(list)
             for c in cells:
                 by_place[owner[c]].append(c)
@@ -965,9 +1104,17 @@ def _run_mp_pipes(
             boundary: Dict[int, Dict[Coord, Any]] = defaultdict(dict)
             for consumer, per_producer in needs.items():
                 for producer, coords in per_producer.items():
+                    t_fetch0 = trace.now() if trace is not None else 0.0
                     reply = procs[producer].request(("fetch", sorted(coords)))
                     fetched = reply[1]
                     boundary[consumer].update(fetched)
+                    if trace is not None:
+                        trace.record_span(
+                            Span(
+                                "halo fetch", t_fetch0, trace.now(),
+                                "halo", consumer,
+                            )
+                        )
                     nbytes = len(
                         pickle.dumps(fetched, protocol=pickle.HIGHEST_PROTOCOL)
                     )
@@ -977,9 +1124,10 @@ def _run_mp_pipes(
                         # actual pickled payload size (satellite: the halo
                         # byte accounting is real on every transport)
                         halo_hist.observe(nbytes)
+            throttled: Dict[int, float] = {}
             if chaos is not None and chaos.has_throttles:
                 for p in by_place:
-                    chaos.throttle_batch(p, len(by_place[p]))
+                    throttled[p] = chaos.throttle_batch(p, len(by_place[p]))
             for p, own_cells in by_place.items():
                 procs[p].send_request(
                     ("compute", own_cells, boundary.get(p, {}))
@@ -990,6 +1138,14 @@ def _run_mp_pipes(
                 stats.per_place_executed[p] = (
                     stats.per_place_executed.get(p, 0) + reply[1]
                 )
+                if straggler is not None and len(reply) > 2:
+                    # attribute the master-side throttle sleep to the
+                    # place: the worker's own timer cannot see it
+                    straggler.observe(
+                        p,
+                        reply[2] + throttled.get(p, 0.0),
+                        len(by_place[p]),
+                    )
             stats.completions += len(cells)
             computed.update(cells)
 
@@ -1023,7 +1179,7 @@ def _run_mp_pipes(
                     if spare is None:
                         break
                     spare.bind_run(on_retry)
-                    spare.request(("init", app, dag, None, p))
+                    spare.request(("init", app, dag, None, p, trace_ctx))
                     procs[p] = spare
                     replaced.add(p)
                     stats.pool_restarts += 1
@@ -1067,42 +1223,48 @@ def _run_mp_pipes(
             stats.recoveries += 1
             if chaos is not None:
                 chaos.begin_recovery_pass()
-            pending: Dict[int, Set[Coord]] = {}
-            handle_victims(first_victims, pending)
-            progress = 0
-            while pending:
-                d = min(pending)
-                batch = sorted(pending.pop(d))
-                compute_level(batch)
-                progress += len(batch)
-                more: List[int] = []
-                if chaos is not None:
-                    more += chaos.poll_recovery(progress)
-                more += poll_faults()
-                if more:
-                    handle_victims(more, pending)
+            with _tphase(trace, "recovery", "recovery"):
+                pending: Dict[int, Set[Coord]] = {}
+                handle_victims(first_victims, pending)
+                progress = 0
+                while pending:
+                    d = min(pending)
+                    batch = sorted(pending.pop(d))
+                    compute_level(batch)
+                    progress += len(batch)
+                    more: List[int] = []
+                    if chaos is not None:
+                        more += chaos.poll_recovery(progress)
+                    more += poll_faults()
+                    if more:
+                        handle_victims(more, pending)
 
-        level_idx = 0
-        while level_idx < len(levels):
-            compute_level(levels[level_idx])
-            level_idx += 1
-            victims = poll_faults()
-            if victims:
-                recover(victims)
+        with _tphase(trace, "execute"):
+            level_idx = 0
+            while level_idx < len(levels):
+                compute_level(levels[level_idx])
+                level_idx += 1
+                victims = poll_faults()
+                if victims:
+                    recover(victims)
 
         # gather everything for result binding, plus each surviving
         # worker's metrics snapshot (the cross-process metric merge)
+        # and its normalized trace buffer
         results: Dict[Coord, Any] = {}
-        for p in sorted(procs):
-            if procs[p].alive:
-                reply = procs[p].request(("collect",))
-                results.update(reply[1])
-                snapshot = procs[p].request(("stats",))[1]
-                registry.merge(snapshot)
-                for label_values, seconds in snapshot.get(
-                    "dpx10_mp_worker_compute_seconds_total", {}
-                ).get("values", []):
-                    stats.worker_compute_seconds[int(label_values[0])] = seconds
+        with _tphase(trace, "collect"):
+            for p in sorted(procs):
+                if procs[p].alive:
+                    reply = procs[p].request(("collect",))
+                    results.update(reply[1])
+                    if trace is not None:
+                        _merge_worker_trace(trace, procs[p])
+                    snapshot = procs[p].request(("stats",))[1]
+                    registry.merge(snapshot)
+                    for label_values, seconds in snapshot.get(
+                        "dpx10_mp_worker_compute_seconds_total", {}
+                    ).get("values", []):
+                        stats.worker_compute_seconds[int(label_values[0])] = seconds
         missing = [c for c in owner if c not in results]
         if missing:
             raise DPX10Error(f"{len(missing)} vertices missing after run")
@@ -1121,6 +1283,8 @@ def _run_mp_shm(
     fault_plans: Sequence[FaultPlan] = (),
     registry: MetricsRegistry = NULL_REGISTRY,
     chaos=None,
+    trace: Optional[ExecutionTrace] = None,
+    straggler=None,
 ) -> Tuple[PlaneResults, MPRunStats]:
     """The zero-copy transport: values live in shared-memory planes.
 
@@ -1144,7 +1308,9 @@ def _run_mp_shm(
     ctx = mp.get_context("fork" if hasattr(os, "fork") else "spawn")
     stats = MPRunStats()
     tiled = dag.coarsen(*config.tile_shape) if config.tiling_enabled else None
-    unit_levels = _topological_levels(tiled if tiled is not None else dag)
+    _set_trace_meta(trace, config, dag, tiled)
+    with _tphase(trace, "schedule"):
+        unit_levels = _topological_levels(tiled if tiled is not None else dag)
     stats.levels = len(unit_levels)
     if tiled is not None:
         kind_msg = "tiles"
@@ -1194,22 +1360,25 @@ def _run_mp_shm(
         # by name at init time, not by fork inheritance. Message chaos
         # is excluded by shm eligibility, so the pipes here are always
         # raw and the pool is always usable when configured
-        procs, lease_pool = _acquire_procs(
-            config, ctx, record_event=record_event, on_retry=on_retry
-        )
+        with _tphase(trace, "lease places"):
+            procs, lease_pool = _acquire_procs(
+                config, ctx, record_event=record_event, on_retry=on_retry
+            )
         stats.warm_start = lease_pool is not None
+        trace_ctx = _trace_ctx(trace)
         try:
             alive = sorted(procs)
-            dist = config.make_dist(dag.region, alive)
 
             def home_of(u: Coord, d) -> int:
                 if tiled is None:
                     return d.place_of(*u)
                 return d.place_of(*tiled.grid.origin(*u))
 
-            owner: Dict[Coord, int] = {
-                u: home_of(u, dist) for lv in unit_levels for u in lv
-            }
+            with _tphase(trace, "partition"):
+                dist = config.make_dist(dag.region, alive)
+                owner: Dict[Coord, int] = {
+                    u: home_of(u, dist) for lv in unit_levels for u in lv
+                }
 
             def owner_array() -> np.ndarray:
                 """The owner map resolved to a unit-grid array (-1 =
@@ -1240,7 +1409,7 @@ def _run_mp_shm(
                 "owners": owner_array(),
             }
             for p in alive:
-                procs[p].request(("init", app, dag, meta, p))
+                procs[p].request(("init", app, dag, meta, p, trace_ctx))
 
             depth_of: Dict[Coord, int] = {
                 u: d for d, lv in enumerate(unit_levels) for u in lv
@@ -1252,13 +1421,21 @@ def _run_mp_shm(
                 if config.pace is not None:
                     # serving-layer fairness gate: may block until the
                     # weighted-fair scheduler grants this batch its turn
+                    t_pace0 = trace.now() if trace is not None else 0.0
                     config.pace(sum(ncells_of[u] for u in units))
+                    if trace is not None:
+                        t_pace1 = trace.now()
+                        if t_pace1 - t_pace0 > 1e-6:
+                            trace.record_span(
+                                Span("pace wait", t_pace0, t_pace1, "pace")
+                            )
                 by_place: Dict[int, List[Coord]] = defaultdict(list)
                 for u in units:
                     by_place[owner[u]].append(u)
+                throttled: Dict[int, float] = {}
                 if chaos is not None and chaos.has_throttles:
                     for p in by_place:
-                        chaos.throttle_batch(
+                        throttled[p] = chaos.throttle_batch(
                             p, sum(ncells_of[u] for u in by_place[p])
                         )
                 for p, own in by_place.items():
@@ -1269,6 +1446,14 @@ def _run_mp_shm(
                     stats.per_place_executed[p] = (
                         stats.per_place_executed.get(p, 0) + reply[1]
                     )
+                    if straggler is not None and len(reply) > 2:
+                        # fold in the master-side throttle sleep: the
+                        # worker's own timer cannot see it
+                        straggler.observe(
+                            p,
+                            reply[2] + throttled.get(p, 0.0),
+                            sum(ncells_of[u] for u in by_place[p]),
+                        )
                 stats.completions += sum(ncells_of[u] for u in units)
                 computed.update(units)
 
@@ -1314,6 +1499,7 @@ def _run_mp_shm(
                                 dag,
                                 dict(meta, owners=owner_array()),
                                 p,
+                                trace_ctx,
                             )
                         )
                         procs[p] = spare
@@ -1355,36 +1541,40 @@ def _run_mp_shm(
                 stats.recoveries += 1
                 if chaos is not None:
                     chaos.begin_recovery_pass()
-                pending: Dict[int, Set[Coord]] = {}
-                handle_victims(first_victims, pending)
-                progress = 0
-                while pending:
-                    d = min(pending)
-                    batch = sorted(pending.pop(d))
-                    compute_level(batch)
-                    progress += len(batch)
-                    more: List[int] = []
-                    if chaos is not None:
-                        more += chaos.poll_recovery(progress)
-                    more += poll_faults()
-                    if more:
-                        handle_victims(more, pending)
+                with _tphase(trace, "recovery", "recovery"):
+                    pending: Dict[int, Set[Coord]] = {}
+                    handle_victims(first_victims, pending)
+                    progress = 0
+                    while pending:
+                        d = min(pending)
+                        batch = sorted(pending.pop(d))
+                        compute_level(batch)
+                        progress += len(batch)
+                        more: List[int] = []
+                        if chaos is not None:
+                            more += chaos.poll_recovery(progress)
+                        more += poll_faults()
+                        if more:
+                            handle_victims(more, pending)
 
-            level_idx = 0
-            while level_idx < len(unit_levels):
-                compute_level(unit_levels[level_idx])
-                level_idx += 1
-                victims = poll_faults()
-                if victims:
-                    recover(victims)
+            with _tphase(trace, "execute"):
+                level_idx = 0
+                while level_idx < len(unit_levels):
+                    compute_level(unit_levels[level_idx])
+                    level_idx += 1
+                    victims = poll_faults()
+                    if victims:
+                        recover(victims)
 
             # no collect round trip: the results already live in the
-            # plane. Merge each survivor's metrics snapshot and fold its
-            # shm read accounting into the master's network stats (the
-            # snapshot is a plain dict, so this works even with the
-            # NULL registry)
+            # plane. Merge each survivor's metrics snapshot (and its
+            # normalized trace buffer) and fold its shm read accounting
+            # into the master's network stats (the snapshot is a plain
+            # dict, so this works even with the NULL registry)
             for p in sorted(procs):
                 if procs[p].alive:
+                    if trace is not None:
+                        _merge_worker_trace(trace, procs[p])
                     snapshot = procs[p].request(("stats",))[1]
                     registry.merge(snapshot)
                     for label_values, seconds in snapshot.get(

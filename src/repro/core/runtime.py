@@ -341,6 +341,12 @@ class DPX10Runtime:
         """Real place processes, level-synchronous (repro.core.mp_engine)."""
         from repro.core.mp_engine import run_mp
 
+        trace = ExecutionTrace() if self.config.trace else None
+        straggler = None
+        if self.metrics.enabled or trace is not None:
+            from repro.obs.causal import StragglerDetector
+
+            straggler = StragglerDetector(self.metrics)
         with Timer() as timer:
             results, stats = run_mp(
                 self.app,
@@ -349,6 +355,8 @@ class DPX10Runtime:
                 self.fault_plans,
                 registry=self.metrics,
                 chaos=self.chaos,
+                trace=trace,
+                straggler=straggler,
             )
             dag = self.dag
 
@@ -374,6 +382,7 @@ class DPX10Runtime:
             msg_retries=stats.msg_retries,
             per_place_executed=dict(stats.per_place_executed),
             final_alive_places=stats.final_alive_places,
+            trace=trace,
         )
         if self.metrics.enabled:
             self.metrics.gauge(
@@ -457,6 +466,15 @@ class DPX10Runtime:
             tiles = TileRunState(tiled)
             tiles.build(state, fresh=True)
             state.tiles = tiles
+            if trace is not None:
+                # dependency facts the causal layer (repro.obs.causal)
+                # needs to rebuild tile edges from an exported trace
+                trace.meta["tile_shape"] = list(cfg.tile_shape)
+                trace.meta["grid"] = [tiled.grid.nti, tiled.grid.ntj]
+                if tiled.stencil_mode:
+                    trace.meta["tile_offsets"] = [
+                        list(o) for o in tiled.tile_offsets
+                    ]
             if cfg.halo_prefetch:
                 from repro.core.tiling import HaloPrefetcher
 
@@ -477,10 +495,18 @@ class DPX10Runtime:
 
             state.snapshots = SnapshotStore()
             state.take_snapshot()  # the initial (empty) checkpoint
+        if trace is not None and not cfg.tiling_enabled:
+            cell_offsets = getattr(self.dag, "offsets", None)
+            if cell_offsets:
+                trace.meta["offsets"] = [list(o) for o in cell_offsets]
         state.shm_arena = shm_arena
         state.trace = trace
         state.metrics = self.metrics
         state.chaos = self.chaos
+        if self.metrics.enabled or trace is not None:
+            from repro.obs.causal import StragglerDetector
+
+            state.straggler = StragglerDetector(self.metrics)
         self._register_collectors(state, rt)
         state._engine = rt.engine
         # bind eagerly so dag.get_vertex() is reachable during execution

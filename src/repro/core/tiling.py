@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Set, Tuple
@@ -803,13 +804,25 @@ def execute_tile(
     cfg = state.config
     app = state.app
     ti, tj = tile
+    trace = state.trace
     if cfg.pace is not None:
         # serving-layer fairness gate: may block until the weighted-fair
         # scheduler grants this tile its turn (see repro.serve.scheduler)
+        pace_start = trace.now() if trace is not None else 0.0
         cfg.pace(int(len(tiled.cells_of(ti, tj)[0])))
+        if trace is not None:
+            pace_end = trace.now()
+            # sub-microsecond grants are uncontended — not a stall
+            if pace_end - pace_start > 1e-6:
+                trace.record_span(
+                    Span(
+                        "pace wait", pace_start, pace_end,
+                        category="pace", place=ts.home[tile],
+                    )
+                )
     r0, r1, c0, c1 = ts.grid.bounds(ti, tj)
-    trace = state.trace
     t_start = trace.now() if trace is not None else 0.0
+    svc0 = time.perf_counter() if state.straggler is not None else 0.0
 
     rows, cols = tiled.cells_of(ti, tj)
     hrows, hcols = tiled.halo_of(ti, tj)
@@ -833,6 +846,11 @@ def execute_tile(
             state.rngs[home_place],
             nbytes,
         )
+
+    if state.chaos is not None and state.chaos.has_throttles:
+        # slow-place chaos at tile granularity: the batch analogue of the
+        # per-vertex on_execute hook (which the tiled path never reaches)
+        state.chaos.throttle_batch(exec_place, n)
 
     halo_values: Dict[Coord, object] = {}
     cache = state.caches[exec_place]
@@ -1013,6 +1031,8 @@ def execute_tile(
     ):
         cfg.on_progress(completed, state.total_active)
 
+    if state.straggler is not None:
+        state.straggler.observe(exec_place, time.perf_counter() - svc0, n)
     if trace is not None:
         trace.record(
             TraceEvent(

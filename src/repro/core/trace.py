@@ -20,9 +20,11 @@ it off for benchmarking runs.
 
 from __future__ import annotations
 
+import itertools
 import math
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -65,7 +67,14 @@ class Span:
     ``place`` is the place the phase ran at, or ``-1`` for runtime-global
     phases (partition, schedule, recovery). ``category`` groups spans for
     the exporters: ``"phase"`` for run stages, ``"halo"`` for tile halo
-    fetches, ``"recovery"`` for rebuild passes.
+    fetches, ``"recovery"`` for rebuild passes, ``"pace"`` for pacer
+    stalls, ``"serve"`` for job-server stages.
+
+    Trace context (PR 8): ``span_id`` identifies the span inside its
+    trace, ``parent_id`` is the enclosing span's id (``None`` for roots),
+    and ``pid`` is the OS process that recorded it — ``0`` for the master
+    process, a worker pid for mp worker-side spans. All three default so
+    pre-causal constructors and serialized traces keep working.
     """
 
     name: str
@@ -73,6 +82,9 @@ class Span:
     end: float
     category: str = "phase"
     place: int = -1
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
+    pid: int = 0
 
     @property
     def duration(self) -> float:
@@ -80,13 +92,27 @@ class Span:
 
 
 class ExecutionTrace:
-    """Thread-safe event sink plus post-run analyses."""
+    """Thread-safe event sink plus post-run analyses.
 
-    def __init__(self) -> None:
+    Every trace carries a ``trace_id`` (propagated through the serve
+    layer and the mp init envelopes), an ``epoch0`` wall-clock anchor
+    (``time.time()`` at the instant ``now()`` read 0) so two traces can
+    be merged onto one timeline, and a free-form ``meta`` dict the
+    runtime fills with tiling facts (``tile_shape``, ``tile_offsets``,
+    ``grid``) that :mod:`repro.obs.causal` needs to rebuild dependency
+    edges post-mortem.
+    """
+
+    def __init__(self, trace_id: Optional[str] = None) -> None:
         self._events: List[TraceEvent] = []
         self._spans: List[Span] = []
         self._lock = threading.Lock()
         self._t0 = time.perf_counter()
+        self.trace_id: str = trace_id or uuid.uuid4().hex
+        self.epoch0: float = time.time() - self.now()
+        self.meta: Dict[str, object] = {}
+        self._span_seq = itertools.count(1)
+        self._span_stack = threading.local()
 
     # -- recording ---------------------------------------------------------------
     def now(self) -> float:
@@ -101,21 +127,52 @@ class ExecutionTrace:
         with self._lock:
             self._spans.append(span)
 
+    def next_span_id(self) -> str:
+        """A process-unique span id, cheap and deterministic per trace."""
+        return f"s{next(self._span_seq)}"
+
+    def current_span_id(self) -> Optional[str]:
+        """Id of the innermost open :meth:`phase` span on this thread."""
+        stack = getattr(self._span_stack, "ids", None)
+        return stack[-1] if stack else None
+
     @contextmanager
     def phase(self, name: str, category: str = "phase", place: int = -1):
-        """Record the ``with`` body as one :class:`Span`:
+        """Record the ``with`` body as one :class:`Span`.
+
+        Nested ``phase`` blocks on the same thread are linked through
+        ``span_id``/``parent_id`` so the causal layer can rebuild the
+        blocking tree:
 
         >>> t = ExecutionTrace()
         >>> with t.phase("partition"):
         ...     pass
         >>> [s.name for s in t.spans]
         ['partition']
+        >>> with t.phase("execute"):
+        ...     with t.phase("halo fetch", category="halo"):
+        ...         pass
+        >>> halo = [s for s in t.spans if s.category == "halo"][0]
+        >>> execute = [s for s in t.spans if s.name == "execute"][0]
+        >>> halo.parent_id == execute.span_id
+        True
         """
         start = self.now()
+        span_id = self.next_span_id()
+        parent_id = self.current_span_id()
+        stack = getattr(self._span_stack, "ids", None)
+        if stack is None:
+            stack = []
+            self._span_stack.ids = stack
+        stack.append(span_id)
         try:
             yield self
         finally:
-            self.record_span(Span(name, start, self.now(), category, place))
+            stack.pop()
+            self.record_span(
+                Span(name, start, self.now(), category, place,
+                     span_id=span_id, parent_id=parent_id)
+            )
 
     # -- access ------------------------------------------------------------------
     @property

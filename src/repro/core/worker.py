@@ -113,6 +113,10 @@ class ExecutionState:
     #: passes it through build_stores so re-materialized stores stay
     #: segment-backed. See repro.core.shm.ShmArena.
     shm_arena: Optional[object] = None
+    #: rolling per-place tile-service-time baseline (created whenever
+    #: metrics or tracing is on); publishes dpx10_straggler{place}
+    #: gauges. See repro.obs.causal.StragglerDetector.
+    straggler: Optional[object] = None
     _completions_lock: threading.Lock = field(default_factory=threading.Lock)
     conds: Dict[int, threading.Condition] = field(default_factory=dict)
     abort_event: threading.Event = field(default_factory=threading.Event)

@@ -12,7 +12,10 @@ scattered across the runtime:
 * :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
   ``chrome://tracing``), JSONL event streams, Prometheus text exposition;
 * :mod:`repro.obs.dashboard` — the live terminal dashboard and the
-  post-mortem summary renderer behind ``python -m repro obs``.
+  post-mortem summary renderer behind ``python -m repro obs``;
+* :mod:`repro.obs.causal` — **causal analysis**: latency waterfall,
+  weighted critical path, per-category attribution, straggler detection
+  (``python -m repro obs explain`` / ``obs diff``).
 
 Opt in per run with ``DPX10Config(metrics=True, trace=True)``; the run
 report then carries ``report.metrics`` (a snapshot) next to
@@ -20,6 +23,17 @@ report then carries ``report.metrics`` (a snapshot) next to
 catalogue and overhead budget.
 """
 
+from repro.obs.causal import (
+    StragglerDetector,
+    attribution,
+    causal_summary,
+    critical_path,
+    critical_path_fraction,
+    detect_stragglers,
+    diff_text,
+    explain_text,
+    waterfall,
+)
 from repro.obs.dashboard import LiveDashboard, summary_text
 from repro.obs.export import (
     chrome_trace,
@@ -49,4 +63,13 @@ __all__ = [
     "read_jsonl",
     "LiveDashboard",
     "summary_text",
+    "causal_summary",
+    "critical_path",
+    "critical_path_fraction",
+    "waterfall",
+    "attribution",
+    "detect_stragglers",
+    "StragglerDetector",
+    "explain_text",
+    "diff_text",
 ]

@@ -1,0 +1,560 @@
+"""Causal model over an :class:`~repro.core.trace.ExecutionTrace`.
+
+Three layers, all post-mortem-friendly (they work on live traces and on
+traces round-tripped through the Chrome-trace / JSONL exporters):
+
+1. **Blocking graph / critical path** — tile events are linked by the
+   dependency offsets the runtime stashed in ``trace.meta`` (coarsened
+   ``tile_offsets`` for tiled runs, the DAG's cell offsets for
+   per-vertex stencil runs). :func:`critical_path` walks backwards from
+   the last-finishing event, at each step following the dependency that
+   finished latest — the chain that actually determined wall-clock time.
+
+2. **Latency waterfall** — :func:`waterfall` classifies every instant of
+   every place's timeline into exactly one category (``compute`` >
+   ``halo-wait`` > ``pacing`` > ``recovery`` > ``idle``, by priority) so
+   per-place categories sum to the run window *exactly*; runtime-global
+   spans (partition, schedule, lease, queue, admission, recovery) are
+   totaled in a separate row. :func:`attribution` flattens this into
+   fractions of total place-time.
+
+3. **Straggler / limplock detection** — :class:`StragglerDetector` keeps
+   rolling per-place per-cell service baselines and flags places whose
+   windowed median exceeds ``k``× the fleet median (with an absolute-excess floor so
+   microsecond noise never alarms), publishing ``dpx10_straggler{place}``
+   gauges; :func:`detect_stragglers` applies the same rule to a finished
+   trace.
+
+:func:`explain_text` and :func:`diff_text` render the human surfaces
+behind ``python -m repro obs explain`` / ``repro obs diff``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.trace import ExecutionTrace, Span, TraceEvent
+
+__all__ = [
+    "classify_span",
+    "critical_path",
+    "critical_path_fraction",
+    "waterfall",
+    "attribution",
+    "causal_summary",
+    "detect_stragglers",
+    "StragglerDetector",
+    "explain_text",
+    "diff_text",
+]
+
+#: waterfall categories in priority order (earlier wins an overlap)
+PLACE_CATEGORIES = ("compute", "halo-wait", "pacing", "recovery")
+#: runtime-global categories (the serve/master row of the waterfall)
+RUNTIME_CATEGORIES = (
+    "queue", "admission", "lease", "partition", "schedule",
+    "pacing", "recovery", "collect", "other",
+)
+
+#: container spans that merely wrap other work — excluded from attribution
+_CONTAINER_NAMES = ("execute", "run")
+
+
+def classify_span(span: Span) -> Optional[str]:
+    """Map a span to a waterfall category, or ``None`` for containers."""
+    name = span.name
+    if span.category == "halo":
+        return "halo-wait"
+    if span.category == "pace" or name.startswith("pace"):
+        return "pacing"
+    if span.category == "recovery" or name.startswith("recovery"):
+        return "recovery"
+    if span.category == "serve":
+        head = name.split(":", 1)[0]
+        if head in ("admission", "queue", "lease"):
+            return head
+        if head in _CONTAINER_NAMES:
+            return None
+        return "other"
+    if name in ("partition", "schedule", "collect"):
+        return name
+    if name.startswith("lease") or name.startswith("pool"):
+        return "lease"
+    if name.split(":", 1)[0] in _CONTAINER_NAMES:
+        return None
+    return "other"
+
+
+# ---------------------------------------------------------------------------
+# interval algebra (closed-open intervals, merged unions)
+# ---------------------------------------------------------------------------
+
+def _union(intervals: Iterable[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    ivs = sorted((s, e) for s, e in intervals if e > s)
+    out: List[Tuple[float, float]] = []
+    for s, e in ivs:
+        if out and s <= out[-1][1]:
+            if e > out[-1][1]:
+                out[-1] = (out[-1][0], e)
+        else:
+            out.append((s, e))
+    return out
+
+
+def _subtract(
+    ivs: Sequence[Tuple[float, float]],
+    holes: Sequence[Tuple[float, float]],
+) -> List[Tuple[float, float]]:
+    """``ivs`` minus ``holes`` (both pre-merged unions)."""
+    out: List[Tuple[float, float]] = []
+    for s, e in ivs:
+        cur = s
+        for hs, he in holes:
+            if he <= cur:
+                continue
+            if hs >= e:
+                break
+            if hs > cur:
+                out.append((cur, hs))
+            cur = max(cur, he)
+            if cur >= e:
+                break
+        if cur < e:
+            out.append((cur, e))
+    return out
+
+
+def _total(ivs: Iterable[Tuple[float, float]]) -> float:
+    return sum(e - s for s, e in ivs)
+
+
+# ---------------------------------------------------------------------------
+# critical path
+# ---------------------------------------------------------------------------
+
+def _event_key(e: TraceEvent) -> Tuple[int, int]:
+    return e.tile if e.tile is not None else (e.i, e.j)
+
+
+def _dep_offsets(trace: ExecutionTrace) -> List[Tuple[int, int]]:
+    offs = trace.meta.get("tile_offsets") or trace.meta.get("offsets") or []
+    return [(int(a), int(b)) for a, b in offs]
+
+
+def critical_path(trace: ExecutionTrace) -> List[TraceEvent]:
+    """The dependency chain that determined wall-clock time.
+
+    Starts at the latest-finishing tile/vertex event and repeatedly steps
+    to the dependency (per ``trace.meta`` offsets) that finished last,
+    until an event with no recorded dependencies (the DAG's source
+    corner) is reached. Returned in execution order. Every consecutive
+    pair is a real dependency edge of the (tiled) DAG, so the result is
+    a dependency-respecting chain by construction. Without dependency
+    metadata the single longest event is returned as a degenerate path.
+    """
+    events = trace.events
+    if not events:
+        return []
+    by_key: Dict[Tuple[int, int], TraceEvent] = {}
+    for e in events:
+        k = _event_key(e)
+        prev = by_key.get(k)
+        if prev is None or e.end > prev.end:
+            by_key[k] = e
+    offsets = _dep_offsets(trace)
+    cur = max(events, key=lambda e: e.end)
+    if not offsets:
+        return [max(events, key=lambda e: e.duration)]
+    path = [cur]
+    seen = {_event_key(cur)}
+    while True:
+        ck = _event_key(path[-1])
+        deps = [
+            by_key[(ck[0] + a, ck[1] + b)]
+            for a, b in offsets
+            if (ck[0] + a, ck[1] + b) in by_key
+        ]
+        deps = [d for d in deps if _event_key(d) not in seen]
+        if not deps:
+            break
+        nxt = max(deps, key=lambda e: e.end)
+        path.append(nxt)
+        seen.add(_event_key(nxt))
+    path.reverse()
+    return path
+
+
+def critical_path_fraction(trace: ExecutionTrace) -> float:
+    """Fraction of the run window spent inside critical-path events."""
+    path = critical_path(trace)
+    if not path:
+        return 0.0
+    t0, t1, _ = _window(trace)
+    wall = t1 - t0
+    if wall <= 0:
+        return 0.0
+    return min(1.0, _total(_union((e.start, e.end) for e in path)) / wall)
+
+
+# ---------------------------------------------------------------------------
+# waterfall + attribution
+# ---------------------------------------------------------------------------
+
+def _window(trace: ExecutionTrace) -> Tuple[float, float, bool]:
+    pts: List[float] = []
+    for e in trace.events:
+        pts.extend((e.start, e.end))
+    for s in trace.spans:
+        pts.extend((s.start, s.end))
+    if not pts:
+        return 0.0, 0.0, False
+    return min(pts), max(pts), True
+
+
+def waterfall(trace: ExecutionTrace) -> Dict[str, object]:
+    """Per-place latency breakdown with exact-sum categories.
+
+    Returns ``{"t0", "t1", "wall", "places": {place: {category:
+    seconds}}, "runtime": {category: seconds}}``. For each place the
+    categories (including ``idle``) sum to ``wall`` exactly: compute
+    intervals win overlaps, then halo waits, pacer stalls and recovery;
+    whatever remains is idle. The ``runtime`` row totals runtime-global
+    spans (queue/admission/lease/partition/schedule/recovery/...) and may
+    overlap place rows — it explains the master, not the places.
+    """
+    t0, t1, ok = _window(trace)
+    wall = t1 - t0
+    events = trace.events
+    spans = trace.spans
+    places: Dict[int, Dict[str, float]] = {}
+    if ok and wall > 0:
+        span_cats: Dict[int, Dict[str, List[Tuple[float, float]]]] = {}
+        for s in spans:
+            if s.place < 0:
+                continue
+            cat = classify_span(s)
+            if cat in PLACE_CATEGORIES:
+                span_cats.setdefault(s.place, {}).setdefault(cat, []).append(
+                    (s.start, s.end)
+                )
+        for p in sorted({e.exec_place for e in events} | set(span_cats)):
+            covered: List[Tuple[float, float]] = []
+            row: Dict[str, float] = {}
+            for cat in PLACE_CATEGORIES:
+                if cat == "compute":
+                    ivs = _union(
+                        (e.start, e.end) for e in events if e.exec_place == p
+                    )
+                else:
+                    ivs = _union(span_cats.get(p, {}).get(cat, []))
+                ivs = _subtract(ivs, covered)
+                row[cat] = _total(ivs)
+                covered = _union(covered + ivs)
+            row["idle"] = max(0.0, wall - _total(covered))
+            places[p] = row
+    runtime: Dict[str, float] = {}
+    for s in spans:
+        if s.place >= 0 and s.category != "serve":
+            continue
+        cat = classify_span(s)
+        if cat is None:
+            continue
+        runtime[cat] = runtime.get(cat, 0.0) + s.duration
+    return {"t0": t0, "t1": t1, "wall": wall, "places": places,
+            "runtime": runtime}
+
+
+def attribution(trace: ExecutionTrace) -> Dict[str, float]:
+    """Category → fraction of total place-time (sums to 1.0 with places).
+
+    The denominator is ``nplaces × wall``; every instant of every place
+    is attributed to exactly one category, so the fractions sum to 1.0
+    up to float rounding — the property the acceptance audit checks.
+    """
+    wf = waterfall(trace)
+    places: Dict[int, Dict[str, float]] = wf["places"]  # type: ignore[assignment]
+    wall = float(wf["wall"])  # type: ignore[arg-type]
+    if not places or wall <= 0:
+        return {}
+    denom = wall * len(places)
+    out: Dict[str, float] = {}
+    for row in places.values():
+        for cat, sec in row.items():
+            out[cat] = out.get(cat, 0.0) + sec / denom
+    return out
+
+
+# ---------------------------------------------------------------------------
+# straggler / limplock detection
+# ---------------------------------------------------------------------------
+
+#: default flag rule: median per-cell service ≥ K× fleet median ...
+#: (the per-place statistic is a *median* so one OS-descheduled tile
+#: cannot fake a limplock, while a real throttle slows every tile and
+#: shifts it fully; clean fleets then sit near 1× and an injected
+#: throttle lands at 10×+, so 5.0 splits the two with margin)
+DEFAULT_K = 5.0
+#: ... and at least this much absolute excess per cell (guards against
+#: flagging sub-microsecond noise on clean runs; a chaos ThrottleSpec's
+#: capped batch sleep still clears it comfortably — 0.05s over a 1024-
+#: cell tile is ~49µs/cell of injected excess)
+DEFAULT_MIN_EXCESS_S = 2e-5
+
+
+def _weighted_median(pairs) -> float:
+    """Median of (value, weight) pairs: the value of the middle *unit* of
+    weight. With per-cell service times weighted by tile cell counts this
+    is "the service time of the median cell" — a tiny remainder tile's
+    inflated per-cell overhead carries only its few cells of weight, so
+    it cannot drag a place's statistic the way a real limplock (which
+    slows every cell) does."""
+    items = sorted(pairs)
+    half = sum(w for _, w in items) / 2.0
+    acc = 0.0
+    for v, w in items:
+        acc += w
+        if acc >= half:
+            return v
+    return items[-1][0]
+
+
+def _flag_ratios(
+    stats: Dict[int, float], k: float, min_excess_s: float
+) -> Dict[int, float]:
+    if len(stats) < 2:
+        return {}
+    med = statistics.median(stats.values())
+    out: Dict[int, float] = {}
+    for p, m in stats.items():
+        ratio = m / med if med > 0 else float("inf") if m > 0 else 0.0
+        if ratio >= k and (m - med) >= min_excess_s:
+            out[p] = ratio
+    return out
+
+
+def detect_stragglers(
+    trace: ExecutionTrace,
+    k: float = DEFAULT_K,
+    min_excess_s: float = DEFAULT_MIN_EXCESS_S,
+) -> Dict[int, float]:
+    """Post-mortem straggler scan: place → ratio over fleet median.
+
+    Uses the cell-weighted *median* per-cell service time of each
+    place's events (tiles or vertices) — robust both to a single
+    stalled tile (which a mean would let fake a limplock) and to tiny
+    remainder edge tiles whose fixed per-tile overhead inflates their
+    per-cell cost; a place is flagged when it exceeds ``k``× the fleet
+    median *and* the per-cell excess tops ``min_excess_s``.
+    """
+    samples: Dict[int, list] = {}
+    for e in trace.events:
+        cells = max(1, e.cells)
+        samples.setdefault(e.exec_place, []).append(
+            (e.duration / cells, cells)
+        )
+    stats = {p: _weighted_median(v) for p, v in samples.items()}
+    return _flag_ratios(stats, k, min_excess_s)
+
+
+class StragglerDetector:
+    """Rolling per-place service-time baseline with live gauge export.
+
+    ``observe(place, seconds, cells)`` feeds one tile (or mp level-batch)
+    service measurement; the detector keeps a bounded window of
+    ``(per-cell time, cells)`` samples per place and re-evaluates the
+    ``k×`` fleet-median rule on cell-weighted medians, publishing
+    ``dpx10_straggler{place}`` gauges (ratio when flagged, 0 otherwise)
+    that the live dashboard renders as alerts. Thread-safe; all
+    hot-path work is a deque append plus a small cell-weighted median
+    per place over the fleet.
+    """
+
+    def __init__(
+        self,
+        registry=None,
+        k: float = DEFAULT_K,
+        window: int = 64,
+        min_samples: int = 3,
+        min_excess_s: float = DEFAULT_MIN_EXCESS_S,
+    ) -> None:
+        self.k = k
+        self.min_samples = min_samples
+        self.min_excess_s = min_excess_s
+        self._win: Dict[int, deque] = {}
+        self._window = window
+        self._lock = threading.Lock()
+        self._flagged: Dict[int, float] = {}
+        self._gauge = None
+        if registry is not None and getattr(registry, "enabled", False):
+            self._gauge = registry.gauge(
+                "dpx10_straggler",
+                "Per-place straggler ratio over the fleet-median tile "
+                "service time; 0 when healthy, >= k when flagged.",
+                labelnames=("place",),
+            )
+
+    def observe(self, place: int, seconds: float, cells: int = 1) -> None:
+        cells = max(1, cells)
+        with self._lock:
+            win = self._win.get(place)
+            if win is None:
+                win = self._win[place] = deque(maxlen=self._window)
+            win.append((seconds / cells, cells))
+            stats = {
+                p: _weighted_median(w)
+                for p, w in self._win.items()
+                if len(w) >= self.min_samples
+            }
+            flagged = _flag_ratios(stats, self.k, self.min_excess_s)
+            self._flagged = flagged
+            if self._gauge is not None:
+                for p in stats:
+                    self._gauge.labels(place=str(p)).set(flagged.get(p, 0.0))
+
+    def flagged(self) -> Dict[int, float]:
+        """Currently flagged places → ratio over the fleet median."""
+        with self._lock:
+            return dict(self._flagged)
+
+
+# ---------------------------------------------------------------------------
+# summaries + human surfaces
+# ---------------------------------------------------------------------------
+
+def causal_summary(trace: ExecutionTrace) -> Dict[str, object]:
+    """JSON-able causal digest for the exporters and the serve layer."""
+    path = critical_path(trace)
+    wf = waterfall(trace)
+    attr = attribution(trace)
+    return {
+        "trace_id": trace.trace_id,
+        "critical_path": [
+            {
+                "tile": list(e.tile) if e.tile is not None else None,
+                "i": e.i, "j": e.j,
+                "place": e.exec_place,
+                "start": e.start, "end": e.end,
+                "cells": e.cells,
+            }
+            for e in path
+        ],
+        "critical_path_fraction": critical_path_fraction(trace),
+        "wall": wf["wall"],
+        "attribution": attr,
+        "waterfall": {
+            "places": {str(p): row for p, row in wf["places"].items()},
+            "runtime": wf["runtime"],
+        },
+        "stragglers": {str(p): r for p, r in detect_stragglers(trace).items()},
+    }
+
+
+def _fmt_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+
+def explain_text(
+    trace: ExecutionTrace,
+    top: int = 10,
+) -> str:
+    """Waterfall + critical path + stragglers, rendered for a terminal."""
+    wf = waterfall(trace)
+    wall = float(wf["wall"])  # type: ignore[arg-type]
+    places: Dict[int, Dict[str, float]] = wf["places"]  # type: ignore[assignment]
+    lines = [
+        f"trace {trace.trace_id}  wall={wall * 1e3:.1f}ms  "
+        f"places={len(places)}  events={len(trace.events)}"
+    ]
+    cats = list(PLACE_CATEGORIES) + ["idle"]
+    if places:
+        lines.append("")
+        lines.append("latency waterfall (seconds per place; rows sum to wall):")
+        widths = [7] + [max(9, len(c) + 1) for c in cats]
+        lines.append(_fmt_row(["place"] + cats, widths))
+        for p, row in sorted(places.items()):
+            lines.append(
+                _fmt_row(
+                    [str(p)] + [f"{row.get(c, 0.0):.4f}" for c in cats], widths
+                )
+            )
+    runtime: Dict[str, float] = wf["runtime"]  # type: ignore[assignment]
+    if runtime:
+        rt = "  ".join(
+            f"{k}={v:.4f}s" for k, v in sorted(runtime.items(), key=lambda kv: -kv[1])
+        )
+        lines.append(f"runtime spans: {rt}")
+    path = critical_path(trace)
+    frac = critical_path_fraction(trace)
+    lines.append("")
+    if path:
+        lines.append(
+            f"critical path: {len(path)} events, "
+            f"{sum(e.duration for e in path) * 1e3:.1f}ms "
+            f"({frac * 100.0:.1f}% of wall)"
+        )
+        ranked = sorted(path, key=lambda e: -e.duration)[:top]
+        for n, e in enumerate(ranked, 1):
+            what = f"tile {e.tile}" if e.tile is not None else f"cell ({e.i},{e.j})"
+            share = e.duration / wall * 100.0 if wall > 0 else 0.0
+            lines.append(
+                f"  {n:2d}. {what} place {e.exec_place}  "
+                f"{e.duration * 1e3:.2f}ms  [{share:.1f}% of wall]"
+            )
+    else:
+        lines.append("critical path: (no events)")
+    stragglers = detect_stragglers(trace)
+    if stragglers:
+        worst = ", ".join(
+            f"place {p} at {r:.1f}x fleet median"
+            for p, r in sorted(stragglers.items(), key=lambda kv: -kv[1])
+        )
+        lines.append(f"stragglers: {worst}")
+    else:
+        lines.append("stragglers: none")
+    return "\n".join(lines)
+
+
+def diff_text(
+    name_a: str,
+    trace_a: ExecutionTrace,
+    name_b: str,
+    trace_b: ExecutionTrace,
+) -> str:
+    """Regression triage: category/wall/critical-path deltas of two runs."""
+    wf_a, wf_b = waterfall(trace_a), waterfall(trace_b)
+    wall_a, wall_b = float(wf_a["wall"]), float(wf_b["wall"])  # type: ignore[arg-type]
+    lines = [
+        f"A: {name_a}  wall={wall_a * 1e3:.1f}ms  ({trace_a.trace_id})",
+        f"B: {name_b}  wall={wall_b * 1e3:.1f}ms  ({trace_b.trace_id})",
+    ]
+    if wall_a > 0:
+        lines.append(
+            f"wall delta: {(wall_b - wall_a) * 1e3:+.1f}ms "
+            f"({(wall_b - wall_a) / wall_a * 100.0:+.1f}%)"
+        )
+    def _totals(wf) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for row in wf["places"].values():
+            for c, v in row.items():
+                out[c] = out.get(c, 0.0) + v
+        for c, v in wf["runtime"].items():
+            out[f"runtime:{c}"] = out.get(f"runtime:{c}", 0.0) + v
+        return out
+    ta, tb = _totals(wf_a), _totals(wf_b)
+    lines.append("")
+    lines.append("category totals (sum over places, seconds):")
+    for cat in sorted(set(ta) | set(tb), key=lambda c: -(tb.get(c, 0.0) - ta.get(c, 0.0))):
+        a, b = ta.get(cat, 0.0), tb.get(cat, 0.0)
+        lines.append(f"  {cat:>18s}  A={a:.4f}  B={b:.4f}  delta={b - a:+.4f}")
+    fa, fb = critical_path_fraction(trace_a), critical_path_fraction(trace_b)
+    lines.append(
+        f"critical-path fraction: A={fa * 100.0:.1f}%  B={fb * 100.0:.1f}%  "
+        f"delta={(fb - fa) * 100.0:+.1f}pp"
+    )
+    sa, sb = detect_stragglers(trace_a), detect_stragglers(trace_b)
+    if sa or sb:
+        lines.append(f"stragglers: A={sorted(sa) or 'none'}  B={sorted(sb) or 'none'}")
+    return "\n".join(lines)

@@ -1,20 +1,28 @@
 """``python -m repro obs`` — run instrumented workloads and inspect exports.
 
-Two subcommands:
+Four subcommands:
 
 * ``obs run`` — execute a built-in app (Smith-Waterman, LPS, LCS) with
   tracing and metrics on, optionally watch it on the live dashboard, and
-  export the run as Chrome trace JSON / JSONL / Prometheus text. The
-  post-mortem summary printed at the end is rendered from the exported
-  data, so it doubles as a faithfulness check of the export pipeline.
+  export the run as Chrome trace JSON / JSONL / Prometheus text (with the
+  causal summary embedded). The post-mortem summary printed at the end is
+  rendered from the exported data, so it doubles as a faithfulness check
+  of the export pipeline.
 * ``obs summary <file>`` — re-render that summary from a trace file
   (``.json`` Chrome trace or ``.jsonl`` stream) without re-running.
+* ``obs explain <file>`` — causal post-mortem: latency waterfall,
+  weighted critical path, per-category attribution and straggler flags
+  (see :mod:`repro.obs.causal`).
+* ``obs diff <a> <b>`` — compare two traces category-by-category to
+  answer "why is run B slower than run A?".
 
 Examples::
 
     python -m repro obs run --app sw --size 64 --export trace.json
     python -m repro obs run --app lps --size 200 --tile 32x32 --live
     python -m repro obs summary trace.json
+    python -m repro obs explain trace.json
+    python -m repro obs diff fast.json slow.json
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from typing import Optional, Tuple
 
 from repro.core.config import DPX10Config
 from repro.core.trace import ExecutionTrace
+from repro.obs.causal import causal_summary, diff_text, explain_text
 from repro.obs.dashboard import LiveDashboard, summary_text
 from repro.obs.export import (
     load_chrome_trace,
@@ -93,17 +102,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         report, headline = _run_app(args.app, args.size, args.seed, config)
 
     print(f"{args.app} ({args.size}x{args.size}, {args.engine}): {headline}")
-    # the mp engine carries no per-vertex timeline (cells execute in other
-    # processes); exports then hold the metrics snapshot over an empty trace
     trace = report.trace if report.trace is not None else ExecutionTrace()
+    causal = causal_summary(trace) if trace.events else None
     if args.export:
         write_chrome_trace(
             args.export, trace, metrics=report.metrics,
-            report=report.to_dict(),
+            report=report.to_dict(), causal=causal,
         )
         print(f"chrome trace -> {args.export}")
     if args.jsonl:
-        n = write_jsonl(args.jsonl, trace, metrics=report.metrics)
+        n = write_jsonl(args.jsonl, trace, metrics=report.metrics, causal=causal)
         print(f"jsonl ({n} lines) -> {args.jsonl}")
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as fh:
@@ -114,18 +122,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_summary(args: argparse.Namespace) -> int:
-    if args.file.endswith(".jsonl"):
-        trace, metrics = read_jsonl(args.file)
-    else:
-        trace, metrics = load_chrome_trace(args.file)
+def _load_trace(path: str):
+    if path.endswith(".jsonl"):
+        return read_jsonl(path)
+    return load_chrome_trace(path)
+
+
+def _print_paged(text: str) -> int:
     try:
-        print(summary_text(trace, metrics))
+        print(text)
     except BrokenPipeError:
         # downstream pager/head closed the pipe; point stdout at devnull so
         # the interpreter's exit-time flush doesn't raise again
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    trace, metrics = _load_trace(args.file)
+    return _print_paged(summary_text(trace, metrics))
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    trace, _ = _load_trace(args.file)
+    return _print_paged(explain_text(trace, top=args.top))
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    trace_a, _ = _load_trace(args.a)
+    trace_b, _ = _load_trace(args.b)
+    return _print_paged(diff_text(args.a, trace_a, args.b, trace_b))
 
 
 def add_obs_parser(sub) -> None:
@@ -163,3 +189,21 @@ def add_obs_parser(sub) -> None:
     )
     s.add_argument("file", help="Chrome trace .json or .jsonl export")
     s.set_defaults(fn=_cmd_summary)
+
+    e = obs_sub.add_parser(
+        "explain",
+        help="causal post-mortem: waterfall, critical path, stragglers",
+    )
+    e.add_argument("file", help="Chrome trace .json or .jsonl export")
+    e.add_argument(
+        "--top", type=int, default=10,
+        help="critical-path steps to print (default 10)",
+    )
+    e.set_defaults(fn=_cmd_explain)
+
+    d = obs_sub.add_parser(
+        "diff", help="compare two traces: why is B slower than A?"
+    )
+    d.add_argument("a", help="baseline trace (.json or .jsonl)")
+    d.add_argument("b", help="comparison trace (.json or .jsonl)")
+    d.set_defaults(fn=_cmd_diff)

@@ -77,6 +77,17 @@ def render_panel(
             else ""
         )
     )
+    stragglers = {
+        place: ratio
+        for place, ratio in by_label(snapshot, "dpx10_straggler", "place").items()
+        if ratio > 0
+    }
+    if stragglers:
+        worst = ", ".join(
+            f"place {int(p)} at {r:.1f}x median"
+            for p, r in sorted(stragglers.items(), key=lambda kv: -kv[1])
+        )
+        lines.append(f"ALERT     stragglers: {worst}")
     return "\n".join(lines)
 
 

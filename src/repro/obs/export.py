@@ -44,6 +44,8 @@ PLACES_PID = 0
 RUNTIME_PID = 1
 #: tid used inside RUNTIME_PID for phase spans
 PHASE_TID = 0
+#: tid used inside RUNTIME_PID for the mirrored critical-path row
+CRITICAL_PATH_TID = 1
 
 
 def _event_name(e: TraceEvent) -> str:
@@ -52,17 +54,35 @@ def _event_name(e: TraceEvent) -> str:
     return f"cell ({e.i},{e.j})"
 
 
+def _jsonable_meta(meta: Dict[str, object]) -> Dict[str, object]:
+    """Round-trip trace.meta through JSON semantics (tuples -> lists)."""
+    return json.loads(json.dumps(meta))
+
+
 def chrome_trace(
     trace: ExecutionTrace,
     metrics: Optional[Dict[str, dict]] = None,
     report: Optional[Dict[str, object]] = None,
+    causal: Optional[Dict[str, object]] = None,
 ) -> dict:
     """Build the Chrome trace-event object for one traced run.
 
     Timestamps are microseconds relative to the trace origin (the
-    trace-event format's native unit).
+    trace-event format's native unit). ``causal`` (a
+    :func:`repro.obs.causal.causal_summary` dict) rides in ``otherData``;
+    when present, events on the critical path are marked with
+    ``args.critical_path`` and mirrored onto a dedicated
+    "critical path" thread so Perfetto renders the chain as its own row.
     """
     events: List[dict] = []
+    cp_keys = set()
+    if causal:
+        for step in causal.get("critical_path", []):
+            key = (
+                tuple(step["tile"]) if step.get("tile") is not None
+                else (step["i"], step["j"])
+            )
+            cp_keys.add((key, round(float(step["start"]), 9)))
     places = sorted(
         {e.exec_place for e in trace.events}
         | {s.place for s in trace.spans if s.place >= 0}
@@ -95,10 +115,26 @@ def chrome_trace(
                 "args": {"name": f"place {p}"},
             }
         )
+    if cp_keys:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": RUNTIME_PID,
+                "tid": CRITICAL_PATH_TID,
+                "args": {"name": "critical path"},
+            }
+        )
     for e in trace.events:
         args = {"i": e.i, "j": e.j, "home_place": e.home_place, "cells": e.cells}
         if e.tile is not None:
             args["tile"] = list(e.tile)
+        on_cp = bool(cp_keys) and (
+            (e.tile if e.tile is not None else (e.i, e.j)),
+            round(e.start, 9),
+        ) in cp_keys
+        if on_cp:
+            args["critical_path"] = True
         events.append(
             {
                 "name": _event_name(e),
@@ -111,7 +147,27 @@ def chrome_trace(
                 "args": args,
             }
         )
+        if on_cp:
+            # mirror the step onto its own thread so the chain renders as
+            # one contiguous row in Perfetto
+            events.append(
+                {
+                    "name": _event_name(e),
+                    "cat": "critical-path",
+                    "ph": "X",
+                    "ts": e.start * 1e6,
+                    "dur": max(0.0, e.duration) * 1e6,
+                    "pid": RUNTIME_PID,
+                    "tid": CRITICAL_PATH_TID,
+                    "args": dict(args),
+                }
+            )
     for s in trace.spans:
+        sargs: Dict[str, object] = {"place": s.place}
+        if s.span_id is not None:
+            sargs["span_id"] = s.span_id
+        if s.parent_id is not None:
+            sargs["parent_id"] = s.parent_id
         events.append(
             {
                 "name": s.name,
@@ -121,14 +177,22 @@ def chrome_trace(
                 "dur": max(0.0, s.duration) * 1e6,
                 "pid": RUNTIME_PID if s.place < 0 else PLACES_PID,
                 "tid": PHASE_TID if s.place < 0 else s.place,
-                "args": {"place": s.place},
+                "args": sargs,
             }
         )
-    other: Dict[str, object] = {"format": "dpx10-trace", "version": 1}
+    other: Dict[str, object] = {
+        "format": "dpx10-trace",
+        "version": 1,
+        "trace_id": trace.trace_id,
+    }
+    if trace.meta:
+        other["meta"] = _jsonable_meta(trace.meta)
     if metrics:
         other["metrics"] = metrics
     if report:
         other["report"] = report
+    if causal:
+        other["causal"] = causal
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -141,8 +205,9 @@ def write_chrome_trace(
     trace: ExecutionTrace,
     metrics: Optional[Dict[str, dict]] = None,
     report: Optional[Dict[str, object]] = None,
+    causal: Optional[Dict[str, object]] = None,
 ) -> dict:
-    doc = chrome_trace(trace, metrics=metrics, report=report)
+    doc = chrome_trace(trace, metrics=metrics, report=report, causal=causal)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=1)
     return doc
@@ -151,13 +216,20 @@ def write_chrome_trace(
 def trace_from_chrome(doc: dict) -> Tuple[ExecutionTrace, Dict[str, dict]]:
     """Rebuild ``(ExecutionTrace, metrics_snapshot)`` from a Chrome trace
     object produced by :func:`chrome_trace`."""
-    trace = ExecutionTrace()
+    other = doc.get("otherData", {})
+    trace = ExecutionTrace(trace_id=other.get("trace_id"))
+    meta = other.get("meta")
+    if isinstance(meta, dict):
+        trace.meta.update(meta)
     for ev in doc.get("traceEvents", []):
         if ev.get("ph") != "X":
             continue
+        cat = ev.get("cat", "")
+        if cat == "critical-path":
+            # mirrored duplicates of place-thread events; skip on load
+            continue
         start = ev["ts"] / 1e6
         end = start + ev.get("dur", 0) / 1e6
-        cat = ev.get("cat", "")
         if cat in ("vertex", "tile"):
             args = ev.get("args", {})
             trace.record(
@@ -173,16 +245,19 @@ def trace_from_chrome(doc: dict) -> Tuple[ExecutionTrace, Dict[str, dict]]:
                 )
             )
         else:
+            args = ev.get("args", {})
             trace.record_span(
                 Span(
                     name=ev.get("name", "span"),
                     start=start,
                     end=end,
                     category=cat or "phase",
-                    place=int(ev.get("args", {}).get("place", -1)),
+                    place=int(args.get("place", -1)),
+                    span_id=args.get("span_id"),
+                    parent_id=args.get("parent_id"),
                 )
             )
-    metrics = doc.get("otherData", {}).get("metrics", {})
+    metrics = other.get("metrics", {})
     return trace, metrics
 
 
@@ -196,10 +271,28 @@ def write_jsonl(
     path: str,
     trace: ExecutionTrace,
     metrics: Optional[Dict[str, dict]] = None,
+    causal: Optional[Dict[str, object]] = None,
 ) -> int:
-    """Write one JSON object per line; returns the number of lines."""
+    """Write one JSON object per line; returns the number of lines.
+
+    A leading ``meta`` record carries the trace id, ``trace.meta`` (the
+    dependency/tiling context the causal analyzer needs) and — when given —
+    the :func:`repro.obs.causal.causal_summary` dict. It is only emitted
+    when there is something to carry, so dependency-free traces keep the
+    historical events+spans+metrics line layout.
+    """
     lines = 0
     with open(path, "w", encoding="utf-8") as fh:
+        if trace.meta or causal:
+            rec: Dict[str, object] = {
+                "type": "meta",
+                "trace_id": trace.trace_id,
+                "meta": _jsonable_meta(trace.meta),
+            }
+            if causal:
+                rec["causal"] = causal
+            fh.write(json.dumps(rec) + "\n")
+            lines += 1
         for e in trace.events:
             rec = {
                 "type": "event",
@@ -216,19 +309,19 @@ def write_jsonl(
             fh.write(json.dumps(rec) + "\n")
             lines += 1
         for s in trace.spans:
-            fh.write(
-                json.dumps(
-                    {
-                        "type": "span",
-                        "name": s.name,
-                        "category": s.category,
-                        "place": s.place,
-                        "start": s.start,
-                        "end": s.end,
-                    }
-                )
-                + "\n"
-            )
+            srec: Dict[str, object] = {
+                "type": "span",
+                "name": s.name,
+                "category": s.category,
+                "place": s.place,
+                "start": s.start,
+                "end": s.end,
+            }
+            if s.span_id is not None:
+                srec["span_id"] = s.span_id
+            if s.parent_id is not None:
+                srec["parent_id"] = s.parent_id
+            fh.write(json.dumps(srec) + "\n")
             lines += 1
         if metrics:
             fh.write(json.dumps({"type": "metrics", "data": metrics}) + "\n")
@@ -268,8 +361,15 @@ def read_jsonl(path: str) -> Tuple[ExecutionTrace, Dict[str, dict]]:
                         end=rec["end"],
                         category=rec.get("category", "phase"),
                         place=rec.get("place", -1),
+                        span_id=rec.get("span_id"),
+                        parent_id=rec.get("parent_id"),
                     )
                 )
+            elif kind == "meta":
+                if rec.get("trace_id"):
+                    trace.trace_id = rec["trace_id"]
+                if isinstance(rec.get("meta"), dict):
+                    trace.meta.update(rec["meta"])
             elif kind == "metrics":
                 metrics = rec.get("data", {})
     return trace, metrics

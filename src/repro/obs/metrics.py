@@ -359,8 +359,24 @@ class MetricsRegistry:
 NULL_REGISTRY = MetricsRegistry(enabled=False)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double quote and newline must be escaped inside ``"..."``."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """Escape ``# HELP`` text: backslash and newline (quotes stay raw)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _label_str(labelnames: Iterable[str], values: Iterable[str]) -> str:
-    pairs = [f'{n}="{v}"' for n, v in zip(labelnames, values)]
+    pairs = [f'{n}="{_escape_label_value(v)}"' for n, v in zip(labelnames, values)]
     return "{" + ",".join(pairs) + "}" if pairs else ""
 
 
@@ -379,7 +395,7 @@ def render_prometheus(snapshot: Dict[str, dict]) -> str:
         data = snapshot[name]
         kind, labelnames = data["kind"], data["labelnames"]
         if data.get("help"):
-            lines.append(f"# HELP {name} {data['help']}")
+            lines.append(f"# HELP {name} {_escape_help(data['help'])}")
         lines.append(f"# TYPE {name} {kind}")
         for label_values, value in data["values"]:
             if kind == "histogram":

@@ -384,6 +384,8 @@ class JobRequest:
     tile_shape: Optional[Tuple[int, int]] = None
     autokernel: bool = False
     use_cache: bool = True
+    #: capture an ExecutionTrace for causal post-mortem (GET /jobs/{id}/trace)
+    trace: bool = False
     #: chaos soak hook; only honored with server allow_faults=True
     faults: List[FaultPlan] = field(default_factory=list)
 
@@ -440,6 +442,7 @@ def parse_job_request(
         "autokernel requires tile_shape",
     )
     use_cache = bool(body.get("cache", True))
+    trace = bool(body.get("trace", False))
     faults: List[FaultPlan] = []
     raw_faults = body.get("faults", [])
     if raw_faults:
@@ -483,17 +486,21 @@ def parse_job_request(
         tile_shape=tile_shape,
         autokernel=autokernel,
         use_cache=use_cache,
+        trace=trace,
         faults=faults,
     )
 
 
-def execute_job(req: JobRequest, config) -> Dict[str, Any]:
+def execute_job(req: JobRequest, config, on_report=None) -> Dict[str, Any]:
     """Run one job synchronously under the given config.
 
     Returns the JSON-able result payload: the app's score plus run
     accounting. Called by the server from an executor thread (the
     config carries the pacer hook and the warm pool) and by tests
-    directly.
+    directly. ``on_report`` receives the full :class:`RunReport` before
+    the payload is built — the server uses it to capture the execution
+    trace for ``GET /jobs/{id}/trace`` without forcing the trace through
+    the JSON result path.
     """
     from repro.core.runtime import DPX10Runtime
 
@@ -501,6 +508,8 @@ def execute_job(req: JobRequest, config) -> Dict[str, Any]:
     app, dag = spec.build(req.params)
     runtime = DPX10Runtime(app, dag, config, fault_plans=req.faults)
     report = runtime.run()
+    if on_report is not None:
+        on_report(report)
     payload = spec.result(app, dag)
     payload.update(
         {

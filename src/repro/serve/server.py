@@ -11,6 +11,8 @@ local HTTP/JSON API (stdlib only; no web framework):
 ``POST /jobs``              submit a job; 202 + job id (409-free: resubmits of
                             a cached key return 200 with the cached result)
 ``GET /jobs/{id}``          job status / result
+``GET /jobs/{id}/trace``    Chrome-trace JSON of a ``"trace": true`` job,
+                            with the causal summary in ``otherData``
 ``GET /metrics``            Prometheus text (server + pool + cache + tenants)
 ``GET /stats``              JSON stats (pool / cache / pacer / admission)
 ``GET /healthz``            liveness
@@ -82,6 +84,9 @@ class Job:
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     pool_restarts: int = 0
+    #: the run's ExecutionTrace when submitted with "trace": true
+    trace: Optional[ExecutionTrace] = field(default=None, repr=False)
+    trace_id: Optional[str] = None
     #: set when the job reaches a terminal state, so in-process waiters
     #: (bench, tests) don't pay poll-quantization latency
     done_event: threading.Event = field(default_factory=threading.Event, repr=False)
@@ -105,6 +110,8 @@ class Job:
             out["error"] = self.error
         if self.pool_restarts:
             out["pool_restarts"] = self.pool_restarts
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
         return out
 
 
@@ -242,13 +249,22 @@ class JobServer:
                 nplaces=req.nplaces,
                 tile_shape=req.tile_shape,
                 autokernel=req.autokernel,
+                trace=req.trace,
                 pace=pace,
                 # the warm pool serves the mp engine; in-process engines
                 # have no processes to reuse
                 place_pool=self.pool if req.engine == "mp" else None,
             )
+
+            def _capture(report) -> None:
+                if report.trace is not None:
+                    job.trace = report.trace
+                    job.trace_id = report.trace.trace_id
+
             with self.trace.phase(f"execute:{job.id}", category="serve"):
-                result = execute_job(req, config)
+                result = execute_job(
+                    req, config, on_report=_capture if req.trace else None
+                )
             job.result = result
             job.status = "done"
             if req.use_cache:
@@ -276,6 +292,26 @@ class JobServer:
         with self._jobs_lock:
             job = self.jobs.get(job_id)
         return job.to_dict() if job else None
+
+    def job_trace(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        """The Chrome-trace document (with embedded causal summary) of a
+        job submitted with ``"trace": true``; (http_status, payload)."""
+        from repro.obs.causal import causal_summary
+        from repro.obs.export import chrome_trace
+
+        with self._jobs_lock:
+            job = self.jobs.get(job_id)
+        if job is None:
+            return 404, {"error": "no such job"}
+        if job.trace is None:
+            return 404, {
+                "error": (
+                    "no trace captured; submit the job with \"trace\": true "
+                    "and wait for it to finish"
+                )
+            }
+        causal = causal_summary(job.trace) if job.trace.events else None
+        return 200, chrome_trace(job.trace, causal=causal)
 
     def wait(self, job_id: str, timeout: float = 60.0) -> Dict[str, Any]:
         """Block until a job reaches a terminal state (test / CLI / bench)."""
@@ -424,6 +460,10 @@ class JobServer:
                     max(1, int(payload.get("retry_after", 1) + 0.999))
                 )
             return status, headers, payload
+        if method == "GET" and path.startswith("/jobs/") and path.endswith("/trace"):
+            job_id = path[len("/jobs/"):-len("/trace")]
+            status, payload = self.job_trace(job_id)
+            return status, {}, payload
         if method == "GET" and path.startswith("/jobs/"):
             job_id, _, query = path[len("/jobs/"):].partition("?")
             wait_s = 0.0

@@ -116,3 +116,65 @@ class TestJsonl:
         assert write_jsonl(path, ExecutionTrace()) == 0
         loaded, metrics = read_jsonl(path)
         assert len(loaded) == 0 and metrics == {}
+
+
+def _context_trace() -> ExecutionTrace:
+    t = ExecutionTrace(trace_id="cafe0123")
+    t.meta["tile_offsets"] = [[-1, 0], [0, -1], [-1, -1]]
+    t.record(TraceEvent(0, 0, 0, 0, 0.0, 0.5, tile=(0, 0), cells=64))
+    t.record(TraceEvent(8, 8, 1, 1, 0.5, 1.5, tile=(1, 1), cells=64))
+    with t.phase("execute"):
+        with t.phase("halo fetch", category="halo"):
+            pass
+    return t
+
+
+class TestCausalContextRoundTrip:
+    """trace_id, meta, span ids and the causal summary survive export."""
+
+    def _causal(self, trace):
+        from repro.obs.causal import causal_summary
+
+        return causal_summary(trace)
+
+    def test_chrome_round_trip_preserves_context(self, tmp_path):
+        path = str(tmp_path / "ctx.json")
+        original = _context_trace()
+        write_chrome_trace(path, original, causal=self._causal(original))
+        loaded, _ = load_chrome_trace(path)
+        assert loaded.trace_id == "cafe0123"
+        assert loaded.meta["tile_offsets"] == [[-1, 0], [0, -1], [-1, -1]]
+        by_name = {s.name: s for s in loaded.spans}
+        assert by_name["halo fetch"].parent_id == by_name["execute"].span_id
+        # the mirrored critical-path row must not duplicate events on load
+        assert len(loaded.events) == len(original.events)
+        assert len(loaded.spans) == len(original.spans)
+
+    def test_chrome_marks_critical_path_events(self, tmp_path):
+        original = _context_trace()
+        doc = chrome_trace(original, causal=self._causal(original))
+        marked = [
+            e for e in doc["traceEvents"]
+            if e.get("args", {}).get("critical_path")
+            and e.get("cat") != "critical-path"
+        ]
+        mirror = [e for e in doc["traceEvents"] if e.get("cat") == "critical-path"]
+        assert len(marked) == len(mirror) == 2  # (0,0) -> (1,1) chain
+        assert doc["otherData"]["causal"]["critical_path"]
+        assert doc["otherData"]["trace_id"] == "cafe0123"
+
+    def test_jsonl_meta_record_round_trips(self, tmp_path):
+        path = str(tmp_path / "ctx.jsonl")
+        original = _context_trace()
+        lines = write_jsonl(path, original, causal=self._causal(original))
+        # meta record + events + spans (no metrics)
+        assert lines == 1 + len(original.events) + len(original.spans)
+        with open(path) as fh:
+            first = json.loads(fh.readline())
+        assert first["type"] == "meta"
+        assert first["trace_id"] == "cafe0123"
+        assert first["causal"]["critical_path"]
+        loaded, _ = read_jsonl(path)
+        assert loaded.trace_id == "cafe0123"
+        assert loaded.meta["tile_offsets"] == [[-1, 0], [0, -1], [-1, -1]]
+        assert loaded.spans[0].span_id is not None

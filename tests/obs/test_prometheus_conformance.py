@@ -1,0 +1,132 @@
+"""Prometheus text-exposition conformance, checked line by line.
+
+The exposition format is a real protocol, not printf output: label
+values must escape backslash, double-quote and newline; HELP text must
+escape backslash and newline; histograms must end in a ``+Inf`` bucket
+whose count equals ``_count``; counters follow the ``_total`` naming
+convention. A scraper that chokes on one malformed line drops the whole
+scrape, so each rule gets a dedicated test.
+"""
+
+import re
+
+from repro.obs.metrics import MetricsRegistry, render_prometheus
+
+#: metric line: name, optional {labels}, one value (int/float/+Inf/NaN)
+_LINE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\\\|\\\"|\\n)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\\\|\\\"|\\n)*\")*\})?"
+    r" [^ \n]+$"
+)
+
+
+def _render(build):
+    reg = MetricsRegistry()
+    build(reg)
+    return render_prometheus(reg.collect())
+
+
+class TestLabelEscaping:
+    def test_double_quote_is_escaped(self):
+        text = _render(
+            lambda r: r.counter("x_total", "x", ("tag",)).labels('say "hi"').inc()
+        )
+        assert 'tag="say \\"hi\\""' in text
+
+    def test_backslash_is_escaped(self):
+        text = _render(
+            lambda r: r.counter("x_total", "x", ("path",)).labels("C:\\tmp").inc()
+        )
+        assert 'path="C:\\\\tmp"' in text
+
+    def test_newline_is_escaped(self):
+        text = _render(
+            lambda r: r.counter("x_total", "x", ("msg",)).labels("a\nb").inc()
+        )
+        assert 'msg="a\\nb"' in text
+        # the rendered output must never contain a raw newline mid-line
+        for line in text.splitlines():
+            assert _LINE_RE.match(line) or line.startswith("#"), line
+
+    def test_help_text_escapes_newline_and_backslash(self):
+        text = _render(lambda r: r.counter("x_total", "one\ntwo \\ three").inc())
+        assert "# HELP x_total one\\ntwo \\\\ three" in text
+        assert all("\n" not in line for line in text.splitlines())
+
+
+class TestSchemaLineByLine:
+    def _snapshot_text(self):
+        def build(reg):
+            reg.counter("dpx10_demo_total", "a counter", ("place",)).labels(0).inc(3)
+            reg.gauge("dpx10_demo_depth", "a gauge").set(2.5)
+            h = reg.histogram(
+                "dpx10_demo_seconds", "a histogram", buckets=(0.1, 1.0)
+            )
+            for v in (0.05, 0.5, 5.0):
+                h.observe(v)
+
+        return _render(build)
+
+    def test_every_line_is_well_formed(self):
+        for line in self._snapshot_text().splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert _LINE_RE.match(line), f"malformed exposition line: {line!r}"
+
+    def test_type_lines_precede_their_samples(self):
+        text = self._snapshot_text()
+        lines = text.splitlines()
+        for name in ("dpx10_demo_total", "dpx10_demo_depth", "dpx10_demo_seconds"):
+            type_at = next(
+                k for k, l in enumerate(lines) if l.startswith(f"# TYPE {name} ")
+            )
+            sample_at = next(
+                k for k, l in enumerate(lines)
+                if not l.startswith("#") and l.startswith(name)
+            )
+            assert type_at < sample_at
+
+    def test_counter_names_end_in_total(self):
+        text = self._snapshot_text()
+        for line in text.splitlines():
+            if line.startswith("# TYPE ") and line.endswith(" counter"):
+                name = line.split()[2]
+                assert name.endswith("_total"), (
+                    f"counter {name} violates the _total naming convention"
+                )
+
+    def test_histogram_has_inf_bucket_sum_and_count(self):
+        text = self._snapshot_text()
+        assert 'dpx10_demo_seconds_bucket{le="+Inf"} 3' in text
+        assert "dpx10_demo_seconds_count 3" in text
+        assert re.search(r"^dpx10_demo_seconds_sum 5\.55", text, re.M)
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = self._snapshot_text()
+        counts = [
+            int(m.group(2))
+            for m in re.finditer(
+                r'^dpx10_demo_seconds_bucket\{le="([^"]+)"\} (\d+)$', text, re.M
+            )
+        ]
+        assert counts == sorted(counts), "le buckets must be cumulative"
+        count = int(re.search(r"^dpx10_demo_seconds_count (\d+)$", text, re.M)[1])
+        assert counts[-1] == count, "+Inf bucket must equal _count"
+
+    def test_real_registry_surface_is_conformant(self):
+        """The straggler gauge (and everything else the runtime emits)
+        renders cleanly end to end."""
+        from repro.apps.smith_waterman import solve_sw
+        from repro.core.config import DPX10Config
+
+        config = DPX10Config(
+            nplaces=2, engine="threaded", tile_shape=(16, 16), metrics=True
+        )
+        _, report = solve_sw("ACGTACGTACGTACGT", "ACGTTGCAACGTTGCA", config)
+        text = render_prometheus(report.metrics)
+        assert text
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            assert _LINE_RE.match(line), f"malformed exposition line: {line!r}"

@@ -1,0 +1,149 @@
+"""Trace context propagation: span ids, trace ids, and the cross-process
+clock normalization regression test.
+
+The mp workers time events with their own ``perf_counter``, whose origin
+is unrelated to the master's; before the t0-offset exchange in the init
+envelope, worker stamps landed arbitrarily far outside the master
+timeline. The regression tests here pin the contract: every worker event
+must fall inside the master's run window (within wall-clock-exchange
+slack), on every mp transport.
+"""
+
+import pytest
+
+from repro.core.config import DPX10Config
+from repro.core.trace import ExecutionTrace, Span
+from repro.serve.server import JobServer
+
+_SLACK = 0.25  # generous: an un-normalized perf_counter misses by hours
+
+
+def _run_sw(config, size=48):
+    from repro.apps.smith_waterman import solve_sw
+    from repro.util.rng import seeded_rng
+
+    rng = seeded_rng(3, "ctx-test", size)
+    s1 = "".join("ACGT"[int(k)] for k in rng.integers(0, 4, size=size))
+    s2 = "".join("ACGT"[int(k)] for k in rng.integers(0, 4, size=size))
+    _, report = solve_sw(s1, s2, config)
+    return report
+
+
+class TestSpanIdentity:
+    def test_every_run_gets_a_trace_id(self):
+        a, b = ExecutionTrace(), ExecutionTrace()
+        assert a.trace_id and b.trace_id and a.trace_id != b.trace_id
+        assert ExecutionTrace(trace_id="feed1234").trace_id == "feed1234"
+
+    def test_spans_get_ids_and_parent_links(self):
+        trace = ExecutionTrace()
+        with trace.phase("execute"):
+            with trace.phase("halo fetch", category="halo"):
+                pass
+        by_name = {s.name: s for s in trace.spans}
+        assert by_name["execute"].span_id is not None
+        assert by_name["halo fetch"].parent_id == by_name["execute"].span_id
+        assert by_name["execute"].parent_id is None
+
+    def test_span_ids_are_unique_within_a_trace(self):
+        trace = ExecutionTrace()
+        for k in range(5):
+            with trace.phase(f"p{k}"):
+                pass
+        ids = [s.span_id for s in trace.spans]
+        assert len(set(ids)) == len(ids)
+
+    def test_bare_span_constructor_still_works(self):
+        # pre-context call sites construct Spans without ids
+        s = Span("legacy", 0.0, 1.0)
+        assert s.span_id is None and s.parent_id is None and s.pid == 0
+
+
+class TestMpClockNormalization:
+    """Satellite 1 regression: worker stamps on the master timeline."""
+
+    def _assert_events_inside_master_window(self, report):
+        trace = report.trace
+        assert trace is not None and trace.events
+        containers = [s for s in trace.spans if s.name == "execute"]
+        assert containers, "mp master must record an execute span"
+        lo = min(s.start for s in containers) - _SLACK
+        hi = max(s.end for s in containers) + _SLACK
+        for e in trace.events:
+            assert lo <= e.start <= e.end <= hi, (
+                f"worker event {e} escaped the master window [{lo}, {hi}]: "
+                "the perf_counter offset exchange is broken"
+            )
+
+    def test_mp_shm_tiled(self):
+        config = DPX10Config(
+            nplaces=3, engine="mp", tile_shape=(16, 16), trace=True, shm=True
+        )
+        self._assert_events_inside_master_window(_run_sw(config))
+
+    def test_mp_pipes_per_cell(self):
+        config = DPX10Config(nplaces=3, engine="mp", trace=True, shm=False)
+        self._assert_events_inside_master_window(_run_sw(config, size=24))
+
+    def test_mp_trace_carries_dependency_meta(self):
+        config = DPX10Config(
+            nplaces=3, engine="mp", tile_shape=(16, 16), trace=True, shm=True
+        )
+        report = _run_sw(config)
+        assert report.trace.meta.get("tile_offsets"), (
+            "mp tiled traces must carry tile_offsets for the causal model"
+        )
+
+
+class TestServeTraceContext:
+    """trace_id threads from the HTTP request to the exported trace."""
+
+    def test_traced_job_exposes_trace_endpoint(self):
+        server = JobServer(port=0, pool_capacity=2, prewarm=False)
+        try:
+            status, payload = server.submit(
+                {
+                    "app": "sw",
+                    "params": {"size": 48, "seed": 5},
+                    "engine": "threaded",
+                    "nplaces": 2,
+                    "tile_shape": [16, 16],
+                    "trace": True,
+                }
+            )
+            assert status == 202
+            done = server.wait(payload["id"], timeout=60)
+            assert done["status"] == "done"
+            assert done["trace_id"], "status payload must carry the trace id"
+            code, doc = server.job_trace(payload["id"])
+            assert code == 200
+            other = doc["otherData"]
+            assert other["trace_id"] == done["trace_id"]
+            causal = other["causal"]
+            assert causal["critical_path"]
+            assert sum(causal["attribution"].values()) == pytest.approx(1.0)
+            # request-side serving spans live on the server trace
+            names = {s.name.split(":", 1)[0] for s in server.trace.spans}
+            assert {"admission", "queue", "execute"} <= names
+        finally:
+            server.close()
+
+    def test_untraced_job_404s_on_trace(self):
+        server = JobServer(port=0, pool_capacity=2, prewarm=False)
+        try:
+            status, payload = server.submit(
+                {
+                    "app": "sw",
+                    "params": {"size": 24, "seed": 5},
+                    "engine": "inline",
+                    "nplaces": 1,
+                }
+            )
+            assert status == 202
+            done = server.wait(payload["id"], timeout=60)
+            assert "trace_id" not in done
+            code, err = server.job_trace(payload["id"])
+            assert code == 404 and "trace" in err["error"]
+            assert server.job_trace("nonexistent")[0] == 404
+        finally:
+            server.close()
