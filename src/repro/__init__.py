@@ -29,8 +29,15 @@ from repro.apps.lcs import LCSApp, solve_lcs
 from repro.apps.lps import LPSApp, solve_lps
 from repro.apps.matrix_chain import MatrixChainApp, make_chain_dims, solve_matrix_chain
 from repro.apps.needleman_wunsch import NWApp, solve_nw
+from repro.apps.msa import MSA3App, make_msa3_instance, solve_msa3
 from repro.apps.mtp import MTPApp, make_mtp_weights, solve_mtp
 from repro.apps.smith_waterman import SWApp, SWLAGApp, solve_sw, solve_swlag
+from repro.apps.tree_knapsack import (
+    TreeKnapsackApp,
+    make_tree_instance,
+    solve_tree_knapsack,
+)
+from repro.apps.tree_mis import TreeMISApp, solve_tree_mis
 from repro.apps.unbounded_knapsack import (
     UnboundedKnapsackApp,
     UnboundedKnapsackDag,
@@ -40,6 +47,13 @@ from repro.chaos.schedule import ChaosSchedule
 from repro.core.api import DPX10App, Vertex, VertexId, dependency_map
 from repro.core.config import DPX10Config
 from repro.core.dag import Dag
+from repro.core.domain import (
+    DomainApp,
+    GridDomain,
+    IndexDomain,
+    TensorDomain,
+    TreeDomain,
+)
 from repro.core.runtime import DPX10Runtime, RunReport
 from repro.errors import DeadPlaceException, DependencyRaceError, DPX10Error
 from repro.patterns import PATTERNS, get_pattern
@@ -76,9 +90,17 @@ __all__ = [
     "solve_matrix_chain",
     "NWApp",
     "solve_nw",
+    "MSA3App",
+    "make_msa3_instance",
+    "solve_msa3",
     "MTPApp",
     "make_mtp_weights",
     "solve_mtp",
+    "TreeKnapsackApp",
+    "make_tree_instance",
+    "solve_tree_knapsack",
+    "TreeMISApp",
+    "solve_tree_mis",
     "SWApp",
     "SWLAGApp",
     "solve_sw",
@@ -92,6 +114,11 @@ __all__ = [
     "dependency_map",
     "DPX10Config",
     "Dag",
+    "IndexDomain",
+    "GridDomain",
+    "TensorDomain",
+    "TreeDomain",
+    "DomainApp",
     "DPX10Runtime",
     "RunReport",
     "DeadPlaceException",

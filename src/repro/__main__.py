@@ -10,6 +10,9 @@ figures without writing any code:
     python -m repro lps character
     python -m repro knapsack --items 12 --capacity 40 --seed 3
     python -m repro matrix-chain --n 8
+    python -m repro tree-knapsack --nodes 14 --capacity 20 --seed 1
+    python -m repro tree-mis --nodes 14 --seed 1
+    python -m repro msa3 GATTACA GCATGCT ACGTACG
     python -m repro patterns
     python -m repro fig10 --scale small
 """
@@ -144,6 +147,40 @@ def _cmd_egg_drop(args) -> int:
     app, report = solve_egg_drop(args.eggs, args.floors, _config(args))
     print(f"Egg drop ({args.eggs} eggs, {args.floors} floors): "
           f"{app.trials} trials in the worst case")
+    _print_report(report)
+    return 0
+
+
+def _cmd_tree_knapsack(args) -> int:
+    from repro import make_tree_instance, solve_tree_knapsack
+
+    parents, weights, values = make_tree_instance(args.nodes, seed=args.seed)
+    app, report = solve_tree_knapsack(
+        parents, weights, values, args.capacity, _config(args)
+    )
+    print(f"Tree knapsack ({args.nodes} nodes, capacity {args.capacity}, "
+          f"seed {args.seed}): best value {app.best_value}")
+    _print_report(report)
+    return 0
+
+
+def _cmd_tree_mis(args) -> int:
+    from repro import make_tree_instance, solve_tree_mis
+
+    parents, weights, _ = make_tree_instance(args.nodes, seed=args.seed)
+    app, report = solve_tree_mis(parents, weights, _config(args))
+    print(f"Tree max-weight independent set ({args.nodes} nodes, "
+          f"seed {args.seed}): best weight {app.best_weight}")
+    _print_report(report)
+    return 0
+
+
+def _cmd_msa3(args) -> int:
+    from repro import solve_msa3
+
+    app, report = solve_msa3(args.x, args.y, args.z, config=_config(args))
+    print(f"3-way MSA sum-of-pairs score of {args.x!r}, {args.y!r}, "
+          f"{args.z!r}: {app.best_score}")
     _print_report(report)
     return 0
 
@@ -294,6 +331,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--floors", type=int, default=36)
     _add_runtime_args(p)
     p.set_defaults(fn=_cmd_egg_drop)
+
+    p = sub.add_parser("tree-knapsack", help="tree knapsack (random tree)")
+    p.add_argument("--nodes", type=int, default=12)
+    p.add_argument("--capacity", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+    _add_runtime_args(p)
+    p.set_defaults(fn=_cmd_tree_knapsack)
+
+    p = sub.add_parser("tree-mis", help="tree max-weight independent set")
+    p.add_argument("--nodes", type=int, default=12)
+    p.add_argument("--seed", type=int, default=0)
+    _add_runtime_args(p)
+    p.set_defaults(fn=_cmd_tree_mis)
+
+    p = sub.add_parser("msa3", help="3-way MSA (3-D Needleman-Wunsch)")
+    p.add_argument("x")
+    p.add_argument("y")
+    p.add_argument("z")
+    _add_runtime_args(p)
+    p.set_defaults(fn=_cmd_msa3)
 
     p = sub.add_parser("patterns", help="list the built-in DAG patterns")
     p.add_argument(

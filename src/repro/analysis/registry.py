@@ -24,6 +24,8 @@ __all__ = ["pattern_fixture", "app_fixture", "pattern_names", "app_names"]
 def _pattern_fixtures() -> Dict[str, Callable[[], Dag]]:
     from repro.patterns import PATTERNS
     from repro.patterns.knapsack import KnapsackDag
+    from repro.patterns.tensor import TensorWavefrontDag
+    from repro.patterns.tree import TreeDag
 
     fixtures: Dict[str, Callable[[], Dag]] = {}
     for name, cls in PATTERNS.items():
@@ -32,6 +34,12 @@ def _pattern_fixtures() -> Dict[str, Callable[[], Dag]]:
         else:
             fixtures[name] = lambda cls=cls: cls(12, 12)
     fixtures["knapsack"] = lambda: KnapsackDag([2, 3, 5, 7], 15)
+    # non-grid index domains: not registered in PATTERNS (their
+    # constructors are not (height, width)), so fixed instances here
+    fixtures["tree"] = lambda: TreeDag(
+        [-1, 0, 0, 1, 1, 2, 2, 3, 4, 5, 5, 6]
+    )
+    fixtures["tensor"] = lambda: TensorWavefrontDag((4, 4, 4))
     return fixtures
 
 
@@ -119,7 +127,40 @@ def _app_fixtures() -> Dict[str, Callable[[], Tuple[DPX10App, Dag]]]:
         "egg_drop": lambda: (EggDropApp(3, 12), EggDropDag(3, 12)),
         "viterbi": viterbi,
         "mtp": mtp,
+        "tree_knapsack": _tree_knapsack,
+        "tree_mis": _tree_mis,
+        "msa3": _msa3,
     }
+
+
+def _tree_knapsack() -> Tuple[DPX10App, Dag]:
+    from repro.apps.tree_knapsack import TreeKnapsackApp, make_tree_instance
+    from repro.core.domain import TreeDomain
+    from repro.patterns.tree import TreeDag
+
+    parents, weights, values = make_tree_instance(12, seed=0)
+    dom = TreeDomain(parents)
+    return TreeKnapsackApp(dom, weights, values, 15), TreeDag(dom)
+
+
+def _tree_mis() -> Tuple[DPX10App, Dag]:
+    from repro.apps.tree_knapsack import make_tree_instance
+    from repro.apps.tree_mis import TreeMISApp
+    from repro.core.domain import TreeDomain
+    from repro.patterns.tree import TreeDag
+
+    parents, weights, _ = make_tree_instance(12, seed=0)
+    dom = TreeDomain(parents)
+    return TreeMISApp(dom, weights), TreeDag(dom)
+
+
+def _msa3() -> Tuple[DPX10App, Dag]:
+    from repro.apps.msa import MSA3App, make_msa3_instance
+    from repro.patterns.tensor import TensorWavefrontDag
+
+    x, y, z = make_msa3_instance(5, seed=0)
+    app = MSA3App(x, y, z)
+    return app, TensorWavefrontDag(app.domain.shape)
 
 
 def _lookup(table: Dict[str, Callable], name: str, kind: str):

@@ -23,6 +23,12 @@ __all__ = [
     "edit_distance_matrix",
     "nw_matrix",
     "matrix_chain_matrix",
+    "tree_knapsack_tables",
+    "tree_knapsack_best",
+    "tree_mis_tables",
+    "tree_mis_best",
+    "msa3_matrix",
+    "msa3_score",
 ]
 
 NEG_INF = -(10**15)  # effectively -infinity for integer gap recurrences
@@ -216,3 +222,167 @@ def edit_distance_matrix(x: str, y: str) -> np.ndarray:
                 d[i - 1, j - 1] + cost,
             )
     return d
+
+
+def _tree_children(parents: Sequence[int]):
+    """(children lists, root, bottom-up node order) of a parent vector."""
+    n = len(parents)
+    kids = [[] for _ in range(n)]
+    root = -1
+    for v, p in enumerate(parents):
+        if p is None or p == -1:
+            root = v
+        else:
+            kids[p].append(v)
+    # iterative DFS pre-order; reversed it is a valid bottom-up order
+    order = []
+    stack = [root]
+    while stack:
+        v = stack.pop()
+        order.append(v)
+        stack.extend(kids[v])
+    return kids, root, list(reversed(order))
+
+
+def tree_knapsack_tables(
+    parents: Sequence[int],
+    weights: Sequence[int],
+    values: Sequence[int],
+    capacity: int,
+) -> list:
+    """Precedence-constrained tree knapsack, one table per node.
+
+    ``table[v][c]`` is the best total value of a subtree selection that
+    *contains* ``v``, is connected toward ``v`` (a selected node's parent
+    within the subtree is selected), and weighs at most ``c``;
+    ``NEG_INF`` marks infeasible budgets (``c < weights[v]``).
+    """
+    n = len(parents)
+    assert len(weights) == n and len(values) == n
+    kids, _root, bottom_up = _tree_children(parents)
+    table: list = [None] * n
+    for v in bottom_up:
+        # best value obtainable from children selections within budget c,
+        # given v itself is selected (children may be skipped for 0/0)
+        f = np.zeros(capacity + 1, dtype=np.int64)
+        for u in kids[v]:
+            nf = f.copy()  # nf[c] starts as "skip u entirely"
+            for c in range(capacity + 1):
+                for s in range(1, c + 1):
+                    if table[u][s] > 0 and f[c - s] + table[u][s] > nf[c]:
+                        nf[c] = f[c - s] + table[u][s]
+            f = nf
+        t = np.full(capacity + 1, NEG_INF, dtype=np.int64)
+        w, val = int(weights[v]), int(values[v])
+        for c in range(w, capacity + 1):
+            t[c] = val + f[c - w]
+        table[v] = t
+    return table
+
+
+def tree_knapsack_best(
+    parents: Sequence[int],
+    weights: Sequence[int],
+    values: Sequence[int],
+    capacity: int,
+) -> int:
+    """Best value of any connected-toward-root selection (possibly empty)."""
+    _kids, root, _order = _tree_children(parents)
+    table = tree_knapsack_tables(parents, weights, values, capacity)
+    return int(max(0, int(table[root].max())))
+
+
+def tree_mis_tables(
+    parents: Sequence[int], weights: Sequence[int]
+) -> list:
+    """Max-weight independent set on a tree: ``(take, skip)`` per node.
+
+    ``take`` is the best weight of an independent set in ``v``'s subtree
+    that includes ``v``; ``skip`` the best that excludes it.
+    """
+    n = len(parents)
+    assert len(weights) == n
+    kids, _root, bottom_up = _tree_children(parents)
+    table: list = [None] * n
+    for v in bottom_up:
+        take = int(weights[v]) + sum(table[u][1] for u in kids[v])
+        skip = sum(max(table[u]) for u in kids[v])
+        table[v] = (take, skip)
+    return table
+
+
+def tree_mis_best(parents: Sequence[int], weights: Sequence[int]) -> int:
+    """Weight of the maximum-weight independent set of the tree."""
+    _kids, root, _order = _tree_children(parents)
+    return int(max(tree_mis_tables(parents, weights)[root]))
+
+
+def msa3_matrix(
+    x: str,
+    y: str,
+    z: str,
+    match: int = 1,
+    mismatch: int = -1,
+    gap: int = -2,
+) -> np.ndarray:
+    """3-way MSA (3-D Needleman-Wunsch) with sum-of-pairs scoring.
+
+    ``d[i, j, k]`` is the best score aligning ``x[:i]``, ``y[:j]``,
+    ``z[:k]``; each alignment column is scored as the sum of its three
+    pairwise scores, with a gap-gap pair scoring 0. The answer is
+    ``d[-1, -1, -1]``.
+    """
+    def sub(a: str, b: str) -> int:
+        return match if a == b else mismatch
+
+    nx, ny, nz = len(x), len(y), len(z)
+    d = np.full((nx + 1, ny + 1, nz + 1), NEG_INF, dtype=np.int64)
+    d[0, 0, 0] = 0
+    for i in range(nx + 1):
+        for j in range(ny + 1):
+            for k in range(nz + 1):
+                if i == j == k == 0:
+                    continue
+                best = NEG_INF
+                if i and j and k:
+                    col = (
+                        sub(x[i - 1], y[j - 1])
+                        + sub(x[i - 1], z[k - 1])
+                        + sub(y[j - 1], z[k - 1])
+                    )
+                    best = max(best, d[i - 1, j - 1, k - 1] + col)
+                if i and j:
+                    best = max(
+                        best,
+                        d[i - 1, j - 1, k] + sub(x[i - 1], y[j - 1]) + 2 * gap,
+                    )
+                if i and k:
+                    best = max(
+                        best,
+                        d[i - 1, j, k - 1] + sub(x[i - 1], z[k - 1]) + 2 * gap,
+                    )
+                if j and k:
+                    best = max(
+                        best,
+                        d[i, j - 1, k - 1] + sub(y[j - 1], z[k - 1]) + 2 * gap,
+                    )
+                if i:
+                    best = max(best, d[i - 1, j, k] + 2 * gap)
+                if j:
+                    best = max(best, d[i, j - 1, k] + 2 * gap)
+                if k:
+                    best = max(best, d[i, j, k - 1] + 2 * gap)
+                d[i, j, k] = best
+    return d
+
+
+def msa3_score(
+    x: str,
+    y: str,
+    z: str,
+    match: int = 1,
+    mismatch: int = -1,
+    gap: int = -2,
+) -> int:
+    """The optimal 3-way sum-of-pairs alignment score."""
+    return int(msa3_matrix(x, y, z, match, mismatch, gap)[-1, -1, -1])

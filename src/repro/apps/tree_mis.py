@@ -1,0 +1,73 @@
+"""Max-weight independent set on a tree (:class:`~repro.patterns.tree.TreeDag`).
+
+The textbook two-state tree DP: per node, ``take`` is the best weight of
+an independent set in the subtree that includes the node (so all
+children must be skipped), ``skip`` the best that excludes it (children
+free to take or skip). Each vertex carries the ``(take, skip)`` pair as
+its value — the smallest interesting composite tree-DP state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.apgas.failure import FaultPlan
+from repro.core.config import DPX10Config
+from repro.core.domain import DomainApp, TreeDomain
+from repro.core.runtime import DPX10Runtime, RunReport
+from repro.patterns.tree import TreeDag
+from repro.util.validation import require
+
+__all__ = ["TreeMISApp", "solve_tree_mis"]
+
+State = Tuple[int, int]  # (take, skip)
+
+
+class TreeMISApp(DomainApp[State]):
+    """Bottom-up ``(take, skip)`` pairs; answer = max of the root's pair."""
+
+    value_dtype = None  # object store: each vertex holds a (take, skip) tuple
+
+    def __init__(self, domain: TreeDomain, weights: Sequence[int]) -> None:
+        super().__init__(domain)
+        require(
+            len(weights) == domain.nindices,
+            "weights must have one entry per tree node",
+        )
+        self.weights = [int(w) for w in weights]
+        self.best_weight: Optional[int] = None
+
+    def compute_index(self, index: object, deps: Dict[object, State]) -> State:
+        v = int(index)  # type: ignore[call-overload]
+        take = self.weights[v]
+        skip = 0
+        for u in sorted(deps):
+            c_take, c_skip = deps[u]
+            take += c_skip
+            skip += max(c_take, c_skip)
+        return (take, skip)
+
+    def app_finished(self, dag) -> None:
+        root_cell = self.domain.to_cell(self.domain.root)
+        take, skip = dag.get_vertex(*root_cell).get_result()
+        self.best_weight = int(max(take, skip))
+
+
+def solve_tree_mis(
+    parents: Sequence[int],
+    weights: Sequence[int],
+    config: Optional[DPX10Config] = None,
+    fault_plans: Sequence[FaultPlan] = (),
+) -> Tuple[TreeMISApp, RunReport]:
+    """Run tree MIS under DPX10 on the tree domain.
+
+    When no config is given, the run partitions by the domain's
+    subtree/heavy-path decomposition (``TreeDomain.make_dist``).
+    """
+    dom = TreeDomain(parents)
+    if config is None:
+        config = DPX10Config(custom_dist=dom.make_dist)
+    app = TreeMISApp(dom, weights)
+    dag = TreeDag(dom)
+    report = DPX10Runtime(app, dag, config=config, fault_plans=fault_plans).run()
+    return app, report

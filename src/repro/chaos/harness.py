@@ -1,6 +1,7 @@
 """The differential chaos harness.
 
-One **case** is a (app, pattern, engine, tile shape) configuration; one
+One **case** is a (app, pattern, engine, tile shape, index domain)
+configuration; one
 **trial** runs that case under a seeded :class:`~repro.chaos.schedule.
 ChaosSchedule` and diffs *every result cell* against an independent serial
 reference — the pattern-generic :func:`~repro.chaos.probe.probe_oracle`
@@ -41,8 +42,22 @@ _MAX_DIFFS = 8
 
 #: apps the harness knows how to build and diff. "probe" / "buggy-probe"
 #: run on every pattern; the concrete apps pin their own pattern and act
-#: as end-to-end spot checks with the repro.apps.serial oracles.
-APPS = ("probe", "buggy-probe", "lcs", "sw", "knapsack")
+#: as end-to-end spot checks with the repro.apps.serial oracles. The
+#: tree/tensor apps exercise the non-grid index domains (and the object
+#: value store, for the tree pair) under the same seeded schedules.
+APPS = (
+    "probe",
+    "buggy-probe",
+    "lcs",
+    "sw",
+    "knapsack",
+    "tree-knapsack",
+    "tree-mis",
+    "msa3",
+)
+
+#: the index domain each concrete app runs on (everything else is grid)
+DOMAIN_OF = {"tree-knapsack": "tree", "tree-mis": "tree", "msa3": "tensor"}
 
 
 @dataclass(frozen=True)
@@ -60,6 +75,8 @@ class CaseSpec:
     salt: int = 0
     #: shared-memory transport: None = runtime default, True/False = forced
     shm: Optional[bool] = None
+    #: index domain the app's DAG lives on: "grid", "tree" or "tensor"
+    domain: str = "grid"
 
     def label(self) -> str:
         tile = (
@@ -68,9 +85,10 @@ class CaseSpec:
             else ""
         )
         shm = "" if self.shm is None else f" shm={self.shm}"
+        dom = "" if self.domain == "grid" else f" domain={self.domain}"
         return (
             f"{self.app}:{self.pattern} engine={self.engine} "
-            f"places={self.nplaces} {self.height}x{self.width}{tile}{shm}"
+            f"places={self.nplaces} {self.height}x{self.width}{tile}{shm}{dom}"
         )
 
     def to_dict(self) -> dict:
@@ -177,6 +195,40 @@ def build_case(spec: CaseSpec):
         dag = KnapsackDag(weights, capacity)
         ref = knapsack_matrix(weights, values, capacity)
         return KnapsackApp(weights, values, capacity), dag, _matrix_cells(dag, ref)
+    if spec.app in ("tree-knapsack", "tree-mis"):
+        from repro.apps.serial import tree_knapsack_tables, tree_mis_tables
+        from repro.apps.tree_knapsack import TreeKnapsackApp, make_tree_instance
+        from repro.apps.tree_mis import TreeMISApp
+        from repro.core.domain import TreeDomain
+        from repro.patterns.tree import TreeDag
+
+        n = max(2, spec.height)
+        parents, weights, values = make_tree_instance(n, seed=spec.salt)
+        dom = TreeDomain(parents)
+        dag = TreeDag(dom)
+        if spec.app == "tree-knapsack":
+            capacity = max(4, spec.width - 1)
+            tables = tree_knapsack_tables(parents, weights, values, capacity)
+            app = TreeKnapsackApp(dom, weights, values, capacity)
+        else:
+            tables = tree_mis_tables(parents, weights)
+            app = TreeMISApp(dom, weights)
+        return app, dag, {dom.to_cell(v): tables[v] for v in range(n)}
+    if spec.app == "msa3":
+        from repro.apps.msa import MSA3App, make_msa3_instance
+        from repro.apps.serial import msa3_matrix
+        from repro.patterns.tensor import TensorWavefrontDag
+
+        length = max(2, min(spec.height, spec.width) // 3)
+        x, y, z = make_msa3_instance(length, seed=spec.salt)
+        app = MSA3App(x, y, z)
+        dag = TensorWavefrontDag(app.domain.shape)
+        ref = msa3_matrix(x, y, z)
+        expected = {
+            app.domain.to_cell(idx): int(ref[idx])
+            for idx in app.domain.indices()
+        }
+        return app, dag, expected
     raise ValueError(f"unknown harness app {spec.app!r}; known: {APPS}")
 
 
@@ -199,6 +251,32 @@ def _matrix_cells(dag, matrix) -> Dict[Coord, object]:
     }
 
 
+def _show(value: object) -> object:
+    """A plain, comparable rendering of a cell value for diff reports."""
+    import numpy as np
+
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, tuple):
+        return tuple(_show(v) for v in value)
+    return int(value)  # type: ignore[call-overload]
+
+
+def _values_differ(exp: object, got: object) -> bool:
+    """Cell-value inequality across the value types the apps use.
+
+    Grid/tensor apps store scalars; the tree apps store numpy arrays
+    (knapsack budget tables) and tuples (MIS ``(take, skip)`` pairs).
+    """
+    import numpy as np
+
+    if isinstance(exp, np.ndarray) or isinstance(got, np.ndarray):
+        return not np.array_equal(exp, got)
+    if isinstance(exp, tuple) or isinstance(got, tuple):
+        return _show(exp) != _show(got)
+    return int(got) != int(exp)  # type: ignore[call-overload]
+
+
 def run_case(spec: CaseSpec, schedule: ChaosSchedule) -> CaseResult:
     """Run one trial and diff every cell against the serial reference."""
     from repro.core.config import DPX10Config
@@ -206,12 +284,17 @@ def run_case(spec: CaseSpec, schedule: ChaosSchedule) -> CaseResult:
 
     try:
         app, dag, expected = build_case(spec)
+        # tree DAGs partition by subtree, exactly as the apps' solvers do
+        # by default, so recovery re-partitions over the survivors too
+        dom = dag.domain
+        custom_dist = dom.make_dist if dom.kind == "tree" else None
         config = DPX10Config(
             nplaces=spec.nplaces,
             engine=spec.engine,
             tile_shape=spec.tile_shape,
             chaos=None if schedule.is_empty else schedule,
             shm=spec.shm,
+            custom_dist=custom_dist,
         )
         runtime = DPX10Runtime(app, dag, config)
         # tiling verifies the coarsened pattern lazily; probe it up front
@@ -244,10 +327,10 @@ def run_case(spec: CaseSpec, schedule: ChaosSchedule) -> CaseResult:
         result.injected = dict(runtime.chaos.counts)
     for coord, exp in sorted(expected.items()):
         got = dag.get_vertex(*coord).get_result()
-        if int(got) != int(exp):
+        if _values_differ(exp, got):
             result.mismatch_count += 1
             if len(result.mismatches) < _MAX_DIFFS:
-                result.mismatches.append((coord, int(exp), int(got)))
+                result.mismatches.append((coord, _show(exp), _show(got)))
     if result.mismatch_count:
         result.ok = False
     return result
@@ -292,6 +375,7 @@ def sweep(
                     width=width,
                     tile_shape=tile_shape,
                     shm=shm,
+                    domain=DOMAIN_OF.get(app, "grid"),
                 )
                 try:
                     _, dag, expected = build_case(spec0)
@@ -318,6 +402,7 @@ def sweep(
                         width=width,
                         tile_shape=tile_shape,
                         shm=shm,
+                        domain=DOMAIN_OF.get(app, "grid"),
                     )
                     for seed in seeds:
                         schedule = ChaosSchedule.generate(

@@ -15,12 +15,15 @@ their unused half.
 
 from __future__ import annotations
 
-from typing import Generic, List, Optional, Sequence, Tuple, TypeVar
+from typing import TYPE_CHECKING, Generic, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.api import Vertex, VertexId
 from repro.dist.region import Region2D
 from repro.errors import DPX10Error, PatternError
 from repro.util.validation import require
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.domain import IndexDomain
 
 __all__ = ["Dag", "ResultView", "VALIDATE_ENUMERATION_THRESHOLD"]
 
@@ -62,13 +65,45 @@ class ResultView(Generic[T]):
 
 
 class Dag(Generic[T]):
-    """Abstract DAG over a ``height x width`` vertex matrix."""
+    """Abstract DAG over a ``height x width`` vertex matrix.
 
-    def __init__(self, height: int, width: int) -> None:
+    The matrix is the *layout*: every vertex is addressed by a 2-D cell
+    ``(i, j)`` of a rectangular region, which is what the distributions,
+    tiling, shm planes and recovery partition. Patterns whose natural
+    index space is not a matrix (trees, k-D tensors) pass an
+    :class:`~repro.core.domain.IndexDomain` mapping their native indices
+    onto layout cells; the default is the identity
+    :class:`~repro.core.domain.GridDomain`, so existing 2-D patterns are
+    unchanged. Error messages and traces name cells through the domain
+    (``describe_cell``), e.g. ``node 7`` for a tree vertex.
+    """
+
+    def __init__(
+        self,
+        height: int,
+        width: int,
+        domain: Optional["IndexDomain"] = None,
+    ) -> None:
         require(height >= 1 and width >= 1, f"DAG must be at least 1x1, got {height}x{width}")
         self.height = height
         self.width = width
+        self._domain: Optional["IndexDomain"] = domain
         self._results: Optional[ResultView[T]] = None
+
+    @property
+    def domain(self) -> "IndexDomain":
+        """The index domain this pattern maps over (default: the grid)."""
+        if self._domain is None:
+            from repro.core.domain import GridDomain
+
+            self._domain = GridDomain(self.height, self.width)
+        return self._domain
+
+    def describe_cell(self, i: int, j: int) -> str:
+        """Name a cell in domain terms (grid tuple, tensor index, node id)."""
+        if not self.contains(i, j):
+            return f"({i}, {j})"
+        return self.domain.describe_cell(i, j)
 
     # -- to implement in subclasses -------------------------------------------
     def get_dependency(self, i: int, j: int) -> List[VertexId]:
@@ -261,6 +296,9 @@ class Dag(Generic[T]):
             if self.is_active(i, j):
                 active.add((i, j))
 
+        # error messages name cells through the domain ("node 7" for a tree
+        # vertex, "(1, 2, 0)" for a tensor index) instead of raw row/col
+        name = self.describe_cell
         deps = {}
         for i, j in active:
             dep_list = self.get_dependency(i, j)
@@ -268,22 +306,22 @@ class Dag(Generic[T]):
             for d in dep_list:
                 require(
                     self.contains(d.i, d.j),
-                    f"dependency {tuple(d)} of ({i}, {j}) is out of bounds",
+                    f"dependency {name(d.i, d.j)} of {name(i, j)} is out of bounds",
                     PatternError,
                 )
                 require(
                     (d.i, d.j) != (i, j),
-                    f"({i}, {j}) depends on itself",
+                    f"{name(i, j)} depends on itself",
                     PatternError,
                 )
                 require(
                     (d.i, d.j) in active,
-                    f"({i}, {j}) depends on inactive cell {tuple(d)}",
+                    f"{name(i, j)} depends on inactive cell {name(d.i, d.j)}",
                     PatternError,
                 )
                 require(
                     (d.i, d.j) not in seen,
-                    f"({i}, {j}) lists dependency {tuple(d)} twice",
+                    f"{name(i, j)} lists dependency {name(d.i, d.j)} twice",
                     PatternError,
                 )
                 seen.add((d.i, d.j))
@@ -297,12 +335,12 @@ class Dag(Generic[T]):
             for a in a_list:
                 require(
                     self.contains(a.i, a.j) and (a.i, a.j) in active,
-                    f"anti-dependency {tuple(a)} of ({i}, {j}) is invalid",
+                    f"anti-dependency {name(a.i, a.j)} of {name(i, j)} is invalid",
                     PatternError,
                 )
                 require(
                     (a.i, a.j) not in a_set,
-                    f"({i}, {j}) lists anti-dependency {tuple(a)} twice",
+                    f"{name(i, j)} lists anti-dependency {name(a.i, a.j)} twice",
                     PatternError,
                 )
                 a_set.add((a.i, a.j))
@@ -311,15 +349,16 @@ class Dag(Generic[T]):
             for d in deps[v]:
                 require(
                     v in anti[d],
-                    f"{d} -> {v} edge missing from get_anti_dependency({d[0]}, {d[1]})",
+                    f"{name(*d)} -> {name(*v)} edge missing from "
+                    f"get_anti_dependency({name(*d)})",
                     PatternError,
                 )
         for v in active:
             for a in anti[v]:
                 require(
                     v in deps[a],
-                    f"get_anti_dependency({v[0]}, {v[1]}) lists {a}, but {a} "
-                    f"does not depend on {v}",
+                    f"get_anti_dependency({name(*v)}) lists {name(*a)}, "
+                    f"but {name(*a)} does not depend on {name(*v)}",
                     PatternError,
                 )
 

@@ -1267,7 +1267,13 @@ def _run_mp_pipes(
                         stats.worker_compute_seconds[int(label_values[0])] = seconds
         missing = [c for c in owner if c not in results]
         if missing:
-            raise DPX10Error(f"{len(missing)} vertices missing after run")
+            # name the first few stragglers in domain terms ("node 7" on a
+            # tree domain) — raw layout coords are meaningless to the user
+            shown = ", ".join(dag.describe_cell(*c) for c in sorted(missing)[:5])
+            raise DPX10Error(
+                f"{len(missing)} vertices missing after run "
+                f"(first: {shown})"
+            )
         stats.final_alive_places = sum(1 for pr in procs.values() if pr.alive)
         if registry.enabled:
             _publish_master_metrics(registry, stats)

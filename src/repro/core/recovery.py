@@ -22,6 +22,14 @@ Concretely:
    *unfinished* dependencies and rebuild the ready lists.
 
 Everything a dead place held is gone and will be recomputed.
+
+Recovery is domain-agnostic: it walks ``dag.region`` and the pattern's
+``get_dependency`` over opaque layout cells, so tree and tensor domains
+(:mod:`repro.core.domain`) recover exactly like grids. Domain-aware
+partitions survive too — ``config.make_dist`` re-invokes a
+``custom_dist`` factory (e.g. ``TreeDomain.make_dist``) over the
+survivor set, rebuilding the subtree/heavy-path decomposition on the
+remaining places.
 """
 
 from __future__ import annotations

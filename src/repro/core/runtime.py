@@ -499,6 +499,11 @@ class DPX10Runtime:
             cell_offsets = getattr(self.dag, "offsets", None)
             if cell_offsets:
                 trace.meta["offsets"] = [list(o) for o in cell_offsets]
+        if trace is not None and self.dag.domain.kind != "grid":
+            # non-grid domains stamp their kind so trace consumers can
+            # decode cell coordinates back to native indices; grid runs
+            # omit the key, keeping their exported traces byte-identical
+            trace.meta["domain"] = self.dag.domain.kind
         state.shm_arena = shm_arena
         state.trace = trace
         state.metrics = self.metrics

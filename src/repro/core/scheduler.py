@@ -15,6 +15,12 @@ Under tile-granular execution (``DPX10Config(tile_shape=...)``) the same
 strategies decide placement once per *tile*: ``vid`` is the tile index,
 ``home`` the tile's home place, and ``dep_homes`` carries one entry per
 halo cell, so mincomm weighs whole tile edges instead of single values.
+
+``vid`` is a *layout cell* and is treated as an opaque key: strategies
+only ever compare the home places of its dependencies, never interpret
+the coordinates. That is what lets the same three strategies schedule
+grid, tensor, and tree domains (see :mod:`repro.core.domain`) unchanged
+— a tree vertex's ``vid`` is just the layout cell its node embeds to.
 """
 
 from __future__ import annotations

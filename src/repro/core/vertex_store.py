@@ -55,6 +55,8 @@ class VertexStore:
     ) -> None:
         self.place = place
         self.place_id = place.id
+        # errors name cells in domain terms ("node 7" on a tree domain)
+        self._describe = dag.describe_cell
         coords: List[Coord] = list(dist.owned_coords(place.id))
         self._slot: Dict[Coord, int] = {c: k for k, c in enumerate(coords)}
         self.coords = coords
@@ -198,7 +200,7 @@ class VertexStore:
             _sanitize.check_read(i, j, owner_place=self.place_id)
         k = self._slot[(i, j)]
         if not self.finished[k]:
-            raise DPX10Error(f"vertex ({i}, {j}) is not finished")
+            raise DPX10Error(f"vertex {self._describe(i, j)} is not finished")
         return self.values[k]
 
     def set_result(self, i: int, j: int, value: Any) -> None:
@@ -242,7 +244,7 @@ class VertexStore:
         ks = [slot[c] for c in coords]
         if ks and not self.finished[ks].all():
             bad = next(c for c, k in zip(coords, ks) if not self.finished[k])
-            raise DPX10Error(f"vertex {bad} is not finished")
+            raise DPX10Error(f"vertex {self._describe(*bad)} is not finished")
         values = self.values
         return [values[k] for k in ks]
 

@@ -37,6 +37,8 @@ from repro.patterns.grid import GridDag
 from repro.patterns.interval import IntervalDag
 from repro.patterns.knapsack import KnapsackDag
 from repro.patterns.row_chain import RowChainDag
+from repro.patterns.tensor import TensorWavefrontDag, dense_corner_offsets
+from repro.patterns.tree import TreeDag
 from repro.patterns.triangular import TriangularDag
 
 __all__ = [
@@ -54,5 +56,8 @@ __all__ = [
     "IntervalDag",
     "KnapsackDag",
     "RowChainDag",
+    "TensorWavefrontDag",
+    "dense_corner_offsets",
+    "TreeDag",
     "TriangularDag",
 ]

@@ -21,8 +21,10 @@ class TestAnalyzeAll:
         assert "lcs" in out and "cyk" in out
 
     def test_opaque_count_reported(self, capsys):
+        # cyk, egg_drop, matrix_chain, viterbi + the three DomainApp
+        # decoders (msa3, tree_knapsack, tree_mis)
         assert main(["analyze", "--all"]) == 0
-        assert "4 OPAQUE" in capsys.readouterr().out
+        assert "7 OPAQUE" in capsys.readouterr().out
 
     def test_single_app_with_kernel_dump(self, capsys):
         assert main(["analyze", "--app", "lcs", "--dump-kernel"]) == 0

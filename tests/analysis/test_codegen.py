@@ -18,7 +18,18 @@ from repro.core.runtime import DPX10Runtime
 VECTORIZABLE = [
     n
     for n in app_names()
-    if n not in ("cyk", "egg_drop", "matrix_chain", "viterbi")
+    if n
+    not in (
+        "cyk",
+        "egg_drop",
+        "matrix_chain",
+        "viterbi",
+        # the DomainApp decoders are OPAQUE by design (DP405): their
+        # compute() translates cells through the index domain
+        "msa3",
+        "tree_knapsack",
+        "tree_mis",
+    )
 ]
 TILE_SHAPES = [(4, 4), (5, 3), (2, 7)]
 

@@ -1,0 +1,136 @@
+"""3-way MSA (3-D Needleman-Wunsch) vs its serial oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apgas.failure import FaultPlan
+from repro.apps.msa import make_msa3_instance, solve_msa3
+from repro.apps.serial import msa3_matrix, msa3_score
+from repro.core.config import DPX10Config
+
+DNA = st.text(alphabet="ACGT", min_size=0, max_size=5)
+SETTINGS = dict(max_examples=15, deadline=None)
+
+
+# ------------------------------------------------- hand-computed oracles
+
+
+def test_oracle_hand_computed():
+    # one identical column: three pairwise matches
+    assert msa3_score("A", "A", "A") == 3
+    # empty alignment scores zero
+    assert msa3_score("", "", "") == 0
+    # one residue vs two empties: two gap pairs + one gap-gap pair
+    assert msa3_score("A", "", "") == -4
+    # all-different column: three mismatches beats gapping each out
+    assert msa3_score("A", "C", "G") == -3
+    # two match + one gap column-pair structure
+    # x=AC y=AC z=A: columns (A,A,A) then (C,C,-): 3 + (1 - 2 - 2) = 0
+    assert msa3_score("AC", "AC", "A") == 0
+
+
+def test_oracle_matrix_shape_and_corner():
+    d = msa3_matrix("ACG", "AC", "A")
+    assert d.shape == (4, 3, 2)
+    assert d[0, 0, 0] == 0
+    assert d[3, 2, 1] == msa3_score("ACG", "AC", "A")
+
+
+def test_oracle_is_symmetric_under_sequence_swap():
+    x, y, z = make_msa3_instance(4, seed=9)
+    s = msa3_score(x, y, z)
+    assert msa3_score(y, x, z) == s
+    assert msa3_score(z, y, x) == s
+
+
+# --------------------------------------------------- framework == oracle
+
+
+@settings(**SETTINGS)
+@given(x=DNA, y=DNA, z=DNA)
+def test_msa3_matches_oracle(x, y, z):
+    app, _ = solve_msa3(x, y, z)
+    assert app.best_score == msa3_score(x, y, z)
+
+
+@settings(max_examples=8, deadline=None)
+@given(x=DNA, y=DNA, z=DNA)
+def test_msa3_matches_oracle_threaded_3_places(x, y, z):
+    cfg = DPX10Config(nplaces=3, engine="threaded")
+    app, _ = solve_msa3(x, y, z, config=cfg)
+    assert app.best_score == msa3_score(x, y, z)
+
+
+@pytest.mark.parametrize("nplaces", [1, 4])
+def test_msa3_place_counts(nplaces):
+    x, y, z = make_msa3_instance(6, seed=2)
+    app, _ = solve_msa3(x, y, z, config=DPX10Config(nplaces=nplaces))
+    assert app.best_score == msa3_score(x, y, z)
+
+
+def test_msa3_on_mp_engine():
+    x, y, z = make_msa3_instance(5, seed=4)
+    app, _ = solve_msa3(x, y, z, config=DPX10Config(nplaces=3, engine="mp"))
+    assert app.best_score == msa3_score(x, y, z)
+
+
+def test_msa3_custom_scoring():
+    # with zero gap penalty, aligning "AA" against empties costs nothing
+    app, _ = solve_msa3("AA", "", "", gap=0)
+    assert app.best_score == 0
+    # heavier mismatches push all-different columns toward gaps
+    app2, _ = solve_msa3("A", "C", "G", mismatch=-10)
+    assert app2.best_score == msa3_score("A", "C", "G", mismatch=-10)
+
+
+# --------------------------------------------------------------- faults
+
+
+@pytest.mark.parametrize("engine", ["inline", "threaded"])
+def test_msa3_kill_and_recover(engine):
+    x, y, z = make_msa3_instance(6, seed=7)
+    cfg = DPX10Config(nplaces=4, engine=engine)
+    app, report = solve_msa3(
+        x, y, z, config=cfg, fault_plans=[FaultPlan(3, at_fraction=0.4)]
+    )
+    assert report.recoveries >= 1
+    assert app.best_score == msa3_score(x, y, z)
+
+
+def test_tensor_chaos_pinned_seed():
+    """The pinned kill-and-recover case CI runs on the tensor domain."""
+    from repro.chaos.harness import sweep
+
+    results = sweep(
+        apps=("msa3",),
+        patterns=("diagonal",),
+        engines=("inline",),
+        seeds=(1,),
+        nplaces=3,
+        height=10,
+        width=10,
+    )
+    assert results and all(r.ok and not r.skipped for r in results)
+    assert any(r.recoveries >= 1 for r in results)
+
+
+# ------------------------------------------------------------ edge cases
+
+
+def test_all_empty_sequences():
+    app, _ = solve_msa3("", "", "")
+    assert app.best_score == 0
+
+
+def test_single_characters():
+    app, _ = solve_msa3("A", "A", "C")
+    # (A,A) match + (A,C) + (A,C) mismatches = 1 - 1 - 1
+    assert app.best_score == msa3_score("A", "A", "C") == -1
+
+
+def test_make_instance_is_deterministic():
+    assert make_msa3_instance(6, seed=1) == make_msa3_instance(6, seed=1)
+    assert make_msa3_instance(6, seed=1) != make_msa3_instance(6, seed=2)
+    x, y, z = make_msa3_instance(0)
+    assert (x, y, z) == ("", "", "")

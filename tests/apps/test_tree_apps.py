@@ -1,0 +1,215 @@
+"""Tree DP apps vs their serial oracles, across engines and faults."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apgas.failure import FaultPlan
+from repro.apps.serial import (
+    tree_knapsack_best,
+    tree_knapsack_tables,
+    tree_mis_best,
+    tree_mis_tables,
+)
+from repro.apps.tree_knapsack import make_tree_instance, solve_tree_knapsack
+from repro.apps.tree_mis import solve_tree_mis
+from repro.core.config import DPX10Config
+
+SETTINGS = dict(max_examples=15, deadline=None)
+
+
+def random_parents(data, n):
+    return [-1] + [
+        data.draw(st.integers(0, v - 1), label=f"parent[{v}]")
+        for v in range(1, n)
+    ]
+
+
+# ------------------------------------------------- hand-computed oracles
+
+
+def test_knapsack_oracle_hand_computed():
+    # root 0 (w=2, v=10); children 1 (w=1, v=6) and 2 (w=3, v=12)
+    parents = [-1, 0, 0]
+    weights = [2, 1, 3]
+    values = [10, 6, 12]
+    # capacity 5: root+child1 = 16 beats root+child2 = 22? w=5 fits: 22
+    assert tree_knapsack_best(parents, weights, values, 5) == 22
+    # capacity 6: all three fit (w=6) for 28
+    assert tree_knapsack_best(parents, weights, values, 6) == 28
+    # capacity 1: even the root alone does not fit -> empty selection
+    assert tree_knapsack_best(parents, weights, values, 1) == 0
+    # the root table marks infeasible budgets below its own weight
+    tables = tree_knapsack_tables(parents, weights, values, 5)
+    assert tables[0][0] < 0 and tables[0][1] < 0
+    assert tables[0][2] == 10  # root alone
+    assert tables[0][3] == 16  # root + child 1
+    assert tables[0][5] == 22  # root + child 2
+
+
+def test_knapsack_oracle_respects_precedence():
+    # chain 0 <- 1 <- 2: node 2 is only reachable through 1
+    parents = [-1, 0, 1]
+    weights = [1, 5, 1]
+    values = [1, 1, 100]
+    # capacity 2 cannot afford node 1, so node 2's value is locked out
+    assert tree_knapsack_best(parents, weights, values, 2) == 1
+    assert tree_knapsack_best(parents, weights, values, 7) == 102
+
+
+def test_mis_oracle_hand_computed():
+    # star: center 0 with three leaves
+    assert tree_mis_best([-1, 0, 0, 0], [10, 4, 4, 4]) == 12
+    assert tree_mis_best([-1, 0, 0, 0], [20, 4, 4, 4]) == 20
+    # path 0-1-2: endpoints beat the middle
+    assert tree_mis_best([-1, 0, 1], [5, 9, 5]) == 10
+    take, skip = tree_mis_tables([-1, 0, 1], [5, 9, 5])[0]
+    assert (take, skip) == (10, 9)
+    # single node
+    assert tree_mis_best([-1], [7]) == 7
+
+
+# --------------------------------------------------- framework == oracle
+
+
+@settings(**SETTINGS)
+@given(data=st.data(), n=st.integers(1, 12), capacity=st.integers(0, 12))
+def test_tree_knapsack_matches_oracle(data, n, capacity):
+    parents = random_parents(data, n)
+    weights = data.draw(
+        st.lists(st.integers(1, 6), min_size=n, max_size=n)
+    )
+    values = data.draw(
+        st.lists(st.integers(1, 40), min_size=n, max_size=n)
+    )
+    app, _ = solve_tree_knapsack(parents, weights, values, capacity)
+    assert app.best_value == tree_knapsack_best(
+        parents, weights, values, capacity
+    )
+
+
+@settings(**SETTINGS)
+@given(data=st.data(), n=st.integers(1, 16))
+def test_tree_mis_matches_oracle(data, n):
+    parents = random_parents(data, n)
+    weights = data.draw(
+        st.lists(st.integers(0, 30), min_size=n, max_size=n)
+    )
+    app, _ = solve_tree_mis(parents, weights)
+    assert app.best_weight == tree_mis_best(parents, weights)
+
+
+@pytest.mark.parametrize("engine", ["inline", "threaded"])
+@pytest.mark.parametrize("nplaces", [1, 3])
+def test_tree_apps_across_engines_and_places(engine, nplaces):
+    parents, weights, values = make_tree_instance(17, seed=5)
+    cfg = DPX10Config(nplaces=nplaces, engine=engine)
+    app, _ = solve_tree_knapsack(parents, weights, values, 20, cfg)
+    assert app.best_value == tree_knapsack_best(parents, weights, values, 20)
+    app2, _ = solve_tree_mis(parents, weights, cfg)
+    assert app2.best_weight == tree_mis_best(parents, weights)
+
+
+def test_tree_apps_on_mp_engine():
+    parents, weights, values = make_tree_instance(12, seed=3)
+    cfg = DPX10Config(nplaces=3, engine="mp")
+    app, _ = solve_tree_knapsack(parents, weights, values, 15, cfg)
+    assert app.best_value == tree_knapsack_best(parents, weights, values, 15)
+    app2, _ = solve_tree_mis(parents, weights, cfg)
+    assert app2.best_weight == tree_mis_best(parents, weights)
+
+
+def test_full_tables_match_oracle():
+    parents, weights, values = make_tree_instance(10, seed=8)
+    app, _ = solve_tree_knapsack(parents, weights, values, 9)
+    expected = tree_knapsack_tables(parents, weights, values, 9)
+    # best_value is derived from the root table; spot-check it directly
+    root_table = expected[0]
+    assert app.best_value == max(0, int(root_table.max()))
+    assert all(isinstance(t, np.ndarray) for t in expected)
+
+
+# --------------------------------------------------------------- faults
+
+
+@pytest.mark.parametrize("engine", ["inline", "threaded"])
+def test_tree_knapsack_kill_and_recover(engine):
+    parents, weights, values = make_tree_instance(18, seed=11)
+    dom_cfg = DPX10Config(nplaces=4, engine=engine)
+    app, report = solve_tree_knapsack(
+        parents,
+        weights,
+        values,
+        16,
+        dom_cfg,
+        fault_plans=[FaultPlan(2, at_fraction=0.5)],
+    )
+    assert report.recoveries >= 1
+    assert app.best_value == tree_knapsack_best(parents, weights, values, 16)
+
+
+def test_tree_mis_kill_and_recover_with_subtree_dist():
+    from repro.core.domain import TreeDomain
+
+    parents, weights, _ = make_tree_instance(18, seed=11)
+    dom = TreeDomain(parents)
+    cfg = DPX10Config(nplaces=4, custom_dist=dom.make_dist)
+    app, report = solve_tree_mis(
+        parents, weights, cfg, fault_plans=[FaultPlan(1, at_fraction=0.4)]
+    )
+    assert report.recoveries >= 1
+    assert app.best_weight == tree_mis_best(parents, weights)
+
+
+def test_tree_chaos_pinned_seed():
+    """The pinned kill-and-recover case CI runs on the tree domain."""
+    from repro.chaos.harness import sweep
+
+    results = sweep(
+        apps=("tree-knapsack", "tree-mis"),
+        patterns=("diagonal",),
+        engines=("inline",),
+        seeds=(1,),
+        nplaces=3,
+        height=10,
+        width=10,
+    )
+    assert results and all(r.ok and not r.skipped for r in results)
+    assert any(r.recoveries >= 1 for r in results)
+
+
+# ------------------------------------------------------------ edge cases
+
+
+def test_single_node_tree():
+    app, _ = solve_tree_knapsack([-1], [3], [42], 3)
+    assert app.best_value == 42
+    app2, _ = solve_tree_knapsack([-1], [3], [42], 2)
+    assert app2.best_value == 0  # does not fit
+    app3, _ = solve_tree_mis([-1], [9])
+    assert app3.best_weight == 9
+
+
+def test_path_tree():
+    n = 12
+    parents = [-1] + list(range(n - 1))
+    weights = [1] * n
+    values = list(range(1, n + 1))
+    app, _ = solve_tree_knapsack(parents, weights, values, n)
+    assert app.best_value == sum(values)  # the whole chain fits
+    app2, _ = solve_tree_mis(parents, weights)
+    assert app2.best_weight == tree_mis_best(parents, weights)
+
+
+def test_capacity_zero():
+    parents, weights, values = make_tree_instance(6, seed=0)
+    app, _ = solve_tree_knapsack(parents, weights, values, 0)
+    assert app.best_value == 0
+
+
+def test_malformed_tree_is_rejected_before_any_run():
+    with pytest.raises(ValueError, match="unreachable"):
+        solve_tree_mis([-1, 2, 1], [1, 1, 1])
+    with pytest.raises(ValueError, match="exactly one root"):
+        solve_tree_knapsack([-1, -1], [1, 1], [1, 1], 2)

@@ -1,0 +1,338 @@
+"""The cross-domain battery: index domains and their layout embeddings.
+
+Every domain must be a true bijection between native indices and active
+layout cells; GridDomain must be the identity (so existing apps are
+untouched); TreeDomain/TensorDomain must reject malformed inputs with
+clear errors instead of hanging or silently relabeling.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dag import Dag
+from repro.core.domain import GridDomain, TensorDomain, TreeDomain
+from repro.errors import DPX10Error, PatternError
+from repro.patterns.tensor import TensorWavefrontDag, dense_corner_offsets
+from repro.patterns.tree import TreeDag
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+def _roundtrip(dom):
+    """Assert to_cell/from_cell are inverse over the whole domain."""
+    seen = set()
+    for idx in dom.indices():
+        cell = dom.to_cell(idx)
+        assert dom.from_cell(*cell) == idx
+        assert dom.cell_active(*cell)
+        assert dom.contains_index(idx)
+        seen.add(cell)
+    assert len(seen) == dom.nindices
+    h, w = dom.layout_shape
+    active = sum(
+        dom.cell_active(i, j) for i in range(h) for j in range(w)
+    )
+    assert active == dom.nindices
+
+
+# ---------------------------------------------------------------- grid
+
+
+def test_grid_is_identity():
+    d = GridDomain(3, 5)
+    assert d.kind == "grid"
+    assert d.layout_shape == (3, 5)
+    assert d.to_cell((2, 4)) == (2, 4)
+    assert d.from_cell(1, 3) == (1, 3)
+    assert d.describe_cell(1, 3) == "(1, 3)"
+    _roundtrip(d)
+
+
+def test_grid_rejects_empty():
+    with pytest.raises(ValueError, match="at least 1x1"):
+        GridDomain(0, 4)
+
+
+def test_dag_default_domain_is_grid():
+    dag = Dag(4, 6)
+    assert dag.domain.kind == "grid"
+    assert dag.domain.layout_shape == (4, 6)
+    assert dag.describe_cell(2, 3) == "(2, 3)"
+
+
+# -------------------------------------------------------------- tensor
+
+
+def test_tensor_layout_example():
+    d = TensorDomain((2, 3, 4))
+    assert d.kind == "tensor"
+    assert d.layout_shape == (6, 4)
+    assert d.to_cell((1, 2, 3)) == (5, 3)
+    assert d.from_cell(5, 3) == (1, 2, 3)
+    assert d.describe_cell(5, 3) == "(1, 2, 3)"
+    _roundtrip(d)
+
+
+def test_tensor_one_dimensional():
+    d = TensorDomain((5,))
+    assert d.layout_shape == (1, 5)
+    assert d.to_cell((3,)) == (0, 3)
+    _roundtrip(d)
+
+
+def test_tensor_size_one_dims():
+    _roundtrip(TensorDomain((1, 1, 1)))
+    _roundtrip(TensorDomain((1, 4, 1)))
+    d = TensorDomain((4, 1))
+    assert d.layout_shape == (4, 1)
+    _roundtrip(d)
+
+
+def test_tensor_rejects_empty():
+    with pytest.raises(ValueError, match="empty domains are not allowed"):
+        TensorDomain((3, 0, 2))
+    with pytest.raises(ValueError, match="at least one dimension"):
+        TensorDomain(())
+
+
+def test_tensor_contains_index():
+    d = TensorDomain((2, 3))
+    assert d.contains_index((1, 2))
+    assert not d.contains_index((2, 0))
+    assert not d.contains_index((0, 0, 0))
+    assert not d.contains_index(7)
+
+
+@settings(**SETTINGS)
+@given(shape=st.lists(st.integers(1, 4), min_size=1, max_size=4))
+def test_tensor_roundtrip_random_shapes(shape):
+    _roundtrip(TensorDomain(tuple(shape)))
+
+
+def test_tensor_wavefront_dag_validates():
+    dag = TensorWavefrontDag((3, 3, 3))
+    dag.validate()
+    assert sorted(dag.get_dependency(0, 0)) == []
+    # the far corner depends on all 7 in-bounds corner neighbours
+    corner = dag.domain.to_cell((2, 2, 2))
+    assert len(dag.get_dependency(*corner)) == 7
+
+
+def test_tensor_wavefront_rejects_bad_offsets():
+    with pytest.raises(PatternError, match="nonzero"):
+        TensorWavefrontDag((2, 2), offsets=[(0, 0)])
+    with pytest.raises(PatternError, match="<= 0"):
+        TensorWavefrontDag((2, 2), offsets=[(1, -1)])
+    with pytest.raises(PatternError, match="components"):
+        TensorWavefrontDag((2, 2), offsets=[(-1, 0, 0)])
+
+
+def test_dense_corner_offsets():
+    assert dense_corner_offsets(1) == ((-1,),)
+    assert len(dense_corner_offsets(3)) == 7
+    assert (0, 0, 0) not in dense_corner_offsets(3)
+
+
+# ---------------------------------------------------------------- tree
+
+
+def test_tree_layout_example():
+    t = TreeDomain([-1, 0, 0, 1, 1])
+    assert t.kind == "tree"
+    assert t.root == 0
+    assert t.children(0) == (1, 2)
+    assert t.parent(4) == 1
+    assert (t.height_of(0), t.height_of(1), t.height_of(2)) == (2, 1, 0)
+    # leaves 2, 3, 4 share row 0 in id order
+    assert t.level(0) == (2, 3, 4)
+    assert t.to_cell(3) == (0, 1)
+    assert t.describe_cell(0, 1) == "node 3"
+    _roundtrip(t)
+
+
+def test_tree_padding_cells():
+    t = TreeDomain([-1, 0, 0, 1, 1])  # 3 leaves, 1 mid, 1 root -> 3x3 layout
+    assert t.layout_shape == (3, 3)
+    assert not t.cell_active(2, 1)
+    assert "padding" in t.describe_cell(2, 1)
+    with pytest.raises(KeyError, match="padding"):
+        t.from_cell(2, 1)
+
+
+def test_tree_single_node():
+    t = TreeDomain([-1])
+    assert t.layout_shape == (1, 1)
+    assert t.root == 0 and t.post_order == (0,)
+    _roundtrip(t)
+
+
+def test_tree_path():
+    n = 40
+    t = TreeDomain([-1] + list(range(n - 1)))  # 0 <- 1 <- 2 <- ...
+    assert t.layout_shape == (n, 1)
+    assert t.height_of(0) == n - 1
+    assert t.post_order == tuple(reversed(range(n)))
+    _roundtrip(t)
+
+
+def test_tree_accepts_mapping_and_none_root():
+    t = TreeDomain({0: 1, 1: None, 2: 1})
+    assert t.root == 1
+    assert t.children(1) == (0, 2)
+
+
+def test_tree_rejects_non_contiguous_ids():
+    with pytest.raises(ValueError, match="contiguous"):
+        TreeDomain({0: -1, 2: 0, 3: 0})
+
+
+def test_tree_rejects_malformed():
+    with pytest.raises(ValueError, match="empty domain"):
+        TreeDomain([])
+    with pytest.raises(ValueError, match="exactly one root"):
+        TreeDomain([-1, -1])
+    with pytest.raises(ValueError, match="own parent"):
+        TreeDomain([0, -1])
+    with pytest.raises(ValueError, match="own parent"):
+        TreeDomain([-1, 1])
+    with pytest.raises(ValueError, match="outside"):
+        TreeDomain([-1, 5])
+    with pytest.raises(ValueError, match="unreachable"):
+        TreeDomain([-1, 2, 1])  # 1 <-> 2 cycle off to the side
+
+
+def test_tree_post_order_properties():
+    t = TreeDomain([-1, 0, 0, 1, 1, 2, 2, 2])
+    pos = {v: k for k, v in enumerate(t.post_order)}
+    for v in range(t.n):
+        for c in t.children(v):
+            assert pos[c] < pos[v], "children before their parent"
+    # every subtree occupies a contiguous post-order span
+    for v in range(t.n):
+        span = sorted(
+            pos[u] for u in range(t.n) if _in_subtree(t, u, v)
+        )
+        assert span == list(range(span[0], span[0] + len(span)))
+    # the heavy (largest) child's span ends right before the parent
+    for v in range(t.n):
+        if t.children(v):
+            heavy = max(
+                t.children(v), key=lambda c: (t.subtree_sizes[c], c)
+            )
+            assert pos[heavy] == pos[v] - 1
+
+
+def _in_subtree(t, u, v):
+    while u != -1:
+        if u == v:
+            return True
+        u = t.parent(u)
+    return False
+
+
+def test_tree_make_dist_covers_and_balances():
+    t = TreeDomain([-1, 0, 0, 1, 1, 2, 2, 2, 3])
+    dag = TreeDag(t)
+    dist = t.make_dist(dag.region, [0, 1, 2])
+    counts = {0: 0, 1: 0, 2: 0}
+    for v in range(t.n):
+        counts[dist.place_of(*t.to_cell(v))] += 1
+    assert sum(counts.values()) == t.n
+    assert max(counts.values()) - min(counts.values()) <= 1
+    # padding cells have an owner too (never computed, but mapped)
+    h, w = t.layout_shape
+    for i in range(h):
+        for j in range(w):
+            assert dist.place_of(i, j) in (0, 1, 2)
+
+
+@settings(**SETTINGS)
+@given(data=st.data(), n=st.integers(1, 24))
+def test_tree_roundtrip_random(data, n):
+    parents = [-1] + [
+        data.draw(st.integers(0, v - 1), label=f"parent[{v}]")
+        for v in range(1, n)
+    ]
+    t = TreeDomain(parents)
+    _roundtrip(t)
+    pos = {v: k for k, v in enumerate(t.post_order)}
+    for v in range(n):
+        for c in t.children(v):
+            assert pos[c] < pos[v]
+            assert t.height_of(c) < t.height_of(v)
+
+
+# ------------------------------------------------- domain-term errors
+
+
+def test_tree_dag_validates_and_describes():
+    dag = TreeDag([-1, 0, 0, 1, 1])
+    dag.validate()
+    assert dag.describe_cell(*dag.domain.to_cell(3)) == "node 3"
+    with pytest.raises(DPX10Error, match="not bound"):
+        dag.get_vertex(*dag.domain.to_cell(3))
+
+
+def test_tree_dag_validate_errors_in_domain_terms():
+    class Broken(TreeDag):
+        def get_anti_dependency(self, i, j):
+            return []  # drop every child -> parent edge
+
+    with pytest.raises(PatternError, match="node 1.*node 0|node 0.*node 1"):
+        Broken([-1, 0]).validate()
+
+
+def test_tensor_dag_validate_errors_in_domain_terms():
+    class Broken(TensorWavefrontDag):
+        def get_anti_dependency(self, i, j):
+            return []
+
+    with pytest.raises(PatternError, match=r"\(0, 0\)"):
+        Broken((2, 2)).validate()
+
+
+# ------------------------------------------- grid no-regression probe
+
+
+def test_grid_apps_unchanged_by_domain_layer():
+    """Existing 2-D apps still match their oracles and emit no domain
+    trace metadata (the grid path is the identity embedding)."""
+    from repro.apps.lcs import solve_lcs
+    from repro.apps.serial import lcs_matrix
+    from repro.core.config import DPX10Config
+
+    cfg = DPX10Config(nplaces=3, trace=True)
+    app, report = solve_lcs("GATTACA", "GCATGCT", cfg)
+    assert app.length == lcs_matrix("GATTACA", "GCATGCT")[-1, -1]
+    assert report.trace is not None
+    assert "domain" not in report.trace.meta
+
+
+def test_nongrid_runs_tag_their_traces():
+    from repro.apps.msa import solve_msa3
+    from repro.core.config import DPX10Config
+
+    app, report = solve_msa3("AC", "AG", "AT", config=DPX10Config(trace=True))
+    assert report.trace is not None
+    assert report.trace.meta["domain"] == "tensor"
+
+
+def test_object_store_roundtrips_arrays():
+    """The object store carries composite per-vertex values (numpy
+    budget tables) across places without mangling them."""
+    from repro.apps.serial import tree_knapsack_tables
+    from repro.apps.tree_knapsack import TreeKnapsackApp, solve_tree_knapsack
+    from repro.core.runtime import DPX10Runtime
+
+    parents, weights, values = [-1, 0, 0], [1, 2, 3], [5, 7, 9]
+    dom = TreeDomain(parents)
+    app = TreeKnapsackApp(dom, weights, values, 4)
+    dag = TreeDag(dom)
+    DPX10Runtime(app, dag).run()
+    expected = tree_knapsack_tables(parents, weights, values, 4)
+    for v in range(dom.nindices):
+        got = dag.get_vertex(*dom.to_cell(v)).get_result()
+        assert isinstance(got, np.ndarray)
+        assert np.array_equal(got, expected[v])
