@@ -56,6 +56,7 @@ from .ir import (
     Expr,
     Index,
     LiftError,
+    Reduce,
     lift_compute,
     normalize,
     walk_expr,
@@ -68,15 +69,30 @@ __all__ = [
     "classify_app",
 ]
 
-CLASSES = ("ELEMENTWISE", "ANTIDIAG_WAVEFRONT", "ROW_SCAN_PREFIX", "OPAQUE")
+CLASSES = (
+    "ELEMENTWISE",
+    "ANTIDIAG_WAVEFRONT",
+    "ROW_SCAN_PREFIX",
+    "TENSOR_HYPERPLANE",
+    "TREE_LEVEL_GATHER",
+    "OPAQUE",
+)
 
 
 @dataclass
 class RowScanForm:
     """The matched ``max(base, dep[(i, j - stride)] + add)`` shape.
 
-    ``stride``/``add`` are row-constant data expressions (no ``j``);
-    ``guard`` is the recognised ``stride <= j`` feasibility test.
+    ``stride`` is a row-constant data expression (no ``j``); ``guard``
+    is the recognised ``stride <= j`` feasibility test. ``add`` is
+    row-constant unless ``lane_add`` is set, in which case it may vary
+    per lane (mention ``j``) and emission switches from the
+    constant-slope prefix scan to the segment-sum form
+    ``accumulate(base - cumsum(add)) + cumsum(add)``. ``pins`` names
+    case indices (all guarded, dependency-free, earlier than the scan
+    case) whose values must be pinned into the scan base so the
+    recurrence chains *through* them — MTP's ``(0, 0) -> 0`` seed is
+    the canonical example.
     """
 
     read: DepRead
@@ -84,6 +100,8 @@ class RowScanForm:
     add: Expr
     base: Expr
     guard: Optional[Expr]
+    lane_add: bool = False
+    pins: Tuple[int, ...] = ()
 
 
 @dataclass
@@ -120,6 +138,220 @@ def _is_row_constant(e: Expr) -> bool:
         not (isinstance(n, Index) and n.axis == "j") and not isinstance(n, DepRead)
         for n in walk_expr(e)
     )
+
+
+def _has_dep(e: Expr) -> bool:
+    return any(isinstance(n, DepRead) for n in walk_expr(e))
+
+
+def _mentions_j(e: Expr) -> bool:
+    return any(
+        isinstance(n, Index) and n.axis == "j" for n in walk_expr(e)
+    )
+
+
+def _guard_matches(feas: Expr, stride: Expr) -> bool:
+    """Whether ``feas`` is a recognised ``j >= stride`` feasibility test."""
+    if not isinstance(feas, Cmp):
+        return False
+    j = Index("j")
+    if feas.op == "<=" and feas.left == stride and feas.right == j:
+        return True
+    if feas.op == ">=" and feas.left == j and feas.right == stride:
+        return True
+    # with a literal stride s, ``j > s - 1`` / ``s - 1 < j`` also works
+    if isinstance(stride, Const) and isinstance(stride.value, int):
+        below = Const(stride.value - 1)
+        if feas.op == ">" and feas.left == j and feas.right == below:
+            return True
+        if feas.op == "<" and feas.left == below and feas.right == j:
+            return True
+    return False
+
+
+def _split_take(take: Expr, read: DepRead) -> Optional[Expr]:
+    """``add`` such that ``take == read + add``, or None."""
+    if take == read:
+        return Const(0)
+    if isinstance(take, Bin) and take.op == "+":
+        if take.left == read:
+            return take.right
+        if take.right == read:
+            return take.left
+    return None
+
+
+def _scan_pins(
+    ir: ComputeIR, scan_idx: int, stride_val: Optional[int], app, dag
+) -> Optional[Tuple[int, ...]]:
+    """Case indices safe to pin into the scan base; None = unsafe mix.
+
+    A pinned case participates in the recurrence chain, so it must hold
+    the *true* cell value wherever it fires: guarded, dependency-free,
+    and earlier in the decision list than the scan case. A row-constant
+    guard is always safe (the whole row is overridden after the scan
+    anyway); a guard mentioning ``j`` is safe only if it never fires at
+    ``j >= stride`` — verified by sampling — because a mid-row pin would
+    let ``max(pin, chain)`` exceed the pinned truth and propagate.
+    """
+    pins = []
+    for idx, (guard, value) in enumerate(ir.cases):
+        if idx == scan_idx:
+            continue
+        if guard is None or idx > scan_idx:
+            return None  # an unguarded or post-scan sibling: cannot pin
+        if _has_dep(guard) or _has_dep(value):
+            return None
+        if _mentions_j(guard):
+            if stride_val is None:
+                return None
+            for i, j in sample_cells(dag, 64):
+                if j < stride_val:
+                    continue
+                try:
+                    if bool(eval_expr(guard, i, j, app)):
+                        return None
+                except Exception:
+                    return None
+        pins.append(idx)
+    return tuple(pins)
+
+
+def _match_row_scan_const(
+    ir: ComputeIR, entry: FootEntry, app, dag
+) -> Optional[RowScanForm]:
+    """Row-scan recognition for a constant intra-row offset ``(0, -s)``.
+
+    Handles both the 2-arg ``max(base, read + add)`` shape and the
+    guarded-``Reduce`` shape MTP lifts to::
+
+        Reduce max { (i > 0) => dep[(i-1, j)] + down,
+                     (j > 0) => dep[(i, j-1)] + right }
+
+    where the read's guard is the feasibility test, the remaining items
+    form the base, and ``add`` may vary along the row (``lane_add``).
+    Every other case must be guarded and dependency-free so it can be
+    pinned into the base (see :class:`RowScanForm`).
+    """
+    read = entry.read
+    if read is None:
+        return None
+    s = -entry.col.const
+    stride = Const(s)
+    holders = [
+        (idx, g, v)
+        for idx, (g, v) in enumerate(ir.cases)
+        if any(n == read for n in walk_expr(v))
+        or (g is not None and any(n == read for n in walk_expr(g)))
+    ]
+    if len(holders) != 1:
+        return None
+    scan_idx, guard, value = holders[0]
+    if guard is not None and any(n == read for n in walk_expr(guard)):
+        return None
+
+    feas: Optional[Expr] = None
+    base: Optional[Expr] = None
+    take: Optional[Expr] = None
+    if isinstance(value, Reduce) and value.fn == "max":
+        with_read = [
+            (g, x)
+            for g, x in value.items
+            if any(n == read for n in walk_expr(x))
+        ]
+        rest = [
+            (g, x)
+            for g, x in value.items
+            if not any(n == read for n in walk_expr(x))
+        ]
+        if len(with_read) != 1 or not rest:
+            return None
+        feas, take = with_read[0]
+        if feas is None or _has_dep(feas) or not _guard_matches(feas, stride):
+            return None
+        base = Reduce("max", tuple(rest))
+    else:
+        # Cond peel + 2-arg max, as in the data-dependent matcher
+        cond_guard: Optional[Expr] = None
+        if isinstance(value, Cond):
+            cond_guard, inner, base_alt = value.test, value.then, value.orelse
+            if any(n == read for n in walk_expr(base_alt)) or any(
+                n == read for n in walk_expr(cond_guard)
+            ):
+                return None
+            value = inner
+        else:
+            base_alt = None
+        if not (
+            isinstance(value, Call) and value.fn == "max" and len(value.args) == 2
+        ):
+            return None
+        with_r = [a for a in value.args if any(n == read for n in walk_expr(a))]
+        without = [a for a in value.args if not any(n == read for n in walk_expr(a))]
+        if len(with_r) != 1 or len(without) != 1:
+            return None
+        take, base = with_r[0], without[0]
+        if base_alt is not None and base_alt != base:
+            return None
+        feas = cond_guard if cond_guard is not None else guard
+        if feas is not None and not _guard_matches(feas, stride):
+            return None
+
+    add = _split_take(take, read)
+    if add is None or _has_dep(add):
+        return None
+    # base may read strictly-earlier rows (the caller verified every
+    # sibling offset has di < 0): those gathers are plain window reads
+    # in the row loop, already computed by the time the row scans
+    pins = _scan_pins(ir, scan_idx, s, app, dag)
+    if pins is None:
+        return None
+    return RowScanForm(
+        read=read,
+        stride=stride,
+        add=add,
+        base=base,
+        guard=feas,
+        lane_add=not _is_row_constant(add),
+        pins=pins,
+    )
+
+
+def _dag_fully_active(dag) -> bool:
+    try:
+        from repro.core.dag import Dag
+
+        return type(dag).is_active is Dag.is_active
+    except Exception:  # pragma: no cover - core always importable at runtime
+        return True
+
+
+def _try_const_row_scan(
+    ir: ComputeIR, entries: Tuple[FootEntry, ...], app, dag
+) -> Optional[RowScanForm]:
+    """Attempt the constant-stride prefix scan before settling on ANTIDIAG.
+
+    Requires exactly one intra-row read at ``(0, -s)`` whose siblings
+    are all strictly-earlier-row offsets — MTP's shape. SW/LCS-style
+    recurrences fall through (their other cases carry reads, or the
+    value is a wider ``max``), keeping the antidiagonal flat sweep in
+    charge there.
+    """
+    if not _dag_fully_active(dag):
+        return None  # the scan emission requires fully active rows
+    intra = []
+    for e in entries:
+        off = e.const_offset
+        if off is None:
+            return None
+        di, dj = off
+        if di == 0 and dj < 0 and e.read is not None:
+            intra.append(e)
+        elif di >= 0:
+            return None  # not strictly earlier-row: no scan shape
+    if len(intra) != 1:
+        return None
+    return _match_row_scan_const(ir, intra[0], app, dag)
 
 
 def _match_row_scan(
@@ -203,7 +435,18 @@ def _match_row_scan(
         )
         if not ok:
             return None
-    return RowScanForm(read=read, stride=stride, add=add, base=base, guard=feas)
+    scan_idx = next(
+        idx
+        for idx, (g, v) in enumerate(ir.cases)
+        if any(n == read for n in walk_expr(v))
+    )
+    # pins are an optimisation here: when the sibling cases don't fit the
+    # pinnable shape the emission simply falls back to the seed-only
+    # chain, which is what this matcher always produced historically
+    pins = _scan_pins(ir, scan_idx, None, None, None) or ()
+    return RowScanForm(
+        read=read, stride=stride, add=add, base=base, guard=feas, pins=pins
+    )
 
 
 def classify_app(app, dag, subject: str = "") -> Classification:
@@ -211,6 +454,29 @@ def classify_app(app, dag, subject: str = "") -> Classification:
     subject = subject or type(app).__name__
     report = AnalysisReport(subject=subject)
     cls = Classification(subject=subject, klass="OPAQUE", report=report)
+
+    # domain-declared batched recurrences short-circuit the AST pipeline:
+    # their compute() is the generic DomainApp decoder (unliftable by
+    # construction), but the batched form is probed numerically instead
+    from .domainkern import (
+        DomainKernelError,
+        match_domain_class,
+        probe_tensor_hyperplane,
+        probe_tree_level,
+    )
+
+    domain_klass = match_domain_class(app, dag)
+    if domain_klass is not None:
+        try:
+            if domain_klass == "TENSOR_HYPERPLANE":
+                probe_tensor_hyperplane(app, dag)
+            else:
+                probe_tree_level(app, dag)
+        except DomainKernelError as exc:
+            report.add("DP403", f"domain kernel probe failed: {exc}")
+            return cls
+        cls.klass = domain_klass
+        return cls
 
     compute = type(app).compute
     try:
@@ -275,7 +541,18 @@ def classify_app(app, dag, subject: str = "") -> Classification:
             )
             return cls
         cls.rank = rank
-        cls.klass = "ELEMENTWISE" if rank == (1, 0) else "ANTIDIAG_WAVEFRONT"
+        if rank == (1, 0):
+            cls.klass = "ELEMENTWISE"
+            return cls
+        # a lone constant intra-row read may still be a prefix scan —
+        # O(h) accumulate sweeps instead of O(h + w) antidiagonal levels
+        form = _try_const_row_scan(cls.ir, cls.entries, app, dag)
+        if form is not None:
+            cls.rank = (1, 0)
+            cls.row_scan = form
+            cls.klass = "ROW_SCAN_PREFIX"
+            return cls
+        cls.klass = "ANTIDIAG_WAVEFRONT"
         return cls
 
     # data-dependent reads: strictly-earlier-row reads vectorize

@@ -35,12 +35,13 @@ the CLI (``repro analyze --dump-kernel``) and the docs walkthrough.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .classify import Classification, classify_app
+from .classify import Classification, RowScanForm, classify_app
+from .findings import AnalysisReport
 from .infer import FootEntry, _expr_kind
 from .ir import (
     AffineIndex,
@@ -62,7 +63,13 @@ from .ir import (
     SelfScalar,
 )
 
-__all__ = ["AutoKernel", "KernelBuildError", "build_autokernel"]
+__all__ = [
+    "AutoKernel",
+    "KernelBuildError",
+    "KernelSpec",
+    "build_autokernel",
+    "kernel_from_spec",
+]
 
 
 class KernelBuildError(Exception):
@@ -70,14 +77,45 @@ class KernelBuildError(Exception):
 
 
 @dataclass
+class KernelSpec:
+    """The picklable residue of a classification, enough to re-emit.
+
+    The mp master classifies (and probes) once pre-fork, then ships
+    this spec inside the tile metadata; workers call
+    :func:`kernel_from_spec` to re-emit the kernel without re-running
+    the AST pipeline or the numeric probes. Every field is built from
+    frozen IR dataclasses, so the spec survives pickling — unlike the
+    compiled kernel function itself.
+    """
+
+    subject: str
+    klass: str
+    rank: Optional[Tuple[int, int]] = None
+    ir: Optional[object] = None
+    entries: Tuple[FootEntry, ...] = ()
+    row_scan: Optional[RowScanForm] = None
+    case_kinds: dict = field(default_factory=dict)
+
+
+@dataclass
 class AutoKernel:
-    """A generated tile kernel plus everything the runtime needs."""
+    """A generated tile kernel plus everything the runtime needs.
+
+    ``mode`` is ``"window"`` for kernels honouring the
+    ``compute_tile(r0, c0, window, oi, oj, h, w)`` contract and
+    ``"cells"`` for tree-level kernels, whose ``fn.run_cells(rows,
+    cols, halo_values)`` maps a tile's active cells straight to values
+    (no dense window exists for object-valued apps). ``spec`` is the
+    picklable classification residue mp workers rebuild from.
+    """
 
     fn: object
     pads: Tuple[int, int, int, int]
     klass: str
     subject: str
     source: str
+    mode: str = "window"
+    spec: Optional[KernelSpec] = None
 
     def __call__(self, r0, c0, window, oi, oj, h, w) -> bool:
         return self.fn(r0, c0, window, oi, oj, h, w)
@@ -512,18 +550,35 @@ def _emit_row_scan(em: _Emitter, cls: Classification) -> None:
     em.line("wi = oi + _r")
     em.line("wj = oj + lj")
     em.reset_cache()
-    # stride/add are row-constant: render them against scalar coordinates
+    # the stride is row-constant: render it against scalar coordinates
     scalar = _ScalarRowEmitter(em)
     em.line(f"_stride = int({scalar.expr(form.stride)})")
-    em.line(f"_add = {scalar.expr(form.add)}")
     em.line(f"_base = np.zeros(w, dtype=window.dtype) + ({em.expr(form.base)})")
+    for idx in reversed(form.pins):
+        # pinned cases chain through the scan: their (dependency-free)
+        # values join the base wherever their guards fire
+        guard, value = cls.ir.cases[idx]
+        assert guard is not None
+        em.line(
+            f"_base = np.where({em.expr(guard)}, {em.expr(value)}, _base)"
+        )
     em.line("_nc = -(-w // _stride)")
     em.line("_B = np.concatenate([_base, np.full(_nc * _stride - w, _minv, dtype=_base.dtype)]).reshape(_nc, _stride)")
     em.line("_sr = np.arange(_stride)")
     em.line("_seed = np.where(c0 + _sr - _stride >= 0, window[wi, np.clip(oj + _sr - _stride, 0, _ww - 1)], _minv)")
-    em.line("_B[0] = np.maximum(_B[0], _seed + _add)")
-    em.line("_k = np.arange(_nc)[:, None]")
-    em.line("_T = np.maximum.accumulate(_B - _k * _add, axis=0) + _k * _add")
+    if form.lane_add:
+        # lane-varying add: v_k = max(b_k, v_{k-1} + a_k) solves to
+        # accumulate(b - S) + S with S the inclusive prefix sum of a
+        em.line(f"_addv = np.zeros(w, dtype=window.dtype) + ({em.expr(form.add)})")
+        em.line("_A = np.concatenate([_addv, np.zeros(_nc * _stride - w, dtype=_addv.dtype)]).reshape(_nc, _stride)")
+        em.line("_B[0] = np.maximum(_B[0], _seed + _A[0])")
+        em.line("_S = np.cumsum(_A, axis=0)")
+        em.line("_T = np.maximum.accumulate(_B - _S, axis=0) + _S")
+    else:
+        em.line(f"_add = {scalar.expr(form.add)}")
+        em.line("_B[0] = np.maximum(_B[0], _seed + _add)")
+        em.line("_k = np.arange(_nc)[:, None]")
+        em.line("_T = np.maximum.accumulate(_B - _k * _add, axis=0) + _k * _add")
     em.line("_scan = _T.reshape(-1)[:w]")
     em.emit_cases(cls.ir.cases, override={_scan_case_index(cls): "_scan"})
     em.line("window[wi, wj] = _res")
@@ -576,29 +631,108 @@ class _ScalarRowEmitter:
         )
 
 
+def _kernel_for(cls: Classification, app, dag) -> AutoKernel:
+    """Emit the kernel for a non-OPAQUE classification (may raise)."""
+    if cls.klass in ("TENSOR_HYPERPLANE", "TREE_LEVEL_GATHER"):
+        from .domainkern import TensorHyperplaneKernel, TreeLevelKernel
+
+        maker = (
+            TensorHyperplaneKernel
+            if cls.klass == "TENSOR_HYPERPLANE"
+            else TreeLevelKernel
+        )
+        k = maker(app, dag)
+        return AutoKernel(
+            fn=k,
+            pads=k.pads,
+            klass=cls.klass,
+            subject=cls.subject,
+            source=k.source,
+            mode=k.mode,
+        )
+    pads = _pads_for(cls.entries, app)
+    if cls.klass == "ANTIDIAG_WAVEFRONT":
+        from .flatsweep import build_flat_sweep
+
+        try:
+            k = build_flat_sweep(cls, app, dag, pads)
+        except KernelBuildError:
+            pass  # per-level emission below still applies
+        else:
+            return AutoKernel(
+                fn=k,
+                pads=pads,
+                klass=cls.klass,
+                subject=cls.subject,
+                source=k.source,
+            )
+    source, closures = _emit_kernel(cls, app, dag)
+    namespace = dict(closures)
+    code = compile(source, f"<autokernel:{cls.subject}>", "exec")
+    exec(code, namespace)
+    return AutoKernel(
+        fn=namespace["compute_tile"],
+        pads=pads,
+        klass=cls.klass,
+        subject=cls.subject,
+        source=source,
+    )
+
+
+def _spec_for(cls: Classification) -> KernelSpec:
+    return KernelSpec(
+        subject=cls.subject,
+        klass=cls.klass,
+        rank=cls.rank,
+        ir=cls.ir,
+        entries=cls.entries,
+        row_scan=cls.row_scan,
+        case_kinds=cls.case_kinds,
+    )
+
+
+def kernel_from_spec(spec: KernelSpec, app, dag) -> Optional[AutoKernel]:
+    """Re-emit a kernel from a shipped :class:`KernelSpec`.
+
+    Skips classification and the numeric probes — the master already
+    ran them pre-fork; the spec is trusted. Returns None when emission
+    fails (the worker then computes interpreted, never wrongly).
+    """
+    cls = Classification(
+        subject=spec.subject,
+        klass=spec.klass,
+        report=AnalysisReport(subject=spec.subject),
+        ir=spec.ir,
+        entries=spec.entries,
+        rank=spec.rank,
+        row_scan=spec.row_scan,
+        case_kinds=spec.case_kinds,
+    )
+    try:
+        kernel = _kernel_for(cls, app, dag)
+    except KernelBuildError:
+        return None
+    kernel.spec = spec
+    return kernel
+
+
 def build_autokernel(app, dag, subject: str = ""):
     """Classify ``app`` and emit its tile kernel.
 
     Returns ``(AutoKernel | None, Classification)``. The build is a pure
-    function of ``(type(app), app data, dag)`` so multiprocessing
-    workers can rebuild the kernel after fork instead of pickling the
-    generated function.
+    function of ``(type(app), app data, dag)``; the returned kernel
+    carries a picklable ``spec`` so multiprocessing workers re-emit it
+    from :func:`kernel_from_spec` instead of pickling the generated
+    function (or re-running classification post-fork).
     """
     cls = classify_app(app, dag, subject=subject)
     if cls.klass == "OPAQUE":
         return None, cls
     try:
-        pads = _pads_for(cls.entries, app)
-        source, closures = _emit_kernel(cls, app, dag)
-        namespace = dict(closures)
-        code = compile(source, f"<autokernel:{cls.subject}>", "exec")
-        exec(code, namespace)
-        fn = namespace["compute_tile"]
+        kernel = _kernel_for(cls, app, dag)
     except KernelBuildError as exc:
         cls.report.add("DP403", f"kernel emission failed: {exc}")
         cls.klass = "OPAQUE"
         return None, cls
-    kernel = AutoKernel(
-        fn=fn, pads=pads, klass=cls.klass, subject=cls.subject, source=source
-    )
+    kernel.spec = _spec_for(cls)
     return kernel, cls

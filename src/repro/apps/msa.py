@@ -62,33 +62,52 @@ class MSA3App(DomainApp[int]):
         super().__init__(TensorDomain((len(x) + 1, len(y) + 1, len(z) + 1)))
         self.x, self.y, self.z = x, y, z
         self.match, self.mismatch, self.gap = match, mismatch, gap
+        # ord codes shifted by one so axis value i addresses x[i - 1]
+        # directly; distinct sentinels at 0 keep prefix-boundary rows
+        # from ever scoring as matches
+        self._cx = np.array([-1] + [ord(c) for c in x], dtype=np.int64)
+        self._cy = np.array([-2] + [ord(c) for c in y], dtype=np.int64)
+        self._cz = np.array([-3] + [ord(c) for c in z], dtype=np.int64)
         self.best_score: Optional[int] = None
 
     def _sub(self, a: str, b: str) -> int:
         return self.match if a == b else self.mismatch
 
+    def offset_score(self, step: Tuple[int, int, int], index: object):
+        """Column score of advancing by ``step`` into ``index``.
+
+        ``step`` entries are 0/1 Python ints, so the branch structure is
+        static per stencil offset; ``index`` may be a tuple of scalars
+        or of equal-length arrays (the hyperplane kernel passes whole
+        tiles at once). Declaring this batched form is what opts the app
+        into the ``TENSOR_HYPERPLANE`` vectorization class.
+        """
+        di, dj, dk = step
+        i, j, k = index  # type: ignore[misc]
+        match, mismatch, gap = self.match, self.mismatch, self.gap
+        score = 0
+        if di and dj:
+            score = score + np.where(self._cx[i] == self._cy[j], match, mismatch)
+        elif di or dj:
+            score = score + gap
+        if di and dk:
+            score = score + np.where(self._cx[i] == self._cz[k], match, mismatch)
+        elif di or dk:
+            score = score + gap
+        if dj and dk:
+            score = score + np.where(self._cy[j] == self._cz[k], match, mismatch)
+        elif dj or dk:
+            score = score + gap
+        return score
+
     def compute_index(self, index: object, deps: Dict[object, int]) -> int:
         i, j, k = index  # type: ignore[misc]
         if not deps:
             return 0  # the (0, 0, 0) seed
-        x, y, z, gap = self.x, self.y, self.z, self.gap
         best = None
         for (pi, pj, pk), score in deps.items():
-            di, dj, dk = i - pi, j - pj, k - pk
-            col = 0
-            if di and dj:
-                col += self._sub(x[i - 1], y[j - 1])
-            elif di or dj:
-                col += gap
-            if di and dk:
-                col += self._sub(x[i - 1], z[k - 1])
-            elif di or dk:
-                col += gap
-            if dj and dk:
-                col += self._sub(y[j - 1], z[k - 1])
-            elif dj or dk:
-                col += gap
-            cand = score + col
+            step = (i - pi, j - pj, k - pk)
+            cand = score + int(self.offset_score(step, index))
             if best is None or cand > best:
                 best = cand
         return int(best)

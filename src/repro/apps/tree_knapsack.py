@@ -103,6 +103,34 @@ class TreeKnapsackApp(DomainApp[np.ndarray]):
             table[w:] = self.values[v] + f[: cap + 1 - w]
         return table
 
+    def compute_level(self, nodes, ptr, child_values) -> List[np.ndarray]:
+        """Batched form of :meth:`compute_index` for a whole height level.
+
+        The per-child merge is the same max-plus convolution, but with
+        the O(capacity^2) inner double loop replaced by one shifted
+        vector maximum per occupied child budget. Declaring this opts
+        the app into the ``TREE_LEVEL_GATHER`` vectorization class.
+        """
+        cap = self.capacity
+        out: List[np.ndarray] = []
+        ptr_l = ptr.tolist()
+        for t, v in enumerate(nodes.tolist()):
+            f = np.zeros(cap + 1, dtype=np.int64)
+            for child in child_values[ptr_l[t]: ptr_l[t + 1]]:
+                nf = f.copy()  # the "skip child" baseline
+                for s in range(1, cap + 1):
+                    if child[s] > 0:
+                        np.maximum(
+                            nf[s:], f[: cap + 1 - s] + int(child[s]), out=nf[s:]
+                        )
+                f = nf
+            table = np.full(cap + 1, NEG_INF, dtype=np.int64)
+            w = self.weights[v]
+            if w <= cap:
+                table[w:] = self.values[v] + f[: cap + 1 - w]
+            out.append(table)
+        return out
+
     def app_finished(self, dag) -> None:
         root_cell = self.domain.to_cell(self.domain.root)
         table = dag.get_vertex(*root_cell).get_result()

@@ -9,7 +9,9 @@ its value — the smallest interesting composite tree-DP state.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.apgas.failure import FaultPlan
 from repro.core.config import DPX10Config
@@ -46,6 +48,29 @@ class TreeMISApp(DomainApp[State]):
             take += c_skip
             skip += max(c_take, c_skip)
         return (take, skip)
+
+    def compute_level(self, nodes, ptr, child_values) -> List[State]:
+        """Batched form of :meth:`compute_index` for a whole height level.
+
+        ``child_values[ptr[t]:ptr[t + 1]]`` are node ``nodes[t]``'s child
+        pairs; both per-node sums fall out of two cumulative sums over
+        the flattened children. Declaring this opts the app into the
+        ``TREE_LEVEL_GATHER`` vectorization class.
+        """
+        n = len(child_values)
+        if n:
+            ct = np.fromiter((c[0] for c in child_values), np.int64, count=n)
+            cs = np.fromiter((c[1] for c in child_values), np.int64, count=n)
+            cum_s = np.concatenate([[0], np.cumsum(cs)])
+            cum_m = np.concatenate([[0], np.cumsum(np.maximum(ct, cs))])
+            take_sum = cum_s[ptr[1:]] - cum_s[ptr[:-1]]
+            skip_sum = cum_m[ptr[1:]] - cum_m[ptr[:-1]]
+        else:
+            take_sum = skip_sum = np.zeros(len(nodes), dtype=np.int64)
+        wts = np.asarray(self.weights, dtype=np.int64)[nodes]
+        return [
+            (int(t), int(s)) for t, s in zip(wts + take_sum, skip_sum)
+        ]
 
     def app_finished(self, dag) -> None:
         root_cell = self.domain.to_cell(self.domain.root)

@@ -164,14 +164,15 @@ class _ShmWorker:
                 self.tiled.stencil_mode
                 and type(app).compute_tile is not DPX10App.compute_tile
             )
-            if meta.get("autokernel"):
+            spec = meta.get("autokernel")
+            if spec is not None:
                 # generated kernels close over compiled code objects and
-                # cannot cross the pipe; the build is deterministic, so
-                # each place rebuilds its own copy post-fork
-                from repro.analysis.codegen import build_autokernel
+                # cannot cross the pipe; the master ships its classified
+                # spec instead, and each place re-emits from it — no
+                # AST pipeline, no numeric probes, just codegen
+                from repro.analysis.codegen import kernel_from_spec
 
-                kernel, _cls = build_autokernel(app, dag)
-                self.autokernel = kernel
+                self.autokernel = kernel_from_spec(spec, app, dag)
         self.read_bytes = registry.counter(
             "dpx10_mp_shm_read_bytes_total",
             "bytes read from the shared-memory plane for remote-homed "
@@ -1398,6 +1399,20 @@ def _run_mp_shm(
                     arr[u] = p
                 return arr
 
+            autokernel_spec = None
+            if (
+                config.autokernel
+                and tiled is not None
+                and app.value_dtype is not None
+                and not config.sanitize
+            ):
+                # classify + probe once here on the master; workers get
+                # the picklable spec and re-emit without re-analysis
+                from repro.analysis.codegen import build_autokernel
+
+                master_kernel, _cls = build_autokernel(app, dag)
+                if master_kernel is not None:
+                    autokernel_spec = master_kernel.spec
             meta = {
                 "values": values_name,
                 "finished": finished_name,
@@ -1406,12 +1421,7 @@ def _run_mp_shm(
                 "tile_shape": (
                     tuple(config.tile_shape) if tiled is not None else None
                 ),
-                "autokernel": bool(
-                    config.autokernel
-                    and tiled is not None
-                    and app.value_dtype is not None
-                    and not config.sanitize
-                ),
+                "autokernel": autokernel_spec,
                 "owners": owner_array(),
             }
             for p in alive:

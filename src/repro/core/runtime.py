@@ -479,13 +479,12 @@ class DPX10Runtime:
                 from repro.core.tiling import HaloPrefetcher
 
                 state.prefetch = HaloPrefetcher(state)
-            if (
-                cfg.autokernel
-                and self.app.value_dtype is not None
-                and not cfg.sanitize
-            ):
+            if cfg.autokernel and not cfg.sanitize:
                 # lift/classify/emit the compute() recurrence; OPAQUE
-                # apps keep the interpreted path (see `repro analyze`)
+                # apps keep the interpreted path (see `repro analyze`).
+                # Object-store apps are eligible too: tree-level kernels
+                # run in "cells" mode against the vertex store, not a
+                # typed window plane
                 from repro.analysis.codegen import build_autokernel
 
                 kernel, _cls = build_autokernel(self.app, self.dag)

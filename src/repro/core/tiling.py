@@ -827,17 +827,27 @@ def execute_tile(
     rows, cols = tiled.cells_of(ti, tj)
     hrows, hcols = tiled.halo_of(ti, tj)
     n = len(rows)
+    nh = len(hrows)
 
-    # group the halo per producing place: one fetch per tile edge
+    # group the halo per producing place, carrying each strip cell's
+    # position in the (hrows, hcols) order so fetched values land in an
+    # aligned buffer — the kernel path scatters that buffer into the
+    # window with one fancy store instead of a per-cell dict lookup
     pof = state.dist.place_of
     nbytes = cfg.value_nbytes
-    halo_by_place: Dict[int, List[Coord]] = {}
-    for c in zip(hrows.tolist(), hcols.tolist()):
-        halo_by_place.setdefault(pof(*c), []).append(c)
+    hcoords = list(zip(hrows.tolist(), hcols.tolist()))
+    halo_by_place: Dict[int, Tuple[List[Coord], List[int]]] = {}
+    for idx, c in enumerate(hcoords):
+        bucket = halo_by_place.get(pof(*c))
+        if bucket is None:
+            bucket = ([], [])
+            halo_by_place[pof(*c)] = bucket
+        bucket[0].append(c)
+        bucket[1].append(idx)
 
     home_place = ts.home[tile]
     if exec_place is None:
-        dep_homes = [p for p, cs in halo_by_place.items() for _ in cs]
+        dep_homes = [p for p, (cs, _) in halo_by_place.items() for _ in cs]
         exec_place = state.strategy.choose_place(
             tile,
             home_place,
@@ -852,7 +862,18 @@ def execute_tile(
         # per-vertex on_execute hook (which the tiled path never reaches)
         state.chaos.throttle_batch(exec_place, n)
 
-    halo_values: Dict[Coord, object] = {}
+    typed = app.value_dtype is not None
+    hvals: object = (
+        np.empty(nh, dtype=app.value_dtype) if typed else [None] * nh
+    )
+
+    def _fill(idxs: List[int], vals) -> None:
+        if typed:
+            hvals[idxs] = vals
+        else:
+            for p, v in zip(idxs, vals):
+                hvals[p] = v
+
     cache = state.caches[exec_place]
     metrics = state.metrics
     prefetch: Optional[HaloPrefetcher] = state.prefetch
@@ -862,21 +883,21 @@ def execute_tile(
     served_from_buffer = False
     fetched_synchronously = False
     fetch_start = trace.now() if trace is not None else 0.0
-    for producer, coords in halo_by_place.items():
+    for producer, (coords, idxs) in halo_by_place.items():
         if producer == exec_place:
-            halo_values.update(
-                zip(coords, state.stores[producer].get_block(coords))
-            )
+            _fill(idxs, state.stores[producer].get_block(coords))
             continue
+        pos_of = dict(zip(coords, idxs))
         hits, missing = cache.get_many(coords)
-        halo_values.update(hits)
+        if hits:
+            _fill([pos_of[c] for c in hits], list(hits.values()))
         if missing and buffer:
             # prefetched strips serve ahead of the synchronous fallback;
             # their traffic was recorded at prefetch time
             served = {c: buffer[c] for c in missing if c in buffer}
             if served:
                 served_from_buffer = True
-                halo_values.update(served)
+                _fill([pos_of[c] for c in served], list(served.values()))
                 cache.put_many(served.items())
                 missing = [c for c in missing if c not in served]
         if missing:
@@ -887,7 +908,7 @@ def execute_tile(
             fetched_bytes = value_nbytes * len(missing)
             state.network.record(producer, exec_place, fetched_bytes)
             cache.put_many(zip(missing, vals))
-            halo_values.update(zip(missing, vals))
+            _fill([pos_of[c] for c in missing], vals)
             remote_fetch_bytes += fetched_bytes
             if metrics.enabled:
                 metrics.counter(
@@ -927,8 +948,24 @@ def execute_tile(
         )
 
     out_vals = None
+    halo_values: Optional[Dict[Coord, object]] = None
     autokernel = state.autokernel
-    if n and (autokernel is not None or _kernel_eligible(state)):
+    kernel_mode = getattr(autokernel, "mode", "window")
+    kernel_start = trace.now() if trace is not None else 0.0
+    if n and autokernel is not None and kernel_mode == "cells":
+        # cells-mode kernels (tree level gathers) map active cells to
+        # values directly — object-valued apps have no window plane
+        halo_values = dict(zip(hcoords, hvals))
+        out_vals = autokernel.fn.run_cells(rows, cols, halo_values)
+        if out_vals is not None and trace is not None:
+            trace.record_span(
+                Span(
+                    f"kernel {autokernel.klass}",
+                    kernel_start, trace.now(),
+                    category="kernel", place=exec_place,
+                )
+            )
+    elif n and typed and (autokernel is not None or _kernel_eligible(state)):
         if autokernel is not None:
             # the generated kernel's window must cover its inferred
             # footprint box as well as the declared-stencil halo strips
@@ -940,12 +977,9 @@ def execute_tile(
         wr0, wr1 = max(0, r0 - pt), min(base.height, r1 + pb)
         wc0, wc1 = max(0, c0 - pl), min(base.width, c1 + pr)
         window = np.zeros((wr1 - wr0, wc1 - wc0), dtype=app.value_dtype)
-        if len(hrows):
-            hvals = np.fromiter(
-                (halo_values[c] for c in zip(hrows.tolist(), hcols.tolist())),
-                dtype=app.value_dtype,
-                count=len(hrows),
-            )
+        if nh:
+            # the fetch loop already landed the halo in (hrows, hcols)
+            # order, so the strips scatter in with one fancy store
             if autokernel is not None:
                 # a dag may declare halo cells outside the window box;
                 # the kernel provably never reads them, so drop them
@@ -961,9 +995,20 @@ def execute_tile(
         kernel_fn = autokernel.fn if autokernel is not None else app.compute_tile
         if kernel_fn(r0, c0, window, r0 - wr0, c0 - wc0, r1 - r0, c1 - c0):
             out_vals = window[rows - wr0, cols - wc0]
+            if trace is not None:
+                trace.record_span(
+                    Span(
+                        "kernel "
+                        + (autokernel.klass if autokernel is not None else "hand"),
+                        kernel_start, trace.now(),
+                        category="kernel", place=exec_place,
+                    )
+                )
 
     if out_vals is None and n:
         # generic path: per-cell compute() in intra-tile wavefront order
+        if halo_values is None:
+            halo_values = dict(zip(hcoords, hvals))
         sanitizing = cfg.sanitize
         local: Dict[Coord, object] = {}
         out: List[object] = []

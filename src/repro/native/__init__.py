@@ -16,6 +16,8 @@ tile kernels (``autokernel=True``) are perf-gated against.
 from repro.native.dp_native import (
     edit_distance_native,
     lcs_native,
+    msa3_native,
+    mtp_native,
     sw_native,
 )
 from repro.native.swlag_native import swlag_native, swlag_native_score
@@ -23,6 +25,8 @@ from repro.native.swlag_native import swlag_native, swlag_native_score
 __all__ = [
     "edit_distance_native",
     "lcs_native",
+    "msa3_native",
+    "mtp_native",
     "sw_native",
     "swlag_native",
     "swlag_native_score",

@@ -21,12 +21,12 @@ EXPECTED = {
     "lcs": ("ANTIDIAG_WAVEFRONT", None),
     "lps": ("ANTIDIAG_WAVEFRONT", None),
     "matrix_chain": ("OPAQUE", "DP401"),
-    "msa3": ("OPAQUE", "DP405"),
-    "mtp": ("ANTIDIAG_WAVEFRONT", None),
+    "msa3": ("TENSOR_HYPERPLANE", None),
+    "mtp": ("ROW_SCAN_PREFIX", None),
     "nw": ("ANTIDIAG_WAVEFRONT", None),
     "sw": ("ANTIDIAG_WAVEFRONT", None),
-    "tree_knapsack": ("OPAQUE", "DP405"),
-    "tree_mis": ("OPAQUE", "DP405"),
+    "tree_knapsack": ("TREE_LEVEL_GATHER", None),
+    "tree_mis": ("TREE_LEVEL_GATHER", None),
     "unbounded_knapsack": ("ROW_SCAN_PREFIX", None),
     "viterbi": ("OPAQUE", "DP401"),
 }

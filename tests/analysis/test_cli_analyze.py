@@ -21,15 +21,24 @@ class TestAnalyzeAll:
         assert "lcs" in out and "cyk" in out
 
     def test_opaque_count_reported(self, capsys):
-        # cyk, egg_drop, matrix_chain, viterbi + the three DomainApp
-        # decoders (msa3, tree_knapsack, tree_mis)
+        # cyk, egg_drop, matrix_chain, viterbi; the DomainApp decoders
+        # (msa3, tree_knapsack, tree_mis) vectorize via their domains
         assert main(["analyze", "--all"]) == 0
-        assert "7 OPAQUE" in capsys.readouterr().out
+        assert "4 OPAQUE" in capsys.readouterr().out
 
     def test_single_app_with_kernel_dump(self, capsys):
+        # lcs is ANTIDIAG: the flat-sweep emitter prints its prelude +
+        # general sweep variant rather than a compute_tile body
         assert main(["analyze", "--app", "lcs", "--dump-kernel"]) == 0
         out = capsys.readouterr().out
+        assert "flat-sweep kernel" in out
+        assert "def _sweep(B2, _spans, _leaves):" in out
+
+    def test_row_scan_kernel_dump(self, capsys):
+        assert main(["analyze", "--app", "mtp", "--dump-kernel"]) == 0
+        out = capsys.readouterr().out
         assert "def compute_tile(r0, c0, window, oi, oj, h, w):" in out
+        assert "np.maximum.accumulate" in out
 
     def test_ir_dump(self, capsys):
         assert main(["analyze", "--app", "knapsack", "--ir"]) == 0

@@ -1,0 +1,64 @@
+"""The hand-vectorized dp_native sweeps mirror their apps bit-for-bit."""
+
+import numpy as np
+
+from repro.analysis.registry import app_fixture
+from repro.apps.msa import make_msa3_instance
+from repro.apps.mtp import MTPApp, make_mtp_weights
+from repro.apps.serial import msa3_matrix
+from repro.core.config import DPX10Config
+from repro.core.runtime import DPX10Runtime
+from repro.native import (
+    edit_distance_native,
+    lcs_native,
+    msa3_native,
+    mtp_native,
+    sw_native,
+)
+from repro.patterns.grid import GridDag
+
+
+def test_mtp_native_matches_interpreted_run():
+    for seed in (0, 3, 11):
+        w_down, w_right = make_mtp_weights(9, 7, seed=seed)
+        app = MTPApp(w_down, w_right)
+        dag = GridDag(w_right.shape[0], w_down.shape[1])
+        DPX10Runtime(app, dag, DPX10Config(engine="inline")).run()
+        want = dag.to_array(fill=-1, dtype=np.int64)
+        assert np.array_equal(want, mtp_native(w_down, w_right))
+
+
+def test_mtp_native_single_row_and_column():
+    w_down, w_right = make_mtp_weights(1, 5, seed=1)
+    assert mtp_native(w_down, w_right)[0, -1] == int(w_right[0].sum())
+    w_down, w_right = make_mtp_weights(5, 1, seed=1)
+    assert mtp_native(w_down, w_right)[-1, 0] == int(w_down[:, 0].sum())
+
+
+def test_msa3_native_matches_serial_matrix():
+    cases = [
+        ("ACG", "AC", "A"),
+        ("", "", ""),
+        ("A", "", ""),
+        ("", "AC", "G"),
+        make_msa3_instance(6, seed=2),
+        make_msa3_instance(9, seed=5),
+    ]
+    for x, y, z in cases:
+        want = np.asarray(msa3_matrix(x, y, z))
+        assert np.array_equal(want, msa3_native(x, y, z)), (x, y, z)
+
+
+def test_pairwise_natives_match_registry_fixtures():
+    # the 2D sweeps against the exact fixture apps the classifier sees
+    for name, native in [
+        ("sw", sw_native),
+        ("lcs", lcs_native),
+        ("edit_distance", edit_distance_native),
+    ]:
+        app, dag = app_fixture(name)
+        DPX10Runtime(app, dag, DPX10Config(engine="inline")).run()
+        want = dag.to_array(fill=-1, dtype=np.int64)
+        s1 = getattr(app, "str1", None) or getattr(app, "x")
+        s2 = getattr(app, "str2", None) or getattr(app, "y")
+        assert np.array_equal(want, native(s1, s2)), name
